@@ -1,0 +1,142 @@
+//! Criterion throughput benchmarks for the compression primitives —
+//! the per-stage costs behind the CDU pipeline design (Sec. III).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use jact_codec::block::BlockLayout;
+use jact_codec::brc::BrcMask;
+use jact_codec::csr::Csr;
+use jact_codec::dct::{dct2d_i8, idct2d_to_i8};
+use jact_codec::dqt::Dqt;
+use jact_codec::quant::{quantize_div, quantize_shift};
+use jact_codec::rle;
+use jact_codec::sfpr::{self, SfprParams};
+use jact_codec::zvc::Zvc;
+use jact_tensor::{Shape, Tensor};
+
+fn activation(n: usize, c: usize, hw: usize) -> Tensor {
+    let shape = Shape::nchw(n, c, hw, hw);
+    let data = (0..shape.len())
+        .map(|i| ((i % hw) as f32 * 0.3).sin() * ((i / hw % 7) as f32 + 0.2))
+        .collect();
+    Tensor::from_vec(shape, data)
+}
+
+fn quantized_blocks(x: &Tensor) -> Vec<[i8; 64]> {
+    let enc = sfpr::compress(x, SfprParams::paper_default());
+    let layout = BlockLayout::new(x.shape());
+    layout
+        .to_blocks(enc.values())
+        .iter()
+        .map(|b| quantize_shift(&dct2d_i8(b), &Dqt::opt_h()))
+        .collect()
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let x = activation(4, 16, 32);
+    let bytes = (x.len() * 4) as u64;
+
+    let mut g = c.benchmark_group("codec_stages");
+    g.throughput(Throughput::Bytes(bytes));
+
+    g.bench_function("sfpr_compress", |b| {
+        b.iter(|| sfpr::compress(black_box(&x), SfprParams::paper_default()))
+    });
+
+    let enc = sfpr::compress(&x, SfprParams::paper_default());
+    let layout = BlockLayout::new(x.shape());
+    g.bench_function("block_gather", |b| {
+        b.iter(|| layout.to_blocks(black_box(enc.values())))
+    });
+
+    let blocks = layout.to_blocks(enc.values());
+    g.bench_function("dct2d_fixed_point", |b| {
+        b.iter(|| {
+            blocks
+                .iter()
+                .map(|blk| dct2d_i8(black_box(blk)))
+                .collect::<Vec<_>>()
+        })
+    });
+
+    let coefs: Vec<[i16; 64]> = blocks.iter().map(dct2d_i8).collect();
+    g.bench_function("quantize_div", |b| {
+        let dqt = Dqt::jpeg_quality(80);
+        b.iter(|| {
+            coefs
+                .iter()
+                .map(|cf| quantize_div(black_box(cf), &dqt))
+                .collect::<Vec<_>>()
+        })
+    });
+    g.bench_function("quantize_shift", |b| {
+        let dqt = Dqt::opt_h();
+        b.iter(|| {
+            coefs
+                .iter()
+                .map(|cf| quantize_shift(black_box(cf), &dqt))
+                .collect::<Vec<_>>()
+        })
+    });
+
+    let q = quantized_blocks(&x);
+    g.bench_function("rle_encode", |b| b.iter(|| rle::encode_blocks(black_box(&q))));
+    let flat: Vec<i8> = q.iter().flatten().copied().collect();
+    g.bench_function("zvc_encode", |b| b.iter(|| Zvc::compress_i8(black_box(&flat))));
+
+    let rle_bytes = rle::encode_blocks(&q);
+    g.bench_function("rle_decode", |b| {
+        b.iter(|| rle::decode_blocks(black_box(&rle_bytes), q.len()).expect("valid stream"))
+    });
+    let zvc_stream = Zvc::compress_i8(&flat);
+    g.bench_function("zvc_decode", |b| b.iter(|| black_box(&zvc_stream).decompress_i8()));
+
+    g.bench_function("idct2d_fixed_point", |b| {
+        b.iter(|| {
+            coefs
+                .iter()
+                .map(|cf| idct2d_to_i8(black_box(cf)))
+                .collect::<Vec<_>>()
+        })
+    });
+
+    g.bench_function("brc_mask", |b| b.iter(|| BrcMask::compress(black_box(&x))));
+    g.bench_function("csr_compress", |b| {
+        b.iter(|| Csr::compress_default(black_box(enc.values())))
+    });
+    g.finish();
+
+    // Ablation: matrix-form 8-point DCT vs the factored fast DCT (the
+    // hardware's LLM-style butterfly structure).
+    let mut a = c.benchmark_group("dct_ablation");
+    let rows: Vec<[f32; 8]> = (0..512)
+        .map(|r| {
+            let mut row = [0.0f32; 8];
+            for (i, v) in row.iter_mut().enumerate() {
+                *v = (((r * 8 + i) as f32) * 0.1).sin() * 50.0;
+            }
+            row
+        })
+        .collect();
+    a.bench_function("dct8_matrix", |b| {
+        b.iter(|| {
+            rows.iter()
+                .map(|r| jact_codec::dct::dct8(black_box(r)))
+                .collect::<Vec<_>>()
+        })
+    });
+    a.bench_function("dct8_fast", |b| {
+        b.iter(|| {
+            rows.iter()
+                .map(|r| jact_codec::fast_dct::fast_dct8(black_box(r)))
+                .collect::<Vec<_>>()
+        })
+    });
+    a.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_stages
+);
+criterion_main!(benches);

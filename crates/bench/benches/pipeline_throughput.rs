@@ -1,0 +1,61 @@
+//! Criterion benchmarks of the complete compression pipelines — the
+//! software-side cost of each Table I method on one dense activation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use jact_codec::dqt::Dqt;
+use jact_codec::pipeline::{
+    Codec, GistCsrCodec, JpegActCodec, JpegBaseCodec, RawCodec, SfprCodec, ZvcF32Codec,
+};
+use jact_tensor::{Shape, Tensor};
+
+fn dense_activation() -> Tensor {
+    let shape = Shape::nchw(4, 16, 32, 32);
+    let data = (0..shape.len())
+        .map(|i| ((i % 32) as f32 * 0.25).sin() * ((i / 1024 % 5) as f32 + 0.3))
+        .collect();
+    Tensor::from_vec(shape, data)
+}
+
+fn sparse_activation() -> Tensor {
+    let mut x = dense_activation();
+    x.map_in_place(|v| if v > 0.0 { v } else { 0.0 });
+    x
+}
+
+fn bench_pipelines(c: &mut Criterion) {
+    let dense = dense_activation();
+    let sparse = sparse_activation();
+    let bytes = (dense.len() * 4) as u64;
+
+    let mut g = c.benchmark_group("pipelines");
+    g.throughput(Throughput::Bytes(bytes));
+
+    macro_rules! roundtrip {
+        ($name:literal, $codec:expr, $input:expr) => {
+            let codec = $codec;
+            let input = $input;
+            g.bench_function(concat!($name, "/compress"), |b| {
+                b.iter(|| codec.compress(black_box(input)))
+            });
+            let compressed = codec.compress(input);
+            g.bench_function(concat!($name, "/decompress"), |b| {
+                b.iter(|| codec.decompress(black_box(&compressed)))
+            });
+        };
+    }
+
+    roundtrip!("raw", RawCodec, &dense);
+    roundtrip!("zvc_f32", ZvcF32Codec, &sparse);
+    roundtrip!("gist_csr", GistCsrCodec, &sparse);
+    roundtrip!("sfpr", SfprCodec::new(), &dense);
+    roundtrip!("jpeg_base_q80", JpegBaseCodec::new(Dqt::jpeg_quality(80)), &dense);
+    roundtrip!("jpeg_act_optH", JpegActCodec::new(Dqt::opt_h()), &dense);
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_pipelines
+);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Fig. 1b: average compression ratio and accuracy change for the four
+//! headline schemes (vDNN, cDMA, GIST, JPEG-ACT) on the ResNet stand-in.
+
+use jact_bench::harness::{train_classifier, TrainCfg};
+use jact_bench::tables::{print_header, print_table};
+use jact_core::Scheme;
+
+fn main() {
+    print_header("Fig. 1b: compression ratios and accuracy change (ResNet stand-in)");
+    let cfg = TrainCfg::from_env();
+    let model = "mini-resnet-bottleneck";
+
+    eprintln!("training baseline...");
+    let base = train_classifier(model, None, &cfg);
+
+    let schemes = [
+        ("vDNN (no compr.)", Scheme::vdnn()),
+        ("cDMA", Scheme::cdma_plus()),
+        ("GIST", Scheme::gist()),
+        ("JPEG-ACT", Scheme::jpeg_act_opt_l5h()),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, s) in schemes {
+        eprintln!("training under {name}...");
+        let r = train_classifier(model, Some(s), &cfg);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}x", r.ratio),
+            format!("{:+.1} pts", (r.best_score - base.best_score) * 100.0),
+        ]);
+    }
+    print_table(&["scheme", "avg compression", "error change"], &rows);
+    println!(
+        "\n(paper Fig. 1b on ResNet50/ImageNet: vDNN 1x +0.0%; cDMA ~1.3x +0.0%;\n\
+         GIST ~4x +3.2%; JPEG-ACT ~8x +0.2%)"
+    );
+}

@@ -1,0 +1,56 @@
+//! Fig. 2: frequency-entropy distribution for images vs non-sparse
+//! conv activations — spatial vs DCT-domain Shannon entropy.
+
+use jact_bench::harness::{harvest_dense, TrainCfg};
+use jact_bench::tables::{f3, print_header, print_table};
+use jact_core::metrics::spatial_frequency_entropy;
+use jact_data::image::natural_image;
+
+fn main() {
+    print_header("Fig. 2: spatial vs frequency entropy (images and conv activations)");
+    let cfg = TrainCfg::from_env();
+
+    let mut rows = Vec::new();
+
+    // Natural-image-like inputs.
+    let mut img_sp = Vec::new();
+    let mut img_fr = Vec::new();
+    for seed in 0..6u64 {
+        let img = natural_image(3, 32, seed);
+        let (hs, hf) = spatial_frequency_entropy(&img);
+        img_sp.push(hs);
+        img_fr.push(hf);
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    rows.push(vec![
+        "images".into(),
+        f3(mean(&img_sp)),
+        f3(mean(&img_fr)),
+        f3(mean(&img_sp) - mean(&img_fr)),
+    ]);
+
+    // Dense conv activations from a briefly-trained network.
+    let acts = harvest_dense("mini-resnet-bottleneck", 2, &cfg);
+    let mut act_sp = Vec::new();
+    let mut act_fr = Vec::new();
+    for a in acts.iter().take(12) {
+        let (hs, hf) = spatial_frequency_entropy(a);
+        act_sp.push(hs);
+        act_fr.push(hf);
+    }
+    rows.push(vec![
+        "conv activations".into(),
+        f3(mean(&act_sp)),
+        f3(mean(&act_fr)),
+        f3(mean(&act_sp) - mean(&act_fr)),
+    ]);
+
+    print_table(
+        &["source", "H spatial (b)", "H freq (b)", "freq gain (b)"],
+        &rows,
+    );
+    println!(
+        "\n(paper Fig. 2: both images and dense activations have lower entropy in\n\
+         the frequency domain; activations keep a flatter tail than images)"
+    );
+}

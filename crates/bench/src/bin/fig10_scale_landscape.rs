@@ -1,0 +1,77 @@
+//! Fig. 10: recovered-activation error vs the SFPR global scaling factor
+//! `S`, for SFPR alone and the JPEG pipelines — the clipping/truncation
+//! trade-off behind the paper's choice of S = 1.125.
+
+use jact_bench::harness::{harvest_dense, TrainCfg};
+use jact_bench::tables::{print_header, print_table};
+use jact_codec::dqt::Dqt;
+use jact_codec::pipeline::{Codec, CoderKind, JpegCodec, SfprCodec};
+use jact_codec::quant::QuantKind;
+use jact_codec::sfpr::SfprParams;
+use jact_core::metrics::recovered_l2;
+use jact_tensor::Tensor;
+
+fn pipelines(s: f32) -> Vec<(String, Box<dyn Codec>)> {
+    let p = SfprParams::with_scale(s);
+    vec![
+        ("SFPR".into(), Box::new(SfprCodec::with_params(p)) as Box<dyn Codec>),
+        (
+            "SFPR+DCT+DIV+RLE(jpeg80)".into(),
+            Box::new(JpegCodec::new(Dqt::jpeg_quality(80), QuantKind::Div, CoderKind::Rle).with_sfpr(p)),
+        ),
+        (
+            "SFPR+DCT+SH+ZVC(optL)".into(),
+            Box::new(JpegCodec::new(Dqt::opt_l(), QuantKind::Shift, CoderKind::Zvc).with_sfpr(p)),
+        ),
+        (
+            "SFPR+DCT+SH+ZVC(optH)".into(),
+            Box::new(JpegCodec::new(Dqt::opt_h(), QuantKind::Shift, CoderKind::Zvc).with_sfpr(p)),
+        ),
+    ]
+}
+
+fn mean_error(codec: &dyn Codec, acts: &[Tensor]) -> f64 {
+    let mut total = 0.0;
+    for a in acts {
+        let rec = codec.decompress(&codec.compress(a));
+        total += recovered_l2(a, &rec);
+    }
+    total / acts.len() as f64
+}
+
+fn main() {
+    print_header("Fig. 10: scaling factor landscape (recovered L2 error vs S)");
+    let cfg = TrainCfg::from_env();
+    let acts: Vec<Tensor> = harvest_dense("mini-resnet-bottleneck", 2, &cfg)
+        .into_iter()
+        .take(6)
+        .collect();
+    println!("evaluating on {} dense activations", acts.len());
+
+    let sweep = [0.25f32, 0.5, 0.75, 1.0, 1.125, 1.25, 1.5, 2.0, 4.0];
+    let names: Vec<String> = pipelines(1.0).into_iter().map(|(n, _)| n).collect();
+
+    let mut rows = Vec::new();
+    let mut best_s = vec![(f64::INFINITY, 0.0f32); names.len()];
+    for &s in &sweep {
+        let mut row = vec![format!("S={s}")];
+        for (i, (_, codec)) in pipelines(s).iter().enumerate() {
+            let e = mean_error(codec.as_ref(), &acts);
+            if e < best_s[i].0 {
+                best_s[i] = (e, s);
+            }
+            row.push(format!("{e:.6}"));
+        }
+        rows.push(row);
+    }
+    let headers: Vec<&str> = std::iter::once("S")
+        .chain(names.iter().map(|s| s.as_str()))
+        .collect();
+    print_table(&headers, &rows);
+
+    println!("\nerror-minimizing S per pipeline:");
+    for (n, (_, s)) in names.iter().zip(&best_s) {
+        println!("  {n}: S = {s}");
+    }
+    println!("(paper selects S = 1.125 as a single value across pipelines)");
+}

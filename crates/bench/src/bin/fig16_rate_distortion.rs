@@ -1,0 +1,97 @@
+//! Fig. 16: rate/distortion trade-off — SFPR at 2/3/4 bits, JPEG-BASE
+//! with image DQTs (jpeg40/60/80/90), and DQTs optimized at several α.
+
+use jact_bench::harness::{harvest_dense, TrainCfg};
+use jact_bench::tables::{print_header, print_table};
+use jact_codec::dqt::Dqt;
+use jact_codec::pipeline::{Codec, SfprCodec};
+use jact_codec::quant::QuantKind;
+use jact_codec::sfpr::SfprParams;
+use jact_core::dqt_opt::{optimize, DqtOptConfig};
+use jact_core::metrics::{rate_distortion, recovered_l2, shannon_entropy_i8};
+use jact_tensor::Tensor;
+
+fn sfpr_point(bits: u32, acts: &[Tensor]) -> (f64, f64) {
+    let codec = SfprCodec::with_params(SfprParams::with_bits(bits));
+    let mut h = 0.0;
+    let mut e = 0.0;
+    for a in acts {
+        let enc = jact_codec::sfpr::compress(a, SfprParams::with_bits(bits));
+        h += shannon_entropy_i8(enc.values().iter().copied());
+        let rec = codec.decompress(&codec.compress(a));
+        e += recovered_l2(a, &rec);
+    }
+    (h / acts.len() as f64, e / acts.len() as f64)
+}
+
+fn jpeg_point(dqt: &Dqt, quant: QuantKind, acts: &[Tensor]) -> (f64, f64) {
+    let mut h = 0.0;
+    let mut e = 0.0;
+    for a in acts {
+        let (hh, ee) = rate_distortion(a, dqt, quant);
+        h += hh;
+        e += ee;
+    }
+    (h / acts.len() as f64, e / acts.len() as f64)
+}
+
+fn main() {
+    print_header("Fig. 16: rate/distortion trade-off (entropy bits vs recovered L2 error)");
+    let cfg = TrainCfg::from_env();
+    let acts: Vec<Tensor> = harvest_dense("mini-resnet-bottleneck", 2, &cfg)
+        .into_iter()
+        .take(5)
+        .collect();
+    println!("evaluating on {} dense activations (trained snapshot)", acts.len());
+
+    let mut rows = Vec::new();
+
+    for bits in [2u32, 3, 4] {
+        let (h, e) = sfpr_point(bits, &acts);
+        rows.push(vec![format!("SFPR {bits}-bit"), format!("{h:.3}"), format!("{e:.6}")]);
+    }
+
+    for q in [40u32, 60, 80, 90] {
+        let (h, e) = jpeg_point(&Dqt::jpeg_quality(q), QuantKind::Div, &acts);
+        rows.push(vec![
+            format!("JPEG-BASE jpeg{q}"),
+            format!("{h:.3}"),
+            format!("{e:.6}"),
+        ]);
+    }
+
+    let iters = if jact_bench::quick_mode() { 1 } else { 10 };
+    for alpha in [0.001f64, 0.005, 0.01, 0.025] {
+        let res = optimize(
+            &acts,
+            &Dqt::jpeg_quality(80),
+            &DqtOptConfig {
+                alpha,
+                iters,
+                // Our objective surface is ~60x shallower than the
+                // paper's (5 sample tensors vs 240): scale the step up.
+                lr: 60.0,
+                ..DqtOptConfig::opt_h()
+            },
+        );
+        // Evaluated with the DIV back end, like the image-DQT points.
+        let (h, e) = jpeg_point(&res.dqt, QuantKind::Div, &acts);
+        rows.push(vec![
+            format!("optimized a={alpha}"),
+            format!("{h:.3}"),
+            format!("{e:.6}"),
+        ]);
+    }
+
+    for (name, dqt) in [("optL (shipped)", Dqt::opt_l()), ("optH (shipped)", Dqt::opt_h())] {
+        let (h, e) = jpeg_point(&dqt, QuantKind::Shift, &acts);
+        rows.push(vec![name.into(), format!("{h:.3}"), format!("{e:.6}")]);
+    }
+
+    print_table(&["configuration", "entropy H (b)", "L2 error"], &rows);
+    println!(
+        "\n(paper: optimized DQTs dominate image DQTs — about 1 bit lower entropy\n\
+         at matched error; SFPR bit-reduction is strictly worse than transform\n\
+         coding at the same rate)"
+    );
+}

@@ -1,0 +1,84 @@
+//! Fig. 19: activation footprint breakdown by activation type, per
+//! compression method — who wins on dense vs sparse activations.
+
+use jact_bench::tables::{print_header, print_table};
+use jact_bench::harness::TrainCfg;
+use jact_core::{OffloadStore, Scheme};
+use jact_dnn::act::Context;
+use jact_dnn::models;
+use jact_tensor::init::seeded_rng;
+use rand::SeedableRng;
+
+/// Runs one forward pass of `model` through an offload store and returns
+/// it with the per-kind statistics filled in.
+fn footprint(model: &str, scheme: Scheme, cfg: &TrainCfg) -> OffloadStore {
+    let data_cfg = jact_data::synth::SynthConfig {
+        classes: cfg.classes,
+        ..Default::default()
+    };
+    let batch = &jact_data::synth::classification_batches(&data_cfg, 1, cfg.batch_size, cfg.seed)[0];
+    let mut mrng = seeded_rng(cfg.seed);
+    let mut net = models::build_by_name(model, 3, cfg.classes, &mut mrng);
+    let mut store = OffloadStore::new(scheme);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+    {
+        let mut ctx = Context::new(true, &mut rng, &mut store);
+        let _ = net.forward(&batch.images, &mut ctx);
+    }
+    store
+}
+
+fn main() {
+    print_header("Fig. 19: activation footprint breakdown by type");
+    let cfg = TrainCfg::from_env();
+    let schemes = [
+        ("vDNN", Scheme::vdnn()),
+        ("cDMA+", Scheme::cdma_plus()),
+        ("GIST", Scheme::gist()),
+        ("SFPR", Scheme::sfpr()),
+        ("JPEG-ACT(optL5H)", Scheme::jpeg_act_opt_l5h()),
+    ];
+
+    for model in ["mini-vgg", "mini-resnet-bottleneck"] {
+        println!("\n--- {model} (one training-step forward pass) ---");
+        // Collect the union of kinds across schemes for stable columns.
+        let mut rows = Vec::new();
+        let mut kinds: Vec<String> = Vec::new();
+        let mut tables = Vec::new();
+        for (name, s) in schemes.iter() {
+            let store = footprint(model, s.clone(), &cfg);
+            for (k, _) in store.stats().by_kind() {
+                if !kinds.contains(&k.to_string()) {
+                    kinds.push(k.to_string());
+                }
+            }
+            tables.push((name, store));
+        }
+        kinds.sort();
+        for (name, store) in &tables {
+            let mut row = vec![name.to_string()];
+            for k in &kinds {
+                let v = store
+                    .stats()
+                    .by_kind()
+                    .find(|(kk, _)| kk == k)
+                    .map(|(_, s)| s.compressed as f64 / 1024.0)
+                    .unwrap_or(0.0);
+                row.push(format!("{v:.0}"));
+            }
+            row.push(format!("{:.0}", store.stats().total_compressed() as f64 / 1024.0));
+            row.push(format!("{:.1}x", store.stats().overall_ratio()));
+            rows.push(row);
+        }
+        let mut headers: Vec<String> = vec!["method".into()];
+        headers.extend(kinds.iter().map(|k| format!("{k} (KiB)")));
+        headers.push("total (KiB)".into());
+        headers.push("ratio".into());
+        let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        print_table(&headers_ref, &rows);
+    }
+    println!(
+        "\n(paper Fig. 19: GIST's CSR wins on dropout networks; ResNets are\n\
+         dominated by dense conv/sum activations that only JPEG compresses)"
+    );
+}

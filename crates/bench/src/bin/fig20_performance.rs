@@ -1,0 +1,51 @@
+//! Fig. 20: training performance relative to vDNN, per network × method
+//! (three-CNR-block microbenchmarks at batch 16).
+
+use jact_bench::tables::{print_header, print_table};
+use jact_gpusim::config::GpuConfig;
+use jact_gpusim::netspec::all_networks;
+use jact_gpusim::offload::MethodModel;
+use jact_gpusim::sim::relative_performance;
+
+fn main() {
+    print_header("Fig. 20: relative performance to vDNN (CNR microbenchmarks, batch 16)");
+    let gpu = GpuConfig::titan_v();
+    let methods = [
+        MethodModel::vdnn(),
+        MethodModel::cdma_plus(),
+        MethodModel::gist(),
+        MethodModel::sfpr(),
+        MethodModel::jpeg_base(),
+        MethodModel::jpeg_act(),
+    ];
+    let headers: Vec<&str> = std::iter::once("network")
+        .chain(methods.iter().map(|m| m.name.as_str()))
+        .collect();
+
+    let nets = all_networks();
+    let mut rows = Vec::new();
+    let mut sums = vec![0.0f64; methods.len()];
+    for net in &nets {
+        let mut row = vec![net.name.clone()];
+        for (i, m) in methods.iter().enumerate() {
+            let rel = relative_performance(net, m, &methods[0], &gpu);
+            sums[i] += rel;
+            row.push(format!("{rel:.2}x"));
+        }
+        rows.push(row);
+    }
+    let mut avg_row = vec!["AVERAGE".to_string()];
+    for s in &sums {
+        avg_row.push(format!("{:.2}x", s / nets.len() as f64));
+    }
+    rows.push(avg_row);
+    print_table(&headers, &rows);
+
+    let jact_avg = sums[5] / nets.len() as f64;
+    let gist_avg = sums[2] / nets.len() as f64;
+    println!(
+        "\nJPEG-ACT vs vDNN avg: {:.2}x (paper: 2.61x); JPEG-ACT vs GIST: {:.2}x (paper: 1.59x)",
+        jact_avg,
+        jact_avg / gist_avg
+    );
+}

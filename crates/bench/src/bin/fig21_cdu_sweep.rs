@@ -1,0 +1,39 @@
+//! Fig. 21: performance vs CDU count at fixed compression ratios, for
+//! DMA-side and cache+DMA-side CDU placement (ResNet50/CIFAR10).
+
+use jact_bench::tables::{print_header, print_table};
+use jact_gpusim::config::GpuConfig;
+use jact_gpusim::layout::cdu_sweep;
+use jact_gpusim::netspec::resnet50_cifar;
+
+fn main() {
+    print_header("Fig. 21: performance when changing the number of CDUs (ResNet50/CIFAR10)");
+    let pts = cdu_sweep(
+        &resnet50_cifar(),
+        &GpuConfig::titan_v(),
+        &[2.0, 4.0, 8.0, 12.0],
+        &[1, 2, 4, 8],
+    );
+
+    for placement in ["dma", "cache+dma"] {
+        println!("\n--- {placement}-side compression ---");
+        let mut rows = Vec::new();
+        for &ratio in &[2.0, 4.0, 8.0, 12.0] {
+            let mut row = vec![format!("{ratio}x")];
+            for &cdus in &[1u32, 2, 4, 8] {
+                let p = pts
+                    .iter()
+                    .find(|p| p.ratio == ratio && p.cdus == cdus && p.placement == placement)
+                    .expect("grid point");
+                row.push(format!("{:.3}", p.relative));
+            }
+            rows.push(row);
+        }
+        print_table(&["ratio \\ CDUs", "1", "2", "4", "8"], &rows);
+    }
+    println!(
+        "\n(values are speedups over the 1-CDU DMA-side point at the same ratio;\n\
+         paper: 2x/4x insensitive to CDUs — PCIe-bound; 12x gains 1.08x from 2->4\n\
+         and <0.5% from 4->8; cache+DMA within ~1% of a 4-CDU DMA design)"
+    );
+}

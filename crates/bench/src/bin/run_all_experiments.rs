@@ -1,0 +1,47 @@
+//! Runs every experiment binary in DESIGN.md §4 order, in this process.
+//!
+//! ```sh
+//! JACT_QUICK=1 cargo run --release -p jact-bench --bin run_all_experiments   # smoke
+//! cargo run --release -p jact-bench --bin run_all_experiments               # full
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "fig01b_compression_overview",
+        "fig02_freq_entropy",
+        "fig06_layer_entropy",
+        "fig10_scale_landscape",
+        "fig16_rate_distortion",
+        "fig17_error_over_training",
+        "fig18_accuracy_vs_speedup",
+        "fig19_footprint",
+        "fig20_performance",
+        "fig21_cdu_sweep",
+        "table1_accuracy_compression",
+        "table3_backend_matrix",
+        "table4_synthesis",
+        "table5_designs",
+        "sec3c_padding",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for b in bins {
+        let path = dir.join(b);
+        eprintln!("\n######## {b} ########");
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {b}: {e}"));
+        if !status.success() {
+            failures.push(b);
+        }
+    }
+    if failures.is_empty() {
+        eprintln!("\nall {} experiments completed", bins.len());
+    } else {
+        eprintln!("\nFAILED experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,93 @@
+//! Table I: validation score and compression ratio for every network ×
+//! compression method — the paper's headline accuracy/compression table.
+//!
+//! Networks are the scaled-down counterparts on synthetic data (see
+//! DESIGN.md §2), so absolute numbers differ from the paper; the shape to
+//! check is the ratio ordering and the accuracy deltas.
+
+use jact_bench::harness::{train_classifier, train_vdsr, TrainCfg, TrainResult};
+use jact_bench::tables::{print_header, print_table};
+use jact_core::method::DqtSchedule;
+use jact_core::Scheme;
+use jact_codec::dqt::Dqt;
+
+fn schemes() -> Vec<(String, Option<Scheme>)> {
+    vec![
+        ("Baseline".into(), None),
+        ("cDMA+".into(), Some(Scheme::cdma_plus())),
+        ("GIST".into(), Some(Scheme::gist())),
+        ("SFPR".into(), Some(Scheme::sfpr())),
+        ("JPEG-BASE jpeg80".into(), Some(Scheme::jpeg_base(80))),
+        ("JPEG-BASE jpeg60".into(), Some(Scheme::jpeg_base(60))),
+        ("JPEG-ACT optL".into(), Some(Scheme::jpeg_act(Dqt::opt_l()))),
+        ("JPEG-ACT optH".into(), Some(Scheme::jpeg_act(Dqt::opt_h()))),
+        (
+            "JPEG-ACT optL5H".into(),
+            Some(Scheme::JpegAct {
+                schedule: DqtSchedule::Piecewise {
+                    first: Dqt::opt_l(),
+                    after: Dqt::opt_h(),
+                    switch_epoch: 2,
+                },
+            }),
+        ),
+    ]
+}
+
+fn cell(r: &TrainResult, pct: bool) -> String {
+    let score = if pct {
+        format!("{:.1}", r.best_score * 100.0)
+    } else {
+        format!("{:.1}", r.best_score)
+    };
+    let star = if r.diverged { "*" } else { "" };
+    format!("{score}{star} ({:.1}x)", r.ratio)
+}
+
+fn main() {
+    print_header("Table I: validation score and compression ratio per network x method");
+    let cfg = TrainCfg::from_env();
+    println!(
+        "(synthetic data, {} classes, {} epochs x {} batches of {}; * = diverged)",
+        cfg.classes, cfg.epochs, cfg.train_batches, cfg.batch_size
+    );
+
+    let models = [
+        ("VGG-like", "mini-vgg"),
+        ("ResNet (basic)", "mini-resnet"),
+        ("ResNet (bottleneck)", "mini-resnet-bottleneck"),
+        ("WRN", "wide-resnet"),
+    ];
+
+    let headers: Vec<String> = std::iter::once("network".to_string())
+        .chain(schemes().iter().map(|(n, _)| n.clone()))
+        .collect();
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+
+    let mut rows = Vec::new();
+    for (label, model) in models {
+        eprintln!("training {label} across {} schemes...", schemes().len());
+        let mut row = vec![label.to_string()];
+        for (_, scheme) in schemes() {
+            let r = train_classifier(model, scheme, &cfg);
+            row.push(cell(&r, true));
+        }
+        rows.push(row);
+    }
+
+    // VDSR (PSNR in dB instead of accuracy).
+    eprintln!("training VDSR across {} schemes...", schemes().len());
+    let mut row = vec!["VDSR (PSNR dB)".to_string()];
+    for (_, scheme) in schemes() {
+        let r = train_vdsr(scheme, &cfg);
+        row.push(cell(&r, false));
+    }
+    rows.push(row);
+
+    print_table(&headers_ref, &rows);
+    println!(
+        "\n(paper averages: cDMA+ 1.3x lossless; GIST 4.5x -1.07pt; SFPR 4x -0.12pt;\n\
+         jpeg80 5.8x -0.87pt; jpeg60 6.6x -2.27pt; optL 6.7x +0.07pt;\n\
+         optH 8.6x diverging on WRN+ResNet50; optL5H 8.5x -0.38pt)"
+    );
+}

@@ -1,0 +1,33 @@
+//! Table IV: JPEG-ACT synthesis results by component.
+
+use jact_bench::tables::{f2, print_header, print_table};
+use jact_hwmodel::component::TABLE_IV;
+
+fn main() {
+    print_header("Table IV: JPEG-ACT synthesis by component (15nm, 50% wire overhead)");
+    let rows: Vec<Vec<String>> = TABLE_IV
+        .iter()
+        .map(|c| {
+            vec![
+                format!("{c:?}"),
+                format!("{:.0}", c.area_um2()),
+                f2(c.power_mw()),
+                format!("{}", c.approx_gates()),
+            ]
+        })
+        .collect();
+    print_table(&["component", "area (um2)", "power (mW)", "~gates"], &rows);
+
+    println!(
+        "\nSH vs DIV quantizer area reduction: {:.0}% (paper: 88%)",
+        (1.0 - jact_hwmodel::Component::QuantizeShift.area_um2()
+            / jact_hwmodel::Component::QuantizeDiv.area_um2())
+            * 100.0
+    );
+    println!(
+        "ZVC vs RLE coding area reduction:   {:.0}%",
+        (1.0 - jact_hwmodel::Component::CodingZvc.area_um2()
+            / jact_hwmodel::Component::CodingRle.area_um2())
+            * 100.0
+    );
+}

@@ -1,0 +1,40 @@
+//! Table V: design comparison with buffers and 4 CDUs (crossbar
+//! excluded) — power, area, compression, effective offload bandwidth.
+
+use jact_bench::tables::{f2, print_header, print_table};
+use jact_hwmodel::design::{Design, TITAN_V_AREA_MM2, TITAN_V_TDP_W};
+
+fn main() {
+    print_header("Table V: designs comparison (4 CDUs, buffers included, crossbar excluded)");
+    let rows: Vec<Vec<String>> = Design::table_v()
+        .iter()
+        .map(|d| {
+            let c = d.cost();
+            vec![
+                d.name.clone(),
+                f2(c.power_w),
+                f2(c.area_mm2),
+                format!("{:.1}x", d.compression_ratio),
+                f2(c.offload_gbps),
+                format!("{:.2}%", c.gpu_area_fraction * 100.0),
+                format!("{:.2}%", c.gpu_power_fraction * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "design",
+            "power (W)",
+            "area (mm2)",
+            "compr",
+            "offload (GB/s)",
+            "% GPU area",
+            "% GPU power",
+        ],
+        &rows,
+    );
+    println!(
+        "\n(GPU reference: Titan V, {TITAN_V_AREA_MM2} mm2, {TITAN_V_TDP_W} W TDP)"
+    );
+    println!("paper Table V: cDMA+ 0.26W/0.35mm2/1.3x/15.6 | SFPR 0.35W/0.31mm2/4x/48 | JPEG-BASE 1.82W/2.16mm2/5.8x/69.6 | JPEG-ACT 1.36W/1.48mm2/8.5x/108.8");
+}

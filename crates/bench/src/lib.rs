@@ -1,0 +1,25 @@
+//! # jact-bench
+//!
+//! The experiment harness of the JPEG-ACT reproduction.  Each table and
+//! figure of the paper's evaluation has a binary under `src/bin/` that
+//! regenerates it (see DESIGN.md §4 for the index); this library holds the
+//! shared machinery:
+//!
+//! * [`store`] — a recording activation store for harvesting realistic
+//!   activations out of training runs;
+//! * [`harness`] — end-to-end "train under scheme X" runners used by
+//!   Table I, Figs. 1b, 17, 18, 19;
+//! * [`tables`] — fixed-width table printing so every binary emits the
+//!   same row/series format the paper reports.
+//!
+//! Set `JACT_QUICK=1` to shrink the training workloads (used by the smoke
+//! tests; the full defaults are already scaled for CPU training).
+
+pub mod harness;
+pub mod store;
+pub mod tables;
+
+/// `true` when `JACT_QUICK=1`: experiments shrink to smoke-test size.
+pub fn quick_mode() -> bool {
+    std::env::var("JACT_QUICK").map(|v| v == "1").unwrap_or(false)
+}

@@ -1,0 +1,77 @@
+//! Fixed-width table printing shared by every experiment binary.
+
+/// Prints a header line followed by a rule.
+pub fn print_header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Prints a table: column headers plus string rows, left-aligned first
+/// column, right-aligned the rest, width fitted per column.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for r in rows {
+        assert_eq!(r.len(), cols, "row width mismatch");
+        for (i, c) in r.iter().enumerate() {
+            widths[i] = widths[i].max(c.len());
+        }
+    }
+    let fmt_row = |cells: Vec<String>| {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i == 0 {
+                line.push_str(&format!("{:<w$}  ", c, w = widths[0]));
+            } else {
+                line.push_str(&format!("{:>w$}  ", c, w = widths[i]));
+            }
+        }
+        line
+    };
+    println!(
+        "{}",
+        fmt_row(headers.iter().map(|s| s.to_string()).collect())
+    );
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * cols));
+    for r in rows {
+        println!("{}", fmt_row(r.clone()));
+    }
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a percentage with 1 decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Formats a ratio like the paper's Table I brackets: `(4.1x)`.
+pub fn ratio(v: f64) -> String {
+    format!("({v:.1}x)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(f3(1.2345), "1.234");
+        assert_eq!(pct(0.915), "91.5%");
+        assert_eq!(ratio(8.46), "(8.5x)");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_panics() {
+        print_table(&["a", "b"], &[vec!["x".into()]]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Binary ReLU Compression (BRC).
+//!
+//! BRC (Jain et al., GIST, ISCA 2018; Sec. II-B1) exploits the ReLU
+//! backward identity `∇x = (x > 0) ? ∇r : 0`: instead of memoizing the
+//! ReLU activation itself, only the 1-bit sign mask `(x > 0)` is saved —
+//! a fixed 32× compression over f32.
+//!
+//! BRC is applicable only when the ReLU output is *not* consumed by a
+//! following convolution (which needs the values, not just the mask);
+//! the per-layer policy lives in `jact-core`'s method selection (Table II).
+
+use jact_tensor::{Shape, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// A 1-bit-per-element positivity mask of an activation tensor.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BrcMask {
+    bits: Vec<u8>,
+    len: usize,
+    shape: Shape,
+}
+
+impl BrcMask {
+    /// Compresses an activation into its `(x > 0)` mask.
+    pub fn compress(x: &Tensor) -> Self {
+        let len = x.len();
+        let mut bits = vec![0u8; len.div_ceil(8)];
+        for (i, &v) in x.iter().enumerate() {
+            if v > 0.0 {
+                bits[i / 8] |= 1 << (i % 8);
+            }
+        }
+        BrcMask {
+            bits,
+            len,
+            shape: x.shape().clone(),
+        }
+    }
+
+    /// Whether element `i` was positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn is_positive(&self, i: usize) -> bool {
+        assert!(i < self.len, "index {i} out of bounds");
+        self.bits[i / 8] >> (i % 8) & 1 == 1
+    }
+
+    /// Applies the mask to an upstream gradient, producing the ReLU input
+    /// gradient: `∇x_i = mask_i ? ∇r_i : 0` (Eqn. 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad` has a different shape than the masked activation.
+    pub fn apply_to_gradient(&self, grad: &Tensor) -> Tensor {
+        assert_eq!(
+            grad.shape(),
+            &self.shape,
+            "gradient shape does not match mask"
+        );
+        let data = grad
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| if self.is_positive(i) { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(self.shape.clone(), data)
+    }
+
+    /// Reconstructs the binary `{0, 1}` activation surrogate.  Note this is
+    /// *not* the original activation — BRC is only valid where the mask
+    /// suffices for the backward pass.
+    pub fn to_binary_tensor(&self) -> Tensor {
+        let data = (0..self.len)
+            .map(|i| if self.is_positive(i) { 1.0 } else { 0.0 })
+            .collect();
+        Tensor::from_vec(self.shape.clone(), data)
+    }
+
+    /// Number of mask elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff the mask has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Compressed size in bytes (the packed bit mask).
+    pub fn compressed_bytes(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Original activation size in bytes (f32).
+    pub fn uncompressed_bytes(&self) -> usize {
+        self.len * 4
+    }
+
+    /// Compression ratio — 32× in the limit.
+    pub fn ratio(&self) -> f64 {
+        self.uncompressed_bytes() as f64 / self.compressed_bytes() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn relu_output() -> Tensor {
+        Tensor::from_vec(
+            Shape::nchw(1, 1, 2, 4),
+            vec![1.0, 0.0, 2.5, 0.0, 0.0, 3.0, 0.0, 0.5],
+        )
+    }
+
+    #[test]
+    fn mask_captures_positivity() {
+        let m = BrcMask::compress(&relu_output());
+        let expect = [true, false, true, false, false, true, false, true];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(m.is_positive(i), e, "i={i}");
+        }
+    }
+
+    #[test]
+    fn gradient_masking_matches_relu_backward() {
+        let x = relu_output();
+        let m = BrcMask::compress(&x);
+        let grad = Tensor::from_vec(
+            x.shape().clone(),
+            vec![10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0],
+        );
+        let gx = m.apply_to_gradient(&grad);
+        assert_eq!(
+            gx.as_slice(),
+            &[10.0, 0.0, 30.0, 0.0, 0.0, 60.0, 0.0, 80.0]
+        );
+    }
+
+    #[test]
+    fn negative_values_mask_to_zero() {
+        let x = Tensor::from_slice(&[-1.0, -0.0, 0.0, 2.0]);
+        let m = BrcMask::compress(&x);
+        assert!(!m.is_positive(0));
+        assert!(!m.is_positive(1));
+        assert!(!m.is_positive(2));
+        assert!(m.is_positive(3));
+    }
+
+    #[test]
+    fn ratio_is_32x_for_multiple_of_8() {
+        let x = Tensor::zeros(Shape::nchw(2, 4, 8, 8));
+        let m = BrcMask::compress(&x);
+        assert_eq!(m.ratio(), 32.0);
+    }
+
+    #[test]
+    fn binary_tensor_roundtrip() {
+        let x = relu_output();
+        let m = BrcMask::compress(&x);
+        let b = m.to_binary_tensor();
+        assert_eq!(b.shape(), x.shape());
+        for (i, &v) in b.iter().enumerate() {
+            assert_eq!(v > 0.0, m.is_positive(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn shape_mismatch_panics() {
+        let m = BrcMask::compress(&relu_output());
+        let bad = Tensor::zeros(Shape::nchw(1, 1, 4, 2));
+        let _ = m.apply_to_gradient(&bad);
+    }
+}

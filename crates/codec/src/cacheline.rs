@@ -1,0 +1,124 @@
+//! Cache-line access model of the alignment buffer (Sec. III-C).
+//!
+//! The alignment buffer is sized so that gathering four 8×8 JPEG blocks
+//! never re-reads a cache line.  With 128 B lines and 32-bit activations
+//! (32 elements per line), the access pattern over the reshaped
+//! `(N·C·H) × W` matrix depends on the row width:
+//!
+//! * `W ≤ 32`: a line spans one or more whole rows — the buffer loads
+//!   **eight sequential lines**, which contain exactly four 8-row blocks;
+//! * `W > 32`: a line covers part of one row — the buffer loads **eight
+//!   lines with a stride of `W` elements** (one per block row).
+//!
+//! This module computes the per-activation line traffic and verifies the
+//! "no duplicate accesses" property the buffer sizing guarantees.
+
+use crate::block::BlockLayout;
+use jact_tensor::Shape;
+
+/// Cache line size in bytes (Volta L2, Sec. III-C).
+pub const LINE_BYTES: usize = 128;
+/// 32-bit activation elements per cache line.
+pub const ELEMS_PER_LINE: usize = LINE_BYTES / 4;
+
+/// Access pattern class for an activation (Sec. III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// `W ≤ 32`: eight sequential cache lines per buffer fill.
+    Sequential,
+    /// `W > 32`: eight lines strided by the row width.
+    Strided,
+}
+
+/// The alignment-buffer access plan for one activation tensor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccessPlan {
+    /// Sequential or strided line fetches.
+    pub pattern: AccessPattern,
+    /// Total cache lines fetched to compress the whole tensor.
+    pub total_lines: usize,
+    /// Number of alignment-buffer fills (4 blocks each).
+    pub buffer_fills: usize,
+}
+
+/// Computes the access plan for an NCHW activation.
+///
+/// # Panics
+///
+/// Panics if `shape` is not rank 4.
+pub fn access_plan(shape: &Shape) -> AccessPlan {
+    let layout = BlockLayout::new(shape);
+    let padded_cols = shape.w().next_multiple_of(8);
+    let pattern = if padded_cols <= ELEMS_PER_LINE {
+        AccessPattern::Sequential
+    } else {
+        AccessPattern::Strided
+    };
+    // Every padded element is read exactly once (the buffer prevents
+    // duplicate line accesses), so line traffic is padded bytes / line.
+    let padded_bytes = layout.padded_len() * 4;
+    let total_lines = padded_bytes.div_ceil(LINE_BYTES);
+    // Each fill covers four 8x8 blocks = 256 elements = 1 KiB = 8 lines.
+    let buffer_fills = layout.num_blocks().div_ceil(4);
+    AccessPlan {
+        pattern,
+        total_lines,
+        buffer_fills,
+    }
+}
+
+/// Lines fetched per buffer fill (8 by construction — the sizing
+/// argument of Sec. III-C).
+pub fn lines_per_fill() -> usize {
+    (4 * 64 * 4) / LINE_BYTES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narrow_activations_are_sequential() {
+        // Fig. 12 examples: W <= 32.
+        for w in [6usize, 8, 14, 16, 32] {
+            let p = access_plan(&Shape::nchw(4, 8, 8, w));
+            assert_eq!(p.pattern, AccessPattern::Sequential, "w={w}");
+        }
+    }
+
+    #[test]
+    fn wide_activations_are_strided() {
+        for w in [56usize, 64, 112, 224] {
+            let p = access_plan(&Shape::nchw(4, 8, 8, w));
+            assert_eq!(p.pattern, AccessPattern::Strided, "w={w}");
+        }
+    }
+
+    #[test]
+    fn every_line_read_exactly_once() {
+        // Aligned tensor: lines = bytes / 128 exactly.
+        let shape = Shape::nchw(2, 4, 8, 32);
+        let p = access_plan(&shape);
+        assert_eq!(p.total_lines, shape.len() * 4 / LINE_BYTES);
+    }
+
+    #[test]
+    fn buffer_fill_is_eight_lines() {
+        assert_eq!(lines_per_fill(), 8);
+        // Consistency: total lines ~= fills * 8 for aligned tensors.
+        let shape = Shape::nchw(2, 4, 8, 32);
+        let p = access_plan(&shape);
+        assert_eq!(p.total_lines, p.buffer_fills * 8);
+    }
+
+    #[test]
+    fn padding_increases_line_traffic() {
+        // W=30 pads to 32: the padded tensor moves as many lines as the
+        // aligned W=32 tensor, i.e. more than its logical bytes need.
+        let aligned = access_plan(&Shape::nchw(1, 8, 8, 32));
+        let padded = access_plan(&Shape::nchw(1, 8, 8, 30));
+        assert_eq!(aligned.total_lines, padded.total_lines);
+        let logical_lines = (8 * 8 * 30 * 4usize).div_ceil(LINE_BYTES);
+        assert!(padded.total_lines > logical_lines, "padding must cost lines");
+    }
+}

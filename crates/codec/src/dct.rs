@@ -1,0 +1,334 @@
+//! 8-point and 8×8 two-dimensional Discrete Cosine Transforms.
+//!
+//! The JPEG-ACT hardware implements the Loeffler–Ligtenberg–Moschytz (LLM)
+//! fast 8-point DCT (11 multiplies) and builds the 2-D transform as two
+//! passes through eight 1-D units with a transpose in between (Sec. III-D,
+//! Fig. 13).  This module provides:
+//!
+//! * a float path ([`dct8`], [`idct8`], [`dct2d`], [`idct2d`]) using the
+//!   orthonormal DCT-II basis — the functional reference;
+//! * a fixed-point path ([`dct2d_i8`], [`idct2d_to_i8`]) that mirrors the
+//!   hardware datapath: `i8` inputs, Q12 fixed-point multiplies, `i16`
+//!   coefficients, saturating reconstruction — this is what the JPEG-ACT
+//!   compression pipelines use.
+//!
+//! With the orthonormal normalization, a constant block of value `v` has
+//! DC coefficient `8·v` and zero AC, so `i8` inputs produce coefficients in
+//! `[-1024, 1024]`, comfortably inside `i16`.
+
+use std::sync::LazyLock;
+
+/// Orthonormal 8-point DCT-II basis matrix: `C[k][n] = a_k cos((2n+1)kπ/16)`
+/// with `a_0 = 1/√8` and `a_k = 1/2` otherwise.
+static BASIS: LazyLock<[[f32; 8]; 8]> = LazyLock::new(|| {
+    let mut c = [[0.0f32; 8]; 8];
+    for (k, row) in c.iter_mut().enumerate() {
+        let ak = if k == 0 {
+            (1.0 / 8.0f64).sqrt()
+        } else {
+            0.5
+        };
+        for (n, v) in row.iter_mut().enumerate() {
+            let angle = ((2 * n + 1) as f64) * (k as f64) * std::f64::consts::PI / 16.0;
+            *v = (ak * angle.cos()) as f32;
+        }
+    }
+    c
+});
+
+/// Q12 fixed-point copy of the basis used by the hardware-faithful path.
+static BASIS_Q12: LazyLock<[[i32; 8]; 8]> = LazyLock::new(|| {
+    let mut c = [[0i32; 8]; 8];
+    for k in 0..8 {
+        for n in 0..8 {
+            c[k][n] = (BASIS[k][n] as f64 * 4096.0).round() as i32;
+        }
+    }
+    c
+});
+
+/// Forward 8-point orthonormal DCT-II.
+pub fn dct8(x: &[f32; 8]) -> [f32; 8] {
+    let mut out = [0.0f32; 8];
+    for (k, o) in out.iter_mut().enumerate() {
+        let row = &BASIS[k];
+        let mut acc = 0.0f32;
+        for n in 0..8 {
+            acc += row[n] * x[n];
+        }
+        *o = acc;
+    }
+    out
+}
+
+/// Inverse 8-point DCT (transpose of the orthonormal forward transform).
+pub fn idct8(x: &[f32; 8]) -> [f32; 8] {
+    let mut out = [0.0f32; 8];
+    for (n, o) in out.iter_mut().enumerate() {
+        let mut acc = 0.0f32;
+        for k in 0..8 {
+            acc += BASIS[k][n] * x[k];
+        }
+        *o = acc;
+    }
+    out
+}
+
+/// In-place 2-D DCT of an 8×8 block in row-major order: rows, then columns
+/// (the two-pass structure of the hardware unit).
+pub fn dct2d(block: &mut [f32; 64]) {
+    for r in 0..8 {
+        let mut row = [0.0f32; 8];
+        row.copy_from_slice(&block[r * 8..r * 8 + 8]);
+        let t = dct8(&row);
+        block[r * 8..r * 8 + 8].copy_from_slice(&t);
+    }
+    for c in 0..8 {
+        let mut col = [0.0f32; 8];
+        for r in 0..8 {
+            col[r] = block[r * 8 + c];
+        }
+        let t = dct8(&col);
+        for r in 0..8 {
+            block[r * 8 + c] = t[r];
+        }
+    }
+}
+
+/// In-place 2-D inverse DCT of an 8×8 block (columns, then rows).
+pub fn idct2d(block: &mut [f32; 64]) {
+    for c in 0..8 {
+        let mut col = [0.0f32; 8];
+        for r in 0..8 {
+            col[r] = block[r * 8 + c];
+        }
+        let t = idct8(&col);
+        for r in 0..8 {
+            block[r * 8 + c] = t[r];
+        }
+    }
+    for r in 0..8 {
+        let mut row = [0.0f32; 8];
+        row.copy_from_slice(&block[r * 8..r * 8 + 8]);
+        let t = idct8(&row);
+        block[r * 8..r * 8 + 8].copy_from_slice(&t);
+    }
+}
+
+/// Fixed-point forward 8-point DCT on Q12-scaled integers.
+///
+/// Inputs and outputs share the caller's fixed-point scale; the Q12 basis
+/// product is rounded back down by 12 bits, matching a hardware multiplier
+/// with a 12-bit fractional constant ROM.
+fn dct8_q12(x: &[i32; 8]) -> [i32; 8] {
+    let mut out = [0i32; 8];
+    for (k, o) in out.iter_mut().enumerate() {
+        let row = &BASIS_Q12[k];
+        let mut acc = 0i64;
+        for n in 0..8 {
+            acc += row[n] as i64 * x[n] as i64;
+        }
+        *o = ((acc + 2048) >> 12) as i32;
+    }
+    out
+}
+
+fn idct8_q12(x: &[i32; 8]) -> [i32; 8] {
+    let mut out = [0i32; 8];
+    for (n, o) in out.iter_mut().enumerate() {
+        let mut acc = 0i64;
+        for k in 0..8 {
+            acc += BASIS_Q12[k][n] as i64 * x[k] as i64;
+        }
+        *o = ((acc + 2048) >> 12) as i32;
+    }
+    out
+}
+
+/// Hardware-faithful forward 2-D DCT: `i8` spatial block in, `i16`
+/// frequency coefficients out.
+///
+/// Coefficients are bounded by `±1024` for `i8` inputs, so the `i16`
+/// narrowing cannot overflow.
+pub fn dct2d_i8(block: &[i8; 64]) -> [i16; 64] {
+    let mut work = [0i32; 64];
+    for (w, &b) in work.iter_mut().zip(block.iter()) {
+        *w = b as i32;
+    }
+    for r in 0..8 {
+        let mut row = [0i32; 8];
+        row.copy_from_slice(&work[r * 8..r * 8 + 8]);
+        let t = dct8_q12(&row);
+        work[r * 8..r * 8 + 8].copy_from_slice(&t);
+    }
+    for c in 0..8 {
+        let mut col = [0i32; 8];
+        for r in 0..8 {
+            col[r] = work[r * 8 + c];
+        }
+        let t = dct8_q12(&col);
+        for r in 0..8 {
+            work[r * 8 + c] = t[r];
+        }
+    }
+    let mut out = [0i16; 64];
+    for (o, &w) in out.iter_mut().zip(work.iter()) {
+        *o = w.clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+    }
+    out
+}
+
+/// Hardware-faithful inverse 2-D DCT: `i16` frequency coefficients in,
+/// saturated `i8` spatial block out.
+pub fn idct2d_to_i8(coefs: &[i16; 64]) -> [i8; 64] {
+    let mut work = [0i32; 64];
+    for (w, &c) in work.iter_mut().zip(coefs.iter()) {
+        *w = c as i32;
+    }
+    for c in 0..8 {
+        let mut col = [0i32; 8];
+        for r in 0..8 {
+            col[r] = work[r * 8 + c];
+        }
+        let t = idct8_q12(&col);
+        for r in 0..8 {
+            work[r * 8 + c] = t[r];
+        }
+    }
+    for r in 0..8 {
+        let mut row = [0i32; 8];
+        row.copy_from_slice(&work[r * 8..r * 8 + 8]);
+        let t = idct8_q12(&row);
+        work[r * 8..r * 8 + 8].copy_from_slice(&t);
+    }
+    let mut out = [0i8; 64];
+    for (o, &w) in out.iter_mut().zip(work.iter()) {
+        *o = w.clamp(i8::MIN as i32, i8::MAX as i32) as i8;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dct8(x: &[f32; 8]) -> [f32; 8] {
+        let mut out = [0.0f32; 8];
+        for k in 0..8 {
+            let ak = if k == 0 { (1.0 / 8.0f64).sqrt() } else { 0.5 };
+            let mut acc = 0.0f64;
+            for (n, &v) in x.iter().enumerate() {
+                let ang = ((2 * n + 1) as f64) * (k as f64) * std::f64::consts::PI / 16.0;
+                acc += v as f64 * ang.cos();
+            }
+            out[k] = (ak * acc) as f32;
+        }
+        out
+    }
+
+    #[test]
+    fn dct8_matches_naive_definition() {
+        let x = [1.0, -3.0, 2.5, 0.0, 4.0, -1.5, 0.25, 7.0];
+        let a = dct8(&x);
+        let b = naive_dct8(&x);
+        for k in 0..8 {
+            assert!((a[k] - b[k]).abs() < 1e-4, "k={k}: {} vs {}", a[k], b[k]);
+        }
+    }
+
+    #[test]
+    fn dct8_of_constant_is_dc_only() {
+        let x = [5.0; 8];
+        let y = dct8(&x);
+        assert!((y[0] - 5.0 * 8.0f32.sqrt()).abs() < 1e-4);
+        for &v in &y[1..] {
+            assert!(v.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn dct8_idct8_roundtrip() {
+        let x = [1.0, -3.0, 2.5, 0.0, 4.0, -1.5, 0.25, 7.0];
+        let y = idct8(&dct8(&x));
+        for n in 0..8 {
+            assert!((x[n] - y[n]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn dct8_preserves_energy() {
+        // Orthonormal transform: ||X||_2 == ||x||_2.
+        let x = [1.0, -3.0, 2.5, 0.0, 4.0, -1.5, 0.25, 7.0];
+        let y = dct8(&x);
+        let ex: f32 = x.iter().map(|v| v * v).sum();
+        let ey: f32 = y.iter().map(|v| v * v).sum();
+        assert!((ex - ey).abs() < 1e-3);
+    }
+
+    #[test]
+    fn dct2d_roundtrip() {
+        let mut block = [0.0f32; 64];
+        for (i, b) in block.iter_mut().enumerate() {
+            *b = ((i * 31 % 17) as f32) - 8.0;
+        }
+        let orig = block;
+        dct2d(&mut block);
+        idct2d(&mut block);
+        for i in 0..64 {
+            assert!((block[i] - orig[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn dct2d_constant_block_dc() {
+        let mut block = [16.0f32; 64];
+        dct2d(&mut block);
+        assert!((block[0] - 16.0 * 8.0).abs() < 1e-3, "dc={}", block[0]);
+        assert!(block[1..].iter().all(|v| v.abs() < 1e-3));
+    }
+
+    #[test]
+    fn fixed_point_matches_float_within_tolerance() {
+        let mut spatial = [0i8; 64];
+        for (i, s) in spatial.iter_mut().enumerate() {
+            *s = (((i * 97) % 255) as i32 - 127) as i8;
+        }
+        let coefs = dct2d_i8(&spatial);
+        let mut fblock = [0.0f32; 64];
+        for i in 0..64 {
+            fblock[i] = spatial[i] as f32;
+        }
+        dct2d(&mut fblock);
+        for i in 0..64 {
+            assert!(
+                (coefs[i] as f32 - fblock[i]).abs() < 2.0,
+                "i={i}: fixed={} float={}",
+                coefs[i],
+                fblock[i]
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_point_roundtrip_error_small() {
+        let mut spatial = [0i8; 64];
+        for (i, s) in spatial.iter_mut().enumerate() {
+            *s = (((i * 53) % 200) as i32 - 100) as i8;
+        }
+        let rec = idct2d_to_i8(&dct2d_i8(&spatial));
+        for i in 0..64 {
+            let d = (rec[i] as i32 - spatial[i] as i32).abs();
+            assert!(d <= 1, "i={i}: {} vs {}", rec[i], spatial[i]);
+        }
+    }
+
+    #[test]
+    fn fixed_point_dc_range_max_input() {
+        let spatial = [i8::MIN; 64];
+        let coefs = dct2d_i8(&spatial);
+        assert_eq!(coefs[0], -1024);
+        let spatial = [i8::MAX; 64];
+        let coefs = dct2d_i8(&spatial);
+        assert!((coefs[0] as i32 - 127 * 8).abs() <= 1);
+    }
+}

@@ -1,0 +1,304 @@
+//! Dynamic Precision Reduction (DPR) — GIST's lossy float casts.
+//!
+//! GIST (Jain et al., ISCA 2018; Sec. II-B2) casts 32-bit activations to
+//! 16-bit or 8-bit floating point after the forward pass.  This module
+//! implements both casts from scratch:
+//!
+//! * **f16** — IEEE 754 binary16 (1-5-10), round-to-nearest-even,
+//! * **f8** — a 1-4-3 minifloat with IEEE-style subnormals (the 8-bit
+//!   "float" GIST uses; Jain et al. note its difficulty on deep networks,
+//!   which Table I reproduces via the accuracy drop of 8-bit GIST).
+//!
+//! The casts are value maps (f32 → smaller float → f32); the byte-level
+//! encodings are exposed for storage accounting.
+
+use jact_tensor::Tensor;
+
+/// Converts an `f32` to IEEE binary16 bits (round-to-nearest-even).
+pub fn f32_to_f16_bits(v: f32) -> u16 {
+    let bits = v.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let frac = bits & 0x7f_ffff;
+
+    if exp == 0xff {
+        // Inf / NaN.
+        let frac16 = if frac != 0 { 0x200 } else { 0 };
+        return sign | 0x7c00 | frac16;
+    }
+    // Re-bias: f32 bias 127, f16 bias 15.
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7c00; // overflow -> inf
+    }
+    if unbiased >= -14 {
+        // Normal range: keep 10 fraction bits with round-to-nearest-even.
+        let exp16 = (unbiased + 15) as u16;
+        let shift = 13u32;
+        let halfway = 1u32 << (shift - 1);
+        let rem = frac & ((1 << shift) - 1);
+        let mut frac16 = (frac >> shift) as u16;
+        let mut e = exp16;
+        if rem > halfway || (rem == halfway && frac16 & 1 == 1) {
+            frac16 += 1;
+            if frac16 == 0x400 {
+                frac16 = 0;
+                e += 1;
+                if e >= 31 {
+                    return sign | 0x7c00;
+                }
+            }
+        }
+        return sign | (e << 10) | frac16;
+    }
+    if unbiased >= -24 {
+        // Subnormal f16.
+        let full = frac | 0x80_0000; // implicit leading 1
+        let shift = (13 - (unbiased + 14)) as u32; // 14..24 -> shift 14..24
+        let halfway = 1u32 << (shift - 1);
+        let rem = full & ((1 << shift) - 1);
+        let mut frac16 = (full >> shift) as u16;
+        if rem > halfway || (rem == halfway && frac16 & 1 == 1) {
+            frac16 += 1;
+        }
+        return sign | frac16;
+    }
+    sign // underflow to zero
+}
+
+/// Converts IEEE binary16 bits back to `f32`.
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1f) as u32;
+    let frac = (h & 0x3ff) as u32;
+    let bits = if exp == 0x1f {
+        // Inf / NaN.
+        sign | 0x7f80_0000 | (frac << 13)
+    } else if exp == 0 {
+        if frac == 0 {
+            sign
+        } else {
+            // Subnormal: normalize.  The leading one of `frac` sits at bit
+            // `p = 10 - lead`; shifting by `lead` moves it to the implicit
+            // position, and the value is `1.xxx · 2^(p - 24)`.
+            let lead = frac.leading_zeros() - 21;
+            let norm_frac = (frac << lead) & 0x3ff;
+            let e = 127 - 15 + 1 - lead;
+            sign | (e << 23) | (norm_frac << 13)
+        }
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (frac << 13)
+    };
+    f32::from_bits(bits)
+}
+
+/// Rounds an `f32` through binary16 precision.
+pub fn round_f16(v: f32) -> f32 {
+    f16_bits_to_f32(f32_to_f16_bits(v))
+}
+
+/// 1-4-3 minifloat parameters: bias 7, 3 fraction bits.
+const F8_BIAS: i32 = 7;
+const F8_FRAC_BITS: u32 = 3;
+
+/// Converts an `f32` to 1-4-3 minifloat bits (round-to-nearest, saturating
+/// to the maximum finite value rather than producing infinities — a common
+/// hardware choice that GIST's 8-bit mode needs to avoid blowups).
+pub fn f32_to_f8_bits(v: f32) -> u8 {
+    if v.is_nan() {
+        return 0x7f;
+    }
+    let sign = if v.is_sign_negative() { 0x80u8 } else { 0 };
+    let a = v.abs();
+    if a == 0.0 {
+        return sign;
+    }
+    // Max finite: exp=15 (unbiased 8), frac=7 -> (1 + 7/8) * 2^8 = 480.
+    let max_finite = 480.0f32;
+    if a >= max_finite {
+        return sign | 0x7f;
+    }
+    let e = a.log2().floor() as i32;
+    let e = e.clamp(-F8_BIAS - F8_FRAC_BITS as i32, 8);
+    if e < 1 - F8_BIAS {
+        // Subnormal: value = frac/8 * 2^(1-bias).
+        let scale = (1.0f32).powi(0) * 2f32.powi(1 - F8_BIAS - F8_FRAC_BITS as i32);
+        let q = (a / scale).round() as u32;
+        if q == 0 {
+            return sign;
+        }
+        if q <= 7 {
+            return sign | q as u8;
+        }
+        // Rounded up into normal range.
+        return sign | 0x08;
+    }
+    let mantissa = a / 2f32.powi(e); // in [1, 2)
+    let frac = ((mantissa - 1.0) * 8.0).round() as u32;
+    let (e, frac) = if frac == 8 { (e + 1, 0) } else { (e, frac) };
+    if e > 8 {
+        return sign | 0x7f;
+    }
+    let exp_bits = (e + F8_BIAS) as u8;
+    sign | (exp_bits << 3) | frac as u8
+}
+
+/// Converts 1-4-3 minifloat bits back to `f32`.
+pub fn f8_bits_to_f32(b: u8) -> f32 {
+    let sign = if b & 0x80 != 0 { -1.0f32 } else { 1.0 };
+    let exp = ((b >> 3) & 0x0f) as i32;
+    let frac = (b & 0x07) as f32;
+    if exp == 0 {
+        return sign * (frac / 8.0) * 2f32.powi(1 - F8_BIAS);
+    }
+    sign * (1.0 + frac / 8.0) * 2f32.powi(exp - F8_BIAS)
+}
+
+/// Rounds an `f32` through 1-4-3 minifloat precision.
+pub fn round_f8(v: f32) -> f32 {
+    f8_bits_to_f32(f32_to_f8_bits(v))
+}
+
+/// DPR bit width selection (Sec. II-B2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DprWidth {
+    /// 16-bit float: 2× storage reduction.
+    F16,
+    /// 8-bit float: 4× storage reduction, risky on deep networks.
+    F8,
+}
+
+impl DprWidth {
+    /// Bytes per element after the cast.
+    pub fn bytes(self) -> usize {
+        match self {
+            DprWidth::F16 => 2,
+            DprWidth::F8 => 1,
+        }
+    }
+}
+
+/// Applies the DPR cast to a whole tensor, returning the value-rounded
+/// tensor (what the backward pass will see).
+pub fn dpr_round(x: &Tensor, width: DprWidth) -> Tensor {
+    match width {
+        DprWidth::F16 => x.map(round_f16),
+        DprWidth::F8 => x.map(round_f8),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f16_exact_small_integers() {
+        for v in [-8.0f32, -1.0, 0.0, 0.5, 1.0, 2.0, 100.0, 2047.0] {
+            assert_eq!(round_f16(v), v, "v={v}");
+        }
+    }
+
+    #[test]
+    fn f16_relative_error_bounded() {
+        // binary16 has 11 significand bits: rel err <= 2^-11.
+        for i in 1..1000 {
+            let v = i as f32 * 0.137;
+            let r = round_f16(v);
+            assert!(((r - v) / v).abs() <= 1.0 / 2048.0 + 1e-7, "v={v} r={r}");
+        }
+    }
+
+    #[test]
+    fn f16_handles_overflow_and_subnormals() {
+        assert!(round_f16(1e6).is_infinite());
+        let tiny = 1e-7f32;
+        let r = round_f16(tiny);
+        assert!(r >= 0.0 && r < 1e-6);
+        assert_eq!(round_f16(0.0), 0.0);
+        assert_eq!(round_f16(-0.0), 0.0);
+        assert!(round_f16(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn f16_sign_preserved() {
+        assert_eq!(round_f16(-1.5), -1.5);
+        assert!(round_f16(-1e6).is_infinite());
+        assert!(round_f16(-1e6) < 0.0);
+    }
+
+    #[test]
+    fn f8_exact_powers_of_two() {
+        for v in [0.25f32, 0.5, 1.0, 2.0, 4.0, 128.0, 256.0] {
+            assert_eq!(round_f8(v), v, "v={v}");
+        }
+    }
+
+    #[test]
+    fn f8_relative_error_bounded() {
+        // 4 significand bits: rel err <= 2^-4 = 6.25%.
+        for i in 1..500 {
+            let v = i as f32 * 0.173;
+            let r = round_f8(v);
+            assert!(((r - v) / v).abs() <= 1.0 / 16.0 + 1e-6, "v={v} r={r}");
+        }
+    }
+
+    #[test]
+    fn f8_saturates_not_infinite() {
+        let r = round_f8(1e9);
+        assert!(r.is_finite());
+        assert_eq!(r, 480.0);
+        assert_eq!(round_f8(-1e9), -480.0);
+    }
+
+    #[test]
+    fn f8_small_values_truncate_to_zero() {
+        // f8 min subnormal = (1/8) * 2^-6 = 2^-9 ~ 0.00195.
+        assert_eq!(round_f8(1e-4), 0.0);
+        assert!(round_f8(0.002).abs() > 0.0);
+    }
+
+    #[test]
+    fn f8_roundtrip_all_bit_patterns() {
+        // Every f8 value must map back to itself exactly.
+        for b in 0u8..=255 {
+            let v = f8_bits_to_f32(b);
+            if v == 0.0 {
+                continue; // +0/-0 collapse
+            }
+            let b2 = f32_to_f8_bits(v);
+            assert_eq!(
+                f8_bits_to_f32(b2),
+                v,
+                "b={b:#04x} v={v} -> b2={b2:#04x}"
+            );
+        }
+    }
+
+    #[test]
+    fn f16_roundtrip_random_patterns() {
+        // Value-level idempotence: round(round(v)) == round(v).
+        for i in 0..2000u32 {
+            let v = f32::from_bits(i.wrapping_mul(0x9E37_79B9) & 0x7fff_ffff);
+            if !v.is_finite() {
+                continue;
+            }
+            let r = round_f16(v);
+            assert_eq!(round_f16(r), r, "v={v}");
+        }
+    }
+
+    #[test]
+    fn dpr_round_tensor_widths() {
+        let x = Tensor::from_slice(&[0.1, 1.0, -3.3, 100.7]);
+        let x16 = dpr_round(&x, DprWidth::F16);
+        let x8 = dpr_round(&x, DprWidth::F8);
+        assert_eq!(x16.len(), 4);
+        // f8 is strictly coarser than f16.
+        let e16 = x.mse(&x16);
+        let e8 = x.mse(&x8);
+        assert!(e8 > e16);
+        assert_eq!(DprWidth::F16.bytes(), 2);
+        assert_eq!(DprWidth::F8.bytes(), 1);
+    }
+}

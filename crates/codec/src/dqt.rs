@@ -1,0 +1,328 @@
+//! Discrete Quantization Tables (DQTs) and the zigzag scan order.
+//!
+//! JPEG-BASE uses the standard JPEG luminance table scaled to a quality
+//! level (jpeg40/60/80/90 in the paper).  JPEG-ACT replaces these with
+//! DQTs optimized for CNN activations (`optL`, `optH`; Sec. IV): flatter
+//! profiles with the DC entry fixed to 8.  The SH quantizer additionally
+//! restricts entries to powers of two (3-bit shift amounts; Sec. III-F).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Zigzag scan order: `ZIGZAG[k]` is the row-major index of the `k`-th
+/// coefficient visited, exactly as in the JPEG standard.
+pub const ZIGZAG: [usize; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
+    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
+    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// The JPEG Annex K luminance base quantization table (row-major).
+const JPEG_BASE_TABLE: [u16; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61, //
+    12, 12, 14, 19, 26, 58, 60, 55, //
+    14, 13, 16, 24, 40, 57, 69, 56, //
+    14, 17, 22, 29, 51, 87, 80, 62, //
+    18, 22, 37, 56, 68, 109, 103, 77, //
+    24, 35, 55, 64, 81, 104, 113, 92, //
+    49, 64, 78, 87, 103, 121, 120, 101, //
+    72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// An 8×8 Discrete Quantization Table in row-major order.
+///
+/// Entries are in `1..=255` (as in baseline JPEG).  Construct standard image
+/// tables with [`Dqt::jpeg_quality`] and the paper's activation-optimized
+/// tables with [`Dqt::opt_l`] / [`Dqt::opt_h`], or any custom table with
+/// [`Dqt::from_entries`].
+///
+/// # Example
+///
+/// ```
+/// use jact_codec::dqt::Dqt;
+/// let q80 = Dqt::jpeg_quality(80);
+/// assert!(q80.entry(0) < Dqt::jpeg_quality(40).entry(0));
+/// ```
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dqt {
+    #[serde(with = "serde_entries")]
+    entries: [u16; 64],
+    name: String,
+}
+
+/// Serde support for the fixed 64-entry table (serde's derive only covers
+/// arrays up to length 32).
+mod serde_entries {
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(v: &[u16; 64], s: S) -> Result<S::Ok, S::Error> {
+        v.as_slice().serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<[u16; 64], D::Error> {
+        let v = Vec::<u16>::deserialize(d)?;
+        v.try_into()
+            .map_err(|_| serde::de::Error::custom("DQT must have exactly 64 entries"))
+    }
+}
+
+impl Dqt {
+    /// Builds a DQT from explicit row-major entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry is outside `1..=255`.
+    pub fn from_entries(name: impl Into<String>, entries: [u16; 64]) -> Self {
+        assert!(
+            entries.iter().all(|&e| (1..=255).contains(&e)),
+            "DQT entries must be in 1..=255"
+        );
+        Dqt {
+            entries,
+            name: name.into(),
+        }
+    }
+
+    /// The standard JPEG luminance table scaled to `quality` in `1..=100`
+    /// using the libjpeg quality-scaling formula.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quality` is outside `1..=100`.
+    pub fn jpeg_quality(quality: u32) -> Self {
+        assert!((1..=100).contains(&quality), "quality must be in 1..=100");
+        let scale = if quality < 50 {
+            5000 / quality
+        } else {
+            200 - 2 * quality
+        };
+        let mut entries = [0u16; 64];
+        for (e, &base) in entries.iter_mut().zip(JPEG_BASE_TABLE.iter()) {
+            let v = (base as u32 * scale + 50) / 100;
+            *e = v.clamp(1, 255) as u16;
+        }
+        Dqt::from_entries(format!("jpeg{quality}"), entries)
+    }
+
+    /// The paper's low-compression / low-error optimized table (`optL`,
+    /// α = 0.025): gentle, flat quantization with DC fixed to 8.
+    ///
+    /// The concrete entries reproduce the *profile* found by the Sec. IV
+    /// optimizer (rerunnable via `jact-core`'s `dqt_opt`): much flatter than
+    /// image DQTs, power-of-two friendly for the SH quantizer.
+    pub fn opt_l() -> Self {
+        Dqt::from_entries("optL", radial_table(8, &[(1, 8), (3, 8), (5, 12), (u32::MAX, 16)]))
+    }
+
+    /// The paper's high-compression optimized table (`optH`, α = 0.005).
+    pub fn opt_h() -> Self {
+        Dqt::from_entries(
+            "optH",
+            radial_table(8, &[(1, 16), (3, 24), (5, 32), (u32::MAX, 48)]),
+        )
+    }
+
+    /// Entry at row-major index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 64`.
+    pub fn entry(&self, i: usize) -> u16 {
+        self.entries[i]
+    }
+
+    /// All 64 entries in row-major order.
+    pub fn entries(&self) -> &[u16; 64] {
+        &self.entries
+    }
+
+    /// Human-readable table name (e.g. `jpeg80`, `optL`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The 3-bit shift amounts used by the SH quantizer: per entry,
+    /// `round(log2(q))` clamped to `0..=7` (Sec. III-F limits the DQT to
+    /// powers of two with eight available quantization modes).
+    pub fn log2_shifts(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        for (o, &e) in out.iter_mut().zip(self.entries.iter()) {
+            *o = ((e as f64).log2().round() as i64).clamp(0, 7) as u8;
+        }
+        out
+    }
+
+    /// A copy of this table with every entry snapped to the nearest power
+    /// of two — the effective table the SH quantizer implements.
+    pub fn to_pow2(&self) -> Dqt {
+        let shifts = self.log2_shifts();
+        let mut entries = [0u16; 64];
+        for (e, &s) in entries.iter_mut().zip(shifts.iter()) {
+            *e = 1u16 << s;
+        }
+        Dqt::from_entries(format!("{}-pow2", self.name), entries)
+    }
+
+    /// Returns a copy with the DC entry replaced.
+    ///
+    /// The paper pins DC to 8 during optimization and notes that lowering
+    /// DC quantization mitigates batch-norm divergence (Sec. VI-B).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dc` is outside `1..=255`.
+    pub fn with_dc(&self, dc: u16) -> Dqt {
+        let mut entries = self.entries;
+        entries[0] = dc;
+        Dqt::from_entries(self.name.clone(), entries)
+    }
+}
+
+/// Builds a table from `(max_radius, value)` bands over `u + v` (frequency
+/// radius), with an explicit DC entry.
+fn radial_table(dc: u16, bands: &[(u32, u16)]) -> [u16; 64] {
+    let mut entries = [0u16; 64];
+    for u in 0..8u32 {
+        for v in 0..8u32 {
+            let r = u + v;
+            let val = bands
+                .iter()
+                .find(|&&(max_r, _)| r <= max_r)
+                .map(|&(_, q)| q)
+                .expect("bands must cover all radii");
+            entries[(u * 8 + v) as usize] = val;
+        }
+    }
+    entries[0] = dc;
+    entries
+}
+
+impl fmt::Debug for Dqt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Dqt({}, dc={})", self.name, self.entries[0])
+    }
+}
+
+impl fmt::Display for Dqt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn zigzag_is_permutation() {
+        let set: HashSet<usize> = ZIGZAG.iter().copied().collect();
+        assert_eq!(set.len(), 64);
+        assert!(set.contains(&0) && set.contains(&63));
+    }
+
+    #[test]
+    fn zigzag_known_prefix_and_suffix() {
+        assert_eq!(&ZIGZAG[..6], &[0, 1, 8, 16, 9, 2]);
+        assert_eq!(&ZIGZAG[61..], &[55, 62, 63]);
+    }
+
+    #[test]
+    fn zigzag_steps_are_adjacent_diagonals() {
+        // Each successive pair differs by a move within the 8x8 lattice.
+        for w in ZIGZAG.windows(2) {
+            let (r0, c0) = (w[0] / 8, w[0] % 8);
+            let (r1, c1) = (w[1] / 8, w[1] % 8);
+            let dr = (r1 as i32 - r0 as i32).abs();
+            let dc = (c1 as i32 - c0 as i32).abs();
+            assert!(dr <= 1 && dc <= 1 || (dr == 1 && dc == 1), "{w:?}");
+        }
+    }
+
+    #[test]
+    fn quality_scaling_monotone() {
+        let q40 = Dqt::jpeg_quality(40);
+        let q60 = Dqt::jpeg_quality(60);
+        let q80 = Dqt::jpeg_quality(80);
+        let q90 = Dqt::jpeg_quality(90);
+        for i in 0..64 {
+            assert!(q40.entry(i) >= q60.entry(i));
+            assert!(q60.entry(i) >= q80.entry(i));
+            assert!(q80.entry(i) >= q90.entry(i));
+        }
+    }
+
+    #[test]
+    fn jpeg50_is_base_table() {
+        let q50 = Dqt::jpeg_quality(50);
+        assert_eq!(q50.entries(), &JPEG_BASE_TABLE);
+    }
+
+    #[test]
+    fn opt_tables_are_flatter_than_images() {
+        // Flatness: ratio of max to min entry.
+        let flat = |d: &Dqt| {
+            let mx = *d.entries().iter().max().unwrap() as f64;
+            let mn = *d.entries().iter().min().unwrap() as f64;
+            mx / mn
+        };
+        assert!(flat(&Dqt::opt_l()) < flat(&Dqt::jpeg_quality(80)));
+        assert!(flat(&Dqt::opt_h()) < flat(&Dqt::jpeg_quality(80)));
+    }
+
+    #[test]
+    fn opt_tables_have_dc_8() {
+        assert_eq!(Dqt::opt_l().entry(0), 8);
+        assert_eq!(Dqt::opt_h().entry(0), 8);
+    }
+
+    #[test]
+    fn opt_h_quantizes_harder_than_opt_l() {
+        let l = Dqt::opt_l();
+        let h = Dqt::opt_h();
+        assert!((1..64).all(|i| h.entry(i) >= l.entry(i)));
+    }
+
+    #[test]
+    fn log2_shifts_clamped_3bit() {
+        let d = Dqt::jpeg_quality(40);
+        let s = d.log2_shifts();
+        assert!(s.iter().all(|&v| v <= 7));
+        // Entry 16 -> shift 4; entry 1 -> shift 0.
+        let custom = Dqt::from_entries("t", {
+            let mut e = [1u16; 64];
+            e[1] = 16;
+            e[2] = 255;
+            e
+        });
+        let s = custom.log2_shifts();
+        assert_eq!(s[0], 0);
+        assert_eq!(s[1], 4);
+        assert_eq!(s[2], 7); // log2(255) ~ 7.99 -> 8 -> clamped 7
+    }
+
+    #[test]
+    fn to_pow2_snaps_entries() {
+        let d = Dqt::from_entries("t", {
+            let mut e = [3u16; 64];
+            e[0] = 8;
+            e
+        });
+        let p = d.to_pow2();
+        assert_eq!(p.entry(0), 8);
+        assert_eq!(p.entry(1), 4); // log2(3)=1.58 -> 2 -> 4
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=255")]
+    fn zero_entry_rejected() {
+        let _ = Dqt::from_entries("bad", [0u16; 64]);
+    }
+
+    #[test]
+    fn with_dc_replaces_only_dc() {
+        let d = Dqt::opt_h().with_dc(4);
+        assert_eq!(d.entry(0), 4);
+        assert_eq!(d.entry(1), Dqt::opt_h().entry(1));
+    }
+}

@@ -1,0 +1,175 @@
+//! Factored fast 8-point DCT.
+//!
+//! The JPEG-ACT hardware uses the Loeffler–Ligtenberg–Moschytz (LLM)
+//! 8-point DCT with 11 multipliers (Sec. III-D); this module implements
+//! the same even/odd butterfly factorization in software:
+//!
+//! * the even half reduces to a 4-point DCT — two scaled butterflies for
+//!   `X0/X4` plus one planar rotation for `X2/X6`;
+//! * the odd half is a 4-point DCT-IV on the input differences, whose
+//!   (scaled) matrix `M[k][n] = cos((2n+1)(2k+1)π/16)` is symmetric and
+//!   satisfies `M·M = 2I`, making the inverse a single re-application.
+//!
+//! This costs 22 multiplies per 8-point transform (LLM reaches 11 by
+//! further factoring the odd half; the hardware cost model in
+//! `jact-hwmodel` accounts the LLM multiplier count).  The results agree
+//! with the matrix-form reference in [`crate::dct`] to float precision,
+//! which the tests verify exhaustively.
+
+use std::f32::consts::PI;
+use std::sync::LazyLock;
+
+/// `1 / (2·√2)` — the X0/X4 butterfly scale.
+static INV_2R2: LazyLock<f32> = LazyLock::new(|| 1.0 / (2.0 * 2.0f32.sqrt()));
+/// `cos(π/8)` and `cos(3π/8)` — the X2/X6 rotation.
+static C1: LazyLock<f32> = LazyLock::new(|| (PI / 8.0).cos());
+static C3: LazyLock<f32> = LazyLock::new(|| (3.0 * PI / 8.0).cos());
+/// The symmetric scaled DCT-IV matrix of the odd half.
+static M4: LazyLock<[[f32; 4]; 4]> = LazyLock::new(|| {
+    let mut m = [[0.0f32; 4]; 4];
+    for (k, row) in m.iter_mut().enumerate() {
+        for (n, v) in row.iter_mut().enumerate() {
+            *v = (((2 * n + 1) * (2 * k + 1)) as f32 * PI / 16.0).cos();
+        }
+    }
+    m
+});
+
+/// Forward 8-point orthonormal DCT-II via even/odd butterflies.
+pub fn fast_dct8(x: &[f32; 8]) -> [f32; 8] {
+    // Stage 1: symmetric/antisymmetric split.
+    let s = [x[0] + x[7], x[1] + x[6], x[2] + x[5], x[3] + x[4]];
+    let d = [x[0] - x[7], x[1] - x[6], x[2] - x[5], x[3] - x[4]];
+
+    // Even half: 4-point DCT of s.
+    let e0 = s[0] + s[3];
+    let e1 = s[1] + s[2];
+    let o0 = s[0] - s[3];
+    let o1 = s[1] - s[2];
+    let x0 = (e0 + e1) * *INV_2R2;
+    let x4 = (e0 - e1) * *INV_2R2;
+    let x2 = 0.5 * (o0 * *C1 + o1 * *C3);
+    let x6 = 0.5 * (o0 * *C3 - o1 * *C1);
+
+    // Odd half: scaled DCT-IV of d.
+    let m = &*M4;
+    let mut odd = [0.0f32; 4];
+    for (k, o) in odd.iter_mut().enumerate() {
+        *o = 0.5 * (m[k][0] * d[0] + m[k][1] * d[1] + m[k][2] * d[2] + m[k][3] * d[3]);
+    }
+
+    [x0, odd[0], x2, odd[1], x4, odd[2], x6, odd[3]]
+}
+
+/// Inverse of [`fast_dct8`] (the transpose flow-graph).
+pub fn fast_idct8(x: &[f32; 8]) -> [f32; 8] {
+    let r2 = 2.0f32.sqrt();
+    // Even half inverse: undo the X0/X4 butterfly (scale 1/(2√2) → √2)
+    // and the X2/X6 rotation (orthogonal and symmetric → apply twice the
+    // same rotation).
+    let e0 = r2 * (x[0] + x[4]);
+    let e1 = r2 * (x[0] - x[4]);
+    let o0 = 2.0 * (x[2] * *C1 + x[6] * *C3);
+    let o1 = 2.0 * (x[2] * *C3 - x[6] * *C1);
+    let s = [
+        0.5 * (e0 + o0),
+        0.5 * (e1 + o1),
+        0.5 * (e1 - o1),
+        0.5 * (e0 - o0),
+    ];
+
+    // Odd half inverse: M·M = 2I, so d = M · X_odd.
+    let m = &*M4;
+    let xo = [x[1], x[3], x[5], x[7]];
+    let mut d = [0.0f32; 4];
+    for (n, dv) in d.iter_mut().enumerate() {
+        *dv = m[n][0] * xo[0] + m[n][1] * xo[1] + m[n][2] * xo[2] + m[n][3] * xo[3];
+    }
+
+    let mut out = [0.0f32; 8];
+    for n in 0..4 {
+        out[n] = 0.5 * (s[n] + d[n]);
+        out[7 - n] = 0.5 * (s[n] - d[n]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dct::{dct8, idct8};
+
+    fn samples() -> Vec<[f32; 8]> {
+        let mut v = vec![
+            [0.0; 8],
+            [1.0; 8],
+            [1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0],
+            [127.0, -128.0, 64.0, -64.0, 32.0, -32.0, 16.0, -16.0],
+        ];
+        for s in 0..32u32 {
+            let mut x = [0.0f32; 8];
+            for (i, xv) in x.iter_mut().enumerate() {
+                *xv = ((((s as usize * 8 + i) * 2654435761) % 2001) as f32 / 10.0) - 100.0;
+            }
+            v.push(x);
+        }
+        v
+    }
+
+    #[test]
+    fn fast_forward_matches_matrix_reference() {
+        for x in samples() {
+            let a = fast_dct8(&x);
+            let b = dct8(&x);
+            for k in 0..8 {
+                assert!(
+                    (a[k] - b[k]).abs() < 1e-3 * (1.0 + b[k].abs()),
+                    "k={k}: fast={} ref={} for {x:?}",
+                    a[k],
+                    b[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_inverse_matches_matrix_reference() {
+        for x in samples() {
+            let a = fast_idct8(&x);
+            let b = idct8(&x);
+            for k in 0..8 {
+                assert!(
+                    (a[k] - b[k]).abs() < 1e-3 * (1.0 + b[k].abs()),
+                    "k={k}: fast={} ref={}",
+                    a[k],
+                    b[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_roundtrip_is_identity() {
+        for x in samples() {
+            let y = fast_idct8(&fast_dct8(&x));
+            for k in 0..8 {
+                assert!((y[k] - x[k]).abs() < 1e-3 * (1.0 + x[k].abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn dct_iv_matrix_squares_to_2i() {
+        let m = &*M4;
+        for i in 0..4 {
+            for j in 0..4 {
+                let mut acc = 0.0f32;
+                for k in 0..4 {
+                    acc += m[i][k] * m[k][j];
+                }
+                let expect = if i == j { 2.0 } else { 0.0 };
+                assert!((acc - expect).abs() < 1e-5, "({i},{j}): {acc}");
+            }
+        }
+    }
+}

@@ -1,0 +1,808 @@
+//! Composed compression pipelines.
+//!
+//! Each codec pairs a `compress` and `decompress` implementing one of the
+//! paper's schemes end-to-end on an NCHW activation tensor:
+//!
+//! | Codec | Scheme | Paper |
+//! |---|---|---|
+//! | [`RawCodec`] | no compression (vDNN offload) | Rhu et al. 2016 |
+//! | [`ZvcF32Codec`] | ZVC over f32 words (cDMA+) | Rhu et al. 2018 |
+//! | [`DprCodec`] | f16/f8 precision cast (GIST DPR) | Jain et al. 2018 |
+//! | [`GistCsrCodec`] | f8 DPR + CSR sparse storage | Jain et al. 2018 |
+//! | [`SfprCodec`] | scaled fix-point reduction | Sec. III-B |
+//! | [`JpegCodec`] | SFPR + DCT + {DIV,SH} + {RLE,ZVC} | Secs. III-D..F |
+//!
+//! [`JpegBaseCodec`] (DIV+RLE) and [`JpegActCodec`] (SH+ZVC) are the two
+//! named corners of the [`JpegCodec`] matrix evaluated in Table III.
+
+use crate::block::BlockLayout;
+use crate::brc::BrcMask;
+use crate::csr::Csr;
+use crate::dct::{dct2d_i8, idct2d_to_i8};
+use crate::dpr::{self, DprWidth};
+use crate::dqt::Dqt;
+use crate::quant::{dequantize, quantize, QuantKind};
+use crate::rle;
+use crate::sfpr::{self, SfprEncoded, SfprParams};
+use crate::zvc::Zvc;
+use jact_tensor::{Shape, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Which lossless coder terminates a JPEG pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoderKind {
+    /// Zigzag run-length + Huffman coding (JPEG standard back end).
+    Rle,
+    /// Zero-value compression (JPEG-ACT back end).
+    Zvc,
+}
+
+impl std::fmt::Display for CoderKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CoderKind::Rle => "RLE",
+            CoderKind::Zvc => "ZVC",
+        })
+    }
+}
+
+/// The compressed form of one activation tensor, together with size
+/// accounting.  Produced by a [`Codec`]; opaque to everything else.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompressedActivation {
+    payload: Payload,
+    uncompressed_bytes: usize,
+    compressed_bytes: usize,
+    codec_name: String,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Payload {
+    Raw(Tensor),
+    ZvcF32 { z: Zvc, shape: Shape },
+    Dpr { rounded: Tensor },
+    GistCsr { csr: Csr, shape: Shape },
+    Sfpr(SfprEncoded),
+    SfprZvc { meta: SfprEncoded, z: Zvc },
+    Jpeg(JpegPayload),
+    Brc(BrcMask),
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct JpegPayload {
+    /// SFPR metadata (scales, shape, params) with an *empty* value plane;
+    /// the values travel through the coded blocks instead.
+    meta: SfprEncoded,
+    coded: CodedBlocks,
+    quant: QuantKind2,
+    dqt: Dqt,
+}
+
+// Local serializable mirrors of the codec enums (kept private so the
+// public enums stay dependency-free).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+enum QuantKind2 {
+    Div,
+    Shift,
+}
+
+impl From<QuantKind> for QuantKind2 {
+    fn from(k: QuantKind) -> Self {
+        match k {
+            QuantKind::Div => QuantKind2::Div,
+            QuantKind::Shift => QuantKind2::Shift,
+        }
+    }
+}
+
+impl From<QuantKind2> for QuantKind {
+    fn from(k: QuantKind2) -> Self {
+        match k {
+            QuantKind2::Div => QuantKind::Div,
+            QuantKind2::Shift => QuantKind::Shift,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum CodedBlocks {
+    Rle { bytes: Vec<u8>, count: usize },
+    Zvc(Zvc),
+}
+
+impl CompressedActivation {
+    /// Compressed size in bytes, including per-channel scale metadata.
+    pub fn compressed_bytes(&self) -> usize {
+        self.compressed_bytes
+    }
+
+    /// Original activation size in bytes (f32 elements).
+    pub fn uncompressed_bytes(&self) -> usize {
+        self.uncompressed_bytes
+    }
+
+    /// Compression ratio (uncompressed / compressed).
+    pub fn ratio(&self) -> f64 {
+        self.uncompressed_bytes as f64 / self.compressed_bytes as f64
+    }
+
+    /// Name of the codec that produced this payload.
+    pub fn codec_name(&self) -> &str {
+        &self.codec_name
+    }
+}
+
+/// A compression scheme for activation tensors.
+///
+/// Implementations are value objects: configure once, apply to many
+/// activations.  `decompress` must accept exactly the payloads produced by
+/// the same codec's `compress`.
+pub trait Codec: Send + Sync {
+    /// Compresses an activation.
+    fn compress(&self, x: &Tensor) -> CompressedActivation;
+
+    /// Decompresses a payload produced by this codec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` was produced by a different codec.
+    fn decompress(&self, c: &CompressedActivation) -> Tensor;
+
+    /// Short human-readable name (used in experiment tables).
+    fn name(&self) -> String;
+
+    /// `true` if decompression reproduces the input bit-exactly.
+    fn is_lossless(&self) -> bool {
+        false
+    }
+}
+
+fn wrong_payload(expected: &str, c: &CompressedActivation) -> ! {
+    panic!(
+        "codec {expected} cannot decompress payload from {}",
+        c.codec_name()
+    )
+}
+
+// ---------------------------------------------------------------------
+// vDNN: raw offload.
+// ---------------------------------------------------------------------
+
+/// No compression — the vDNN baseline (activations offloaded as-is).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RawCodec;
+
+impl Codec for RawCodec {
+    fn compress(&self, x: &Tensor) -> CompressedActivation {
+        let bytes = x.len() * 4;
+        CompressedActivation {
+            payload: Payload::Raw(x.clone()),
+            uncompressed_bytes: bytes,
+            compressed_bytes: bytes,
+            codec_name: self.name(),
+        }
+    }
+
+    fn decompress(&self, c: &CompressedActivation) -> Tensor {
+        match &c.payload {
+            Payload::Raw(t) => t.clone(),
+            _ => wrong_payload("raw", c),
+        }
+    }
+
+    fn name(&self) -> String {
+        "raw".into()
+    }
+
+    fn is_lossless(&self) -> bool {
+        true
+    }
+}
+
+// ---------------------------------------------------------------------
+// cDMA+: ZVC over f32 words.
+// ---------------------------------------------------------------------
+
+/// Zero-value compression of raw f32 activations — the cDMA+ baseline.
+/// Lossless; effective only on sparse (ReLU/dropout) activations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ZvcF32Codec;
+
+impl Codec for ZvcF32Codec {
+    fn compress(&self, x: &Tensor) -> CompressedActivation {
+        let z = Zvc::compress_f32(x.as_slice());
+        let compressed = z.compressed_bytes();
+        CompressedActivation {
+            payload: Payload::ZvcF32 {
+                z,
+                shape: x.shape().clone(),
+            },
+            uncompressed_bytes: x.len() * 4,
+            compressed_bytes: compressed,
+            codec_name: self.name(),
+        }
+    }
+
+    fn decompress(&self, c: &CompressedActivation) -> Tensor {
+        match &c.payload {
+            Payload::ZvcF32 { z, shape } => Tensor::from_vec(shape.clone(), z.decompress_f32()),
+            _ => wrong_payload("zvc-f32", c),
+        }
+    }
+
+    fn name(&self) -> String {
+        "zvc-f32".into()
+    }
+
+    fn is_lossless(&self) -> bool {
+        true
+    }
+}
+
+// ---------------------------------------------------------------------
+// GIST DPR and DPR + CSR.
+// ---------------------------------------------------------------------
+
+/// GIST's Dynamic Precision Reduction: cast to f16 or f8.
+#[derive(Debug, Clone, Copy)]
+pub struct DprCodec {
+    width: DprWidth,
+}
+
+impl DprCodec {
+    /// Creates a DPR codec with the given float width.
+    pub fn new(width: DprWidth) -> Self {
+        DprCodec { width }
+    }
+}
+
+impl Codec for DprCodec {
+    fn compress(&self, x: &Tensor) -> CompressedActivation {
+        let rounded = dpr::dpr_round(x, self.width);
+        CompressedActivation {
+            payload: Payload::Dpr { rounded },
+            uncompressed_bytes: x.len() * 4,
+            compressed_bytes: x.len() * self.width.bytes(),
+            codec_name: self.name(),
+        }
+    }
+
+    fn decompress(&self, c: &CompressedActivation) -> Tensor {
+        match &c.payload {
+            Payload::Dpr { rounded } => rounded.clone(),
+            _ => wrong_payload("dpr", c),
+        }
+    }
+
+    fn name(&self) -> String {
+        match self.width {
+            DprWidth::F16 => "dpr-f16".into(),
+            DprWidth::F8 => "dpr-f8".into(),
+        }
+    }
+}
+
+/// GIST's sparse path: 8-bit DPR cast followed by CSR storage
+/// (value + column index per non-zero).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GistCsrCodec;
+
+impl Codec for GistCsrCodec {
+    fn compress(&self, x: &Tensor) -> CompressedActivation {
+        let bits: Vec<i8> = x
+            .iter()
+            .map(|&v| dpr::f32_to_f8_bits(v) as i8)
+            .collect();
+        let csr = Csr::compress_default(&bits);
+        let compressed = csr.compressed_bytes();
+        CompressedActivation {
+            payload: Payload::GistCsr {
+                csr,
+                shape: x.shape().clone(),
+            },
+            uncompressed_bytes: x.len() * 4,
+            compressed_bytes: compressed,
+            codec_name: self.name(),
+        }
+    }
+
+    fn decompress(&self, c: &CompressedActivation) -> Tensor {
+        match &c.payload {
+            Payload::GistCsr { csr, shape } => {
+                let data = csr
+                    .decompress()
+                    .into_iter()
+                    .map(|b| dpr::f8_bits_to_f32(b as u8))
+                    .collect();
+                Tensor::from_vec(shape.clone(), data)
+            }
+            _ => wrong_payload("gist-csr", c),
+        }
+    }
+
+    fn name(&self) -> String {
+        "gist-csr".into()
+    }
+}
+
+// ---------------------------------------------------------------------
+// SFPR.
+// ---------------------------------------------------------------------
+
+/// Standalone SFPR: 8-bit fix-point with per-channel scale normalization.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SfprCodec {
+    params: SfprParams,
+}
+
+impl SfprCodec {
+    /// SFPR with the paper's defaults (`S = 1.125`, 8 bits).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// SFPR with explicit parameters.
+    pub fn with_params(params: SfprParams) -> Self {
+        SfprCodec { params }
+    }
+}
+
+impl Codec for SfprCodec {
+    fn compress(&self, x: &Tensor) -> CompressedActivation {
+        let enc = sfpr::compress(x, self.params);
+        let compressed = enc.compressed_bytes();
+        CompressedActivation {
+            payload: Payload::Sfpr(enc),
+            uncompressed_bytes: x.len() * 4,
+            compressed_bytes: compressed,
+            codec_name: self.name(),
+        }
+    }
+
+    fn decompress(&self, c: &CompressedActivation) -> Tensor {
+        match &c.payload {
+            Payload::Sfpr(enc) => sfpr::decompress(enc),
+            _ => wrong_payload("sfpr", c),
+        }
+    }
+
+    fn name(&self) -> String {
+        "sfpr".into()
+    }
+}
+
+// ---------------------------------------------------------------------
+// JPEG pipelines.
+// ---------------------------------------------------------------------
+
+/// The full transform pipeline: SFPR → 8×8 blocks → DCT → quantize → code.
+///
+/// The quantizer/coder pair selects the paper's variants:
+/// `(Div, Rle)` = JPEG-BASE, `(Shift, Zvc)` = JPEG-ACT, plus the two mixed
+/// corners evaluated in Table III.
+#[derive(Debug, Clone)]
+pub struct JpegCodec {
+    dqt: Dqt,
+    quant: QuantKind,
+    coder: CoderKind,
+    sfpr: SfprParams,
+}
+
+impl JpegCodec {
+    /// Creates a pipeline with explicit quantizer and coder back ends.
+    pub fn new(dqt: Dqt, quant: QuantKind, coder: CoderKind) -> Self {
+        JpegCodec {
+            dqt,
+            quant,
+            coder,
+            sfpr: SfprParams::paper_default(),
+        }
+    }
+
+    /// Overrides the SFPR front-end parameters (Fig. 10 sweeps `S`).
+    pub fn with_sfpr(mut self, params: SfprParams) -> Self {
+        self.sfpr = params;
+        self
+    }
+
+    /// The DQT in use.
+    pub fn dqt(&self) -> &Dqt {
+        &self.dqt
+    }
+
+    /// Quantized DCT blocks of an activation — exposed for the entropy /
+    /// rate-distortion metrics (Sec. IV) that need `q` before coding.
+    pub fn quantized_blocks(&self, x: &Tensor) -> Vec<[i8; 64]> {
+        let enc = sfpr::compress(x, self.sfpr);
+        let layout = BlockLayout::new(x.shape());
+        layout
+            .to_blocks(enc.values())
+            .iter()
+            .map(|b| quantize(self.quant, &dct2d_i8(b), &self.dqt))
+            .collect()
+    }
+}
+
+impl Codec for JpegCodec {
+    fn compress(&self, x: &Tensor) -> CompressedActivation {
+        let enc = sfpr::compress(x, self.sfpr);
+        let layout = BlockLayout::new(x.shape());
+        let quantized: Vec<[i8; 64]> = layout
+            .to_blocks(enc.values())
+            .iter()
+            .map(|b| quantize(self.quant, &dct2d_i8(b), &self.dqt))
+            .collect();
+
+        let coded = match self.coder {
+            CoderKind::Rle => CodedBlocks::Rle {
+                bytes: rle::encode_blocks(&quantized),
+                count: quantized.len(),
+            },
+            CoderKind::Zvc => {
+                let flat: Vec<i8> = quantized.iter().flatten().copied().collect();
+                CodedBlocks::Zvc(Zvc::compress_i8(&flat))
+            }
+        };
+        let coded_bytes = match &coded {
+            CodedBlocks::Rle { bytes, .. } => bytes.len(),
+            CodedBlocks::Zvc(z) => z.compressed_bytes(),
+        };
+        let scales_bytes = enc.scales().len() * 4;
+
+        // The value plane is reconstructed from the coded blocks; drop it
+        // from the stored metadata to avoid double storage.
+        let mut meta = enc;
+        let _ = meta.take_values();
+
+        CompressedActivation {
+            payload: Payload::Jpeg(JpegPayload {
+                meta,
+                coded,
+                quant: self.quant.into(),
+                dqt: self.dqt.clone(),
+            }),
+            uncompressed_bytes: x.len() * 4,
+            compressed_bytes: coded_bytes + scales_bytes,
+            codec_name: self.name(),
+        }
+    }
+
+    fn decompress(&self, c: &CompressedActivation) -> Tensor {
+        let p = match &c.payload {
+            Payload::Jpeg(p) => p,
+            _ => wrong_payload("jpeg", c),
+        };
+        let layout = BlockLayout::new(p.meta.shape());
+        let quantized: Vec<[i8; 64]> = match &p.coded {
+            CodedBlocks::Rle { bytes, count } => {
+                rle::decode_blocks(bytes, *count).expect("corrupt RLE stream")
+            }
+            CodedBlocks::Zvc(z) => {
+                let flat = z.decompress_i8();
+                flat.chunks_exact(64)
+                    .map(|ch| {
+                        let mut b = [0i8; 64];
+                        b.copy_from_slice(ch);
+                        b
+                    })
+                    .collect()
+            }
+        };
+        let spatial: Vec<[i8; 64]> = quantized
+            .iter()
+            .map(|q| idct2d_to_i8(&dequantize(p.quant.into(), q, &p.dqt)))
+            .collect();
+        let values = layout.from_blocks(&spatial);
+        sfpr::decompress_values(&values, &p.meta)
+    }
+
+    fn name(&self) -> String {
+        format!("jpeg[{}+{}:{}]", self.quant, self.coder, self.dqt.name())
+    }
+}
+
+/// JPEG-BASE: the standard JPEG back end (DIV quantization + RLE/Huffman)
+/// behind the SFPR front end.
+#[derive(Debug, Clone)]
+pub struct JpegBaseCodec(JpegCodec);
+
+impl JpegBaseCodec {
+    /// Creates JPEG-BASE with the given (image or optimized) DQT.
+    pub fn new(dqt: Dqt) -> Self {
+        JpegBaseCodec(JpegCodec::new(dqt, QuantKind::Div, CoderKind::Rle))
+    }
+
+    /// The underlying configurable pipeline.
+    pub fn inner(&self) -> &JpegCodec {
+        &self.0
+    }
+}
+
+impl Codec for JpegBaseCodec {
+    fn compress(&self, x: &Tensor) -> CompressedActivation {
+        self.0.compress(x)
+    }
+    fn decompress(&self, c: &CompressedActivation) -> Tensor {
+        self.0.decompress(c)
+    }
+    fn name(&self) -> String {
+        format!("jpeg-base:{}", self.0.dqt.name())
+    }
+}
+
+/// JPEG-ACT: the paper's hardware-optimized back end (SH shift
+/// quantization + ZVC) behind the SFPR front end.
+#[derive(Debug, Clone)]
+pub struct JpegActCodec(JpegCodec);
+
+impl JpegActCodec {
+    /// Creates JPEG-ACT with the given (normally optimized) DQT.
+    pub fn new(dqt: Dqt) -> Self {
+        JpegActCodec(JpegCodec::new(dqt, QuantKind::Shift, CoderKind::Zvc))
+    }
+
+    /// The underlying configurable pipeline.
+    pub fn inner(&self) -> &JpegCodec {
+        &self.0
+    }
+}
+
+impl Codec for JpegActCodec {
+    fn compress(&self, x: &Tensor) -> CompressedActivation {
+        self.0.compress(x)
+    }
+    fn decompress(&self, c: &CompressedActivation) -> Tensor {
+        self.0.decompress(c)
+    }
+    fn name(&self) -> String {
+        format!("jpeg-act:{}", self.0.dqt.name())
+    }
+}
+
+/// SFPR followed by ZVC over the quantized bytes — JPEG-ACT's treatment of
+/// sparse ReLU/pool/dropout activations (Table II): the 4× fix-point
+/// reduction composes with zero packing for a further ~2× on sparse data.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SfprZvcCodec {
+    params: SfprParams,
+}
+
+impl SfprZvcCodec {
+    /// Creates the codec with the paper's SFPR defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Codec for SfprZvcCodec {
+    fn compress(&self, x: &Tensor) -> CompressedActivation {
+        let mut enc = sfpr::compress(x, self.params);
+        let z = Zvc::compress_i8(&enc.take_values());
+        let compressed = z.compressed_bytes() + enc.scales().len() * 4;
+        CompressedActivation {
+            payload: Payload::SfprZvc { meta: enc, z },
+            uncompressed_bytes: x.len() * 4,
+            compressed_bytes: compressed,
+            codec_name: self.name(),
+        }
+    }
+
+    fn decompress(&self, c: &CompressedActivation) -> Tensor {
+        match &c.payload {
+            Payload::SfprZvc { meta, z } => sfpr::decompress_values(&z.decompress_i8(), meta),
+            _ => wrong_payload("sfpr+zvc", c),
+        }
+    }
+
+    fn name(&self) -> String {
+        "sfpr+zvc".into()
+    }
+}
+
+/// BRC as a [`Codec`]: stores the positivity mask; decompression yields the
+/// binary surrogate tensor.  Valid only where the backward pass needs the
+/// mask alone (ReLU not feeding a conv — Table II).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BrcCodec;
+
+impl Codec for BrcCodec {
+    fn compress(&self, x: &Tensor) -> CompressedActivation {
+        let m = BrcMask::compress(x);
+        let compressed = m.compressed_bytes();
+        CompressedActivation {
+            payload: Payload::Brc(m),
+            uncompressed_bytes: x.len() * 4,
+            compressed_bytes: compressed,
+            codec_name: self.name(),
+        }
+    }
+
+    fn decompress(&self, c: &CompressedActivation) -> Tensor {
+        match &c.payload {
+            Payload::Brc(m) => m.to_binary_tensor(),
+            _ => wrong_payload("brc", c),
+        }
+    }
+
+    fn name(&self) -> String {
+        "brc".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A spatially-smooth activation-like tensor (images stay correlated
+    /// after convolution — the paper's core observation).
+    fn smooth_tensor(n: usize, c: usize, h: usize, w: usize) -> Tensor {
+        let shape = Shape::nchw(n, c, h, w);
+        let data = (0..shape.len())
+            .map(|i| {
+                let x = (i % w) as f32;
+                let y = ((i / w) % h) as f32;
+                ((x * 0.3).sin() + (y * 0.2).cos()) * ((i / (h * w)) as f32 * 0.1 + 1.0)
+            })
+            .collect();
+        Tensor::from_vec(shape, data)
+    }
+
+    /// A sparse ReLU-like tensor: ~60% zeros.
+    fn sparse_tensor() -> Tensor {
+        let shape = Shape::nchw(2, 4, 8, 8);
+        let data = (0..shape.len())
+            .map(|i| {
+                if i % 5 < 3 {
+                    0.0
+                } else {
+                    (i % 13) as f32 * 0.1
+                }
+            })
+            .collect();
+        Tensor::from_vec(shape, data)
+    }
+
+    #[test]
+    fn raw_codec_is_identity() {
+        let x = smooth_tensor(1, 2, 8, 8);
+        let c = RawCodec.compress(&x);
+        assert_eq!(c.ratio(), 1.0);
+        assert_eq!(RawCodec.decompress(&c), x);
+        assert!(RawCodec.is_lossless());
+    }
+
+    #[test]
+    fn zvc_f32_lossless_and_sparse_wins() {
+        let x = sparse_tensor();
+        let c = ZvcF32Codec.compress(&x);
+        assert_eq!(ZvcF32Codec.decompress(&c), x);
+        assert!(c.ratio() > 1.3, "ratio={}", c.ratio());
+    }
+
+    #[test]
+    fn sfpr_is_4x_with_small_error() {
+        let x = smooth_tensor(2, 4, 16, 16);
+        let codec = SfprCodec::new();
+        let c = codec.compress(&x);
+        assert!(c.ratio() > 3.5 && c.ratio() <= 4.0, "ratio={}", c.ratio());
+        let rec = codec.decompress(&c);
+        // Quantization plus the deliberate S=1.125 clipping of the top of
+        // the range: small relative to the signal power (~1.0).
+        assert!(x.mse(&rec) < 5e-3, "mse={}", x.mse(&rec));
+    }
+
+    #[test]
+    fn jpeg_act_beats_sfpr_on_smooth_data() {
+        let x = smooth_tensor(2, 4, 16, 16);
+        let sfpr = SfprCodec::new().compress(&x);
+        let jact = JpegActCodec::new(Dqt::opt_h()).compress(&x);
+        assert!(
+            jact.ratio() > sfpr.ratio(),
+            "jpeg-act {} vs sfpr {}",
+            jact.ratio(),
+            sfpr.ratio()
+        );
+    }
+
+    #[test]
+    fn jpeg_base_roundtrip_error_bounded() {
+        let x = smooth_tensor(1, 2, 16, 16);
+        let codec = JpegBaseCodec::new(Dqt::jpeg_quality(80));
+        let rec = codec.decompress(&codec.compress(&x));
+        let rel = x.mse(&rec).sqrt() / x.max_abs() as f64;
+        assert!(rel < 0.1, "relative rms error {rel}");
+    }
+
+    #[test]
+    fn jpeg_act_roundtrip_error_bounded() {
+        let x = smooth_tensor(1, 2, 16, 16);
+        let codec = JpegActCodec::new(Dqt::opt_l());
+        let rec = codec.decompress(&codec.compress(&x));
+        let rel = x.mse(&rec).sqrt() / x.max_abs() as f64;
+        assert!(rel < 0.1, "relative rms error {rel}");
+    }
+
+    #[test]
+    fn harder_dqt_compresses_more_with_more_error() {
+        let x = smooth_tensor(2, 2, 16, 16);
+        let low = JpegActCodec::new(Dqt::opt_l());
+        let high = JpegActCodec::new(Dqt::opt_h());
+        let cl = low.compress(&x);
+        let ch = high.compress(&x);
+        assert!(ch.ratio() > cl.ratio());
+        let el = x.mse(&low.decompress(&cl));
+        let eh = x.mse(&high.decompress(&ch));
+        assert!(eh >= el);
+    }
+
+    #[test]
+    fn all_four_backend_corners_roundtrip() {
+        let x = smooth_tensor(1, 2, 8, 16);
+        for quant in [QuantKind::Div, QuantKind::Shift] {
+            for coder in [CoderKind::Rle, CoderKind::Zvc] {
+                let codec = JpegCodec::new(Dqt::opt_l(), quant, coder);
+                let c = codec.compress(&x);
+                let rec = codec.decompress(&c);
+                let rel = x.mse(&rec).sqrt() / x.max_abs() as f64;
+                assert!(rel < 0.12, "{quant}+{coder}: rel={rel}");
+                assert!(c.ratio() > 1.0, "{quant}+{coder}: ratio={}", c.ratio());
+            }
+        }
+    }
+
+    #[test]
+    fn dpr_f16_low_error_f8_higher() {
+        let x = smooth_tensor(1, 2, 8, 8);
+        let f16 = DprCodec::new(DprWidth::F16);
+        let f8 = DprCodec::new(DprWidth::F8);
+        let c16 = f16.compress(&x);
+        let c8 = f8.compress(&x);
+        assert_eq!(c16.ratio(), 2.0);
+        assert_eq!(c8.ratio(), 4.0);
+        assert!(x.mse(&f16.decompress(&c16)) < x.mse(&f8.decompress(&c8)));
+    }
+
+    #[test]
+    fn gist_csr_on_sparse_relu() {
+        let x = sparse_tensor();
+        let codec = GistCsrCodec;
+        let c = codec.compress(&x);
+        assert!(c.ratio() > 4.0, "ratio={}", c.ratio()); // 60% sparse
+        let rec = codec.decompress(&c);
+        // Lossless on zeros; f8-lossy on values.
+        for (a, b) in x.iter().zip(rec.iter()) {
+            if *a == 0.0 {
+                assert_eq!(*b, 0.0);
+            } else {
+                assert!(((a - b) / a).abs() < 0.07);
+            }
+        }
+    }
+
+    #[test]
+    fn brc_codec_ratio_and_mask() {
+        let x = sparse_tensor();
+        let c = BrcCodec.compress(&x);
+        assert!((c.ratio() - 32.0).abs() < 0.01);
+        let bin = BrcCodec.decompress(&c);
+        for (a, b) in x.iter().zip(bin.iter()) {
+            assert_eq!(*a > 0.0, *b == 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot decompress")]
+    fn cross_codec_decompress_panics() {
+        let x = smooth_tensor(1, 1, 8, 8);
+        let c = RawCodec.compress(&x);
+        let _ = SfprCodec::new().decompress(&c);
+    }
+
+    #[test]
+    fn quantized_blocks_counts() {
+        let x = smooth_tensor(1, 2, 8, 16);
+        let codec = JpegCodec::new(Dqt::opt_h(), QuantKind::Shift, CoderKind::Zvc);
+        let blocks = codec.quantized_blocks(&x);
+        assert_eq!(blocks.len(), BlockLayout::new(x.shape()).num_blocks());
+    }
+}

@@ -1,0 +1,234 @@
+//! DCT coefficient quantization: DIV (JPEG-BASE) and SH (JPEG-ACT).
+//!
+//! DIV divides each coefficient by its DQT entry with round-to-nearest —
+//! the standard JPEG quantizer, implemented in hardware as a parallel
+//! multiplier (Sec. III-E).  SH replaces the divider with an arithmetic
+//! shift by the `log2`-rounded DQT entry, cutting quantizer area by 88 %
+//! at the cost of restricting DQT values to powers of two (Sec. III-F).
+//!
+//! Both quantizers saturate the result to `i8`, matching the 8-bit
+//! compression pipeline enabled by SFPR.
+
+use crate::dqt::Dqt;
+
+/// Which quantizer back end a JPEG pipeline uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QuantKind {
+    /// Division by the DQT entry with round-to-nearest (JPEG standard).
+    Div,
+    /// Arithmetic shift by `round(log2(dqt))` (JPEG-ACT).
+    Shift,
+}
+
+impl std::fmt::Display for QuantKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            QuantKind::Div => "DIV",
+            QuantKind::Shift => "SH",
+        })
+    }
+}
+
+/// DIV quantization: `q_i = round(c_i / dqt_i)` saturated to `i8`.
+pub fn quantize_div(coefs: &[i16; 64], dqt: &Dqt) -> [i8; 64] {
+    let mut out = [0i8; 64];
+    for i in 0..64 {
+        let d = dqt.entry(i) as i32;
+        let c = coefs[i] as i32;
+        // Round half away from zero, as a hardware divider with rounding
+        // constant would.
+        let q = if c >= 0 { (c + d / 2) / d } else { (c - d / 2) / d };
+        out[i] = q.clamp(i8::MIN as i32, i8::MAX as i32) as i8;
+    }
+    out
+}
+
+/// DIV dequantization: `c_i = q_i * dqt_i`.
+pub fn dequantize_div(quant: &[i8; 64], dqt: &Dqt) -> [i16; 64] {
+    let mut out = [0i16; 64];
+    for i in 0..64 {
+        let v = quant[i] as i32 * dqt.entry(i) as i32;
+        out[i] = v.clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+    }
+    out
+}
+
+/// SH quantization: arithmetic right shift by the 3-bit log-DQT, with the
+/// rounding constant a hardware shifter adds (half of the discarded range).
+pub fn quantize_shift(coefs: &[i16; 64], dqt: &Dqt) -> [i8; 64] {
+    let shifts = dqt.log2_shifts();
+    let mut out = [0i8; 64];
+    for i in 0..64 {
+        let s = shifts[i] as u32;
+        let c = coefs[i] as i32;
+        let q = if s == 0 {
+            c
+        } else {
+            // Symmetric rounding shift: round half away from zero.
+            let bias = 1i32 << (s - 1);
+            if c >= 0 { (c + bias) >> s } else { -((-c + bias) >> s) }
+        };
+        out[i] = q.clamp(i8::MIN as i32, i8::MAX as i32) as i8;
+    }
+    out
+}
+
+/// SH dequantization: left shift by the 3-bit log-DQT.
+pub fn dequantize_shift(quant: &[i8; 64], dqt: &Dqt) -> [i16; 64] {
+    let shifts = dqt.log2_shifts();
+    let mut out = [0i16; 64];
+    for i in 0..64 {
+        let v = (quant[i] as i32) << shifts[i];
+        out[i] = v.clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+    }
+    out
+}
+
+/// Quantizes with the selected back end.
+pub fn quantize(kind: QuantKind, coefs: &[i16; 64], dqt: &Dqt) -> [i8; 64] {
+    match kind {
+        QuantKind::Div => quantize_div(coefs, dqt),
+        QuantKind::Shift => quantize_shift(coefs, dqt),
+    }
+}
+
+/// Dequantizes with the selected back end.
+pub fn dequantize(kind: QuantKind, quant: &[i8; 64], dqt: &Dqt) -> [i16; 64] {
+    match kind {
+        QuantKind::Div => dequantize_div(quant, dqt),
+        QuantKind::Shift => dequantize_shift(quant, dqt),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dqt::Dqt;
+
+    fn flat_dqt(v: u16) -> Dqt {
+        Dqt::from_entries(format!("flat{v}"), [v; 64])
+    }
+
+    #[test]
+    fn div_quantize_rounds_to_nearest() {
+        let mut coefs = [0i16; 64];
+        coefs[0] = 100; // /16 = 6.25 -> 6
+        coefs[1] = 104; // 6.5 -> 7 (half away from zero)
+        coefs[2] = -104; // -6.5 -> -7
+        let q = quantize_div(&coefs, &flat_dqt(16));
+        assert_eq!(q[0], 6);
+        assert_eq!(q[1], 7);
+        assert_eq!(q[2], -7);
+    }
+
+    #[test]
+    fn div_saturates_to_i8() {
+        let mut coefs = [0i16; 64];
+        coefs[0] = 10_000;
+        coefs[1] = -10_000;
+        let q = quantize_div(&coefs, &flat_dqt(1));
+        assert_eq!(q[0], 127);
+        assert_eq!(q[1], -128);
+    }
+
+    #[test]
+    fn div_roundtrip_error_bounded_by_half_step() {
+        let dqt = flat_dqt(16);
+        let mut coefs = [0i16; 64];
+        for (i, c) in coefs.iter_mut().enumerate() {
+            *c = (i as i16 - 32) * 13;
+        }
+        let rec = dequantize_div(&quantize_div(&coefs, &dqt), &dqt);
+        for i in 0..64 {
+            assert!(
+                (rec[i] as i32 - coefs[i] as i32).abs() <= 8,
+                "i={i}: {} vs {}",
+                rec[i],
+                coefs[i]
+            );
+        }
+    }
+
+    #[test]
+    fn shift_matches_div_for_pow2_tables() {
+        let dqt = flat_dqt(16); // exactly a power of two
+        let mut coefs = [0i16; 64];
+        for (i, c) in coefs.iter_mut().enumerate() {
+            *c = (i as i16 - 30) * 21;
+        }
+        let qd = quantize_div(&coefs, &dqt);
+        let qs = quantize_shift(&coefs, &dqt);
+        for i in 0..64 {
+            assert!(
+                (qd[i] as i32 - qs[i] as i32).abs() <= 1,
+                "i={i}: div={} sh={}",
+                qd[i],
+                qs[i]
+            );
+        }
+    }
+
+    #[test]
+    fn shift_zero_shift_is_identity_within_range() {
+        let dqt = flat_dqt(1);
+        let mut coefs = [0i16; 64];
+        coefs[0] = 55;
+        coefs[1] = -89;
+        let q = quantize_shift(&coefs, &dqt);
+        assert_eq!(q[0], 55);
+        assert_eq!(q[1], -89);
+        let d = dequantize_shift(&q, &dqt);
+        assert_eq!(d[0], 55);
+        assert_eq!(d[1], -89);
+    }
+
+    #[test]
+    fn shift_is_symmetric_in_sign() {
+        let dqt = flat_dqt(8);
+        let mut pos = [0i16; 64];
+        let mut neg = [0i16; 64];
+        for i in 0..64 {
+            pos[i] = (i as i16) * 5 + 3;
+            neg[i] = -pos[i];
+        }
+        let qp = quantize_shift(&pos, &dqt);
+        let qn = quantize_shift(&neg, &dqt);
+        for i in 0..64 {
+            assert_eq!(qp[i] as i32, -(qn[i] as i32), "i={i}");
+        }
+    }
+
+    #[test]
+    fn dispatch_matches_direct_calls() {
+        let dqt = Dqt::opt_h();
+        let mut coefs = [0i16; 64];
+        for (i, c) in coefs.iter_mut().enumerate() {
+            *c = (i as i16) * 7 - 100;
+        }
+        assert_eq!(
+            quantize(QuantKind::Div, &coefs, &dqt),
+            quantize_div(&coefs, &dqt)
+        );
+        assert_eq!(
+            quantize(QuantKind::Shift, &coefs, &dqt),
+            quantize_shift(&coefs, &dqt)
+        );
+        let q = quantize_div(&coefs, &dqt);
+        assert_eq!(
+            dequantize(QuantKind::Div, &q, &dqt),
+            dequantize_div(&q, &dqt)
+        );
+    }
+
+    #[test]
+    fn higher_dqt_produces_more_zeros() {
+        let mut coefs = [0i16; 64];
+        for (i, c) in coefs.iter_mut().enumerate() {
+            *c = (i as i16) - 32;
+        }
+        let zeros = |q: &[i8; 64]| q.iter().filter(|&&v| v == 0).count();
+        let q_small = quantize_div(&coefs, &flat_dqt(2));
+        let q_large = quantize_div(&coefs, &flat_dqt(64));
+        assert!(zeros(&q_large) > zeros(&q_small));
+    }
+}

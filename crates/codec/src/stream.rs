@@ -1,0 +1,246 @@
+//! Collector and splitter: multi-CDU stream aggregation (Sec. III-G,
+//! Fig. 15).
+//!
+//! Several Compression/Decompression Units (CDUs) each emit one
+//! variable-sized ZVC block payload (8-byte non-zero mask + packed values,
+//! up to 72 B) per cycle slot.  The **collector** joins these streams with
+//! deterministic round-robin scheduling into 128 B DMA packets; the
+//! **splitter** reverses the process on the way back from CPU memory by
+//! peeking each block's mask to learn its length.
+//!
+//! Because scheduling is deterministic, no side-band metadata is needed —
+//! the splitter recomputes the interleave exactly.  This module is the
+//! functional model; `jact-gpusim` layers timing on top of it.
+
+use serde::{Deserialize, Serialize};
+
+/// DMA packet size in bytes (two 64 B flits on the PCIe DMA path).
+pub const PACKET_BYTES: usize = 128;
+
+/// One CDU output block: the ZVC form of a quantized 8×8 block.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockPayload {
+    /// 64-bit non-zero mask (one bit per coefficient, LSB-first).
+    pub mask: [u8; 8],
+    /// Packed non-zero bytes; length must equal the mask popcount.
+    pub values: Vec<u8>,
+}
+
+impl BlockPayload {
+    /// Builds a payload from a quantized block, applying ZVC framing.
+    pub fn from_block(block: &[i8; 64]) -> Self {
+        let mut mask = [0u8; 8];
+        let mut values = Vec::new();
+        for (i, &v) in block.iter().enumerate() {
+            if v != 0 {
+                mask[i / 8] |= 1 << (i % 8);
+                values.push(v as u8);
+            }
+        }
+        BlockPayload { mask, values }
+    }
+
+    /// Reconstructs the dense quantized block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the mask popcount.
+    pub fn to_block(&self) -> [i8; 64] {
+        assert_eq!(
+            self.values.len(),
+            self.popcount(),
+            "value count does not match mask popcount"
+        );
+        let mut out = [0i8; 64];
+        let mut vi = 0usize;
+        for (i, o) in out.iter_mut().enumerate() {
+            if self.mask[i / 8] >> (i % 8) & 1 == 1 {
+                *o = self.values[vi] as i8;
+                vi += 1;
+            }
+        }
+        out
+    }
+
+    /// Number of non-zero values announced by the mask.
+    pub fn popcount(&self) -> usize {
+        self.mask.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Bytes this payload occupies on the wire (mask + values).
+    pub fn wire_bytes(&self) -> usize {
+        8 + self.values.len()
+    }
+}
+
+/// Collects per-CDU block streams into a single 128 B-packet DMA stream.
+///
+/// CDUs are drained round-robin, one block per slot; exhausted CDUs are
+/// skipped (the hardware stalls them out of the schedule identically).
+/// The final packet is zero-padded to [`PACKET_BYTES`].
+///
+/// Returns the packed byte stream.
+pub fn collect(streams: &[Vec<BlockPayload>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut cursors = vec![0usize; streams.len()];
+    let total: usize = streams.iter().map(|s| s.len()).sum();
+    let mut emitted = 0usize;
+    while emitted < total {
+        for (ci, stream) in streams.iter().enumerate() {
+            if cursors[ci] < stream.len() {
+                let b = &stream[cursors[ci]];
+                assert_eq!(
+                    b.values.len(),
+                    b.popcount(),
+                    "malformed payload in CDU {ci}"
+                );
+                out.extend_from_slice(&b.mask);
+                out.extend_from_slice(&b.values);
+                cursors[ci] += 1;
+                emitted += 1;
+            }
+        }
+    }
+    // Pad to a whole number of DMA packets.
+    let rem = out.len() % PACKET_BYTES;
+    if rem != 0 {
+        out.resize(out.len() + PACKET_BYTES - rem, 0);
+    }
+    out
+}
+
+/// Splits a collected DMA stream back into per-CDU block streams.
+///
+/// `counts[c]` is the number of blocks CDU `c` contributed; the splitter
+/// re-derives the round-robin interleave from these counts alone.
+///
+/// Returns `None` if the stream is too short for the announced counts.
+pub fn split(bytes: &[u8], counts: &[usize]) -> Option<Vec<Vec<BlockPayload>>> {
+    let mut outs: Vec<Vec<BlockPayload>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+    let total: usize = counts.iter().sum();
+    let mut pos = 0usize;
+    let mut emitted = 0usize;
+    while emitted < total {
+        for (ci, &count) in counts.iter().enumerate() {
+            if outs[ci].len() < count {
+                if pos + 8 > bytes.len() {
+                    return None;
+                }
+                let mut mask = [0u8; 8];
+                mask.copy_from_slice(&bytes[pos..pos + 8]);
+                pos += 8;
+                let n: usize = mask.iter().map(|b| b.count_ones() as usize).sum();
+                if pos + n > bytes.len() {
+                    return None;
+                }
+                let values = bytes[pos..pos + n].to_vec();
+                pos += n;
+                outs[ci].push(BlockPayload { mask, values });
+                emitted += 1;
+            }
+        }
+    }
+    Some(outs)
+}
+
+/// Number of 128 B DMA packets a byte total occupies.
+pub fn packets_for(bytes: usize) -> usize {
+    bytes.div_ceil(PACKET_BYTES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block_with(nonzeros: &[(usize, i8)]) -> [i8; 64] {
+        let mut b = [0i8; 64];
+        for &(i, v) in nonzeros {
+            b[i] = v;
+        }
+        b
+    }
+
+    #[test]
+    fn payload_roundtrip() {
+        let b = block_with(&[(0, 3), (5, -1), (63, 12)]);
+        let p = BlockPayload::from_block(&b);
+        assert_eq!(p.popcount(), 3);
+        assert_eq!(p.wire_bytes(), 11);
+        assert_eq!(p.to_block(), b);
+    }
+
+    #[test]
+    fn empty_block_is_mask_only() {
+        let p = BlockPayload::from_block(&[0i8; 64]);
+        assert_eq!(p.wire_bytes(), 8);
+        assert_eq!(p.to_block(), [0i8; 64]);
+    }
+
+    #[test]
+    fn collect_split_roundtrip_equal_streams() {
+        let streams: Vec<Vec<BlockPayload>> = (0..4)
+            .map(|c| {
+                (0..5)
+                    .map(|i| {
+                        BlockPayload::from_block(&block_with(&[
+                            (i, (c + 1) as i8),
+                            ((i + c) % 64, -2),
+                        ]))
+                    })
+                    .collect()
+            })
+            .collect();
+        let bytes = collect(&streams);
+        assert_eq!(bytes.len() % PACKET_BYTES, 0);
+        let counts: Vec<usize> = streams.iter().map(|s| s.len()).collect();
+        let back = split(&bytes, &counts).expect("splits");
+        assert_eq!(back, streams);
+    }
+
+    #[test]
+    fn collect_split_roundtrip_unequal_streams() {
+        let streams: Vec<Vec<BlockPayload>> = vec![
+            (0..7)
+                .map(|i| BlockPayload::from_block(&block_with(&[(i, 1)])))
+                .collect(),
+            (0..3)
+                .map(|i| BlockPayload::from_block(&block_with(&[(i * 2, -3), (50, 9)])))
+                .collect(),
+            Vec::new(),
+            (0..1)
+                .map(|_| BlockPayload::from_block(&[0i8; 64]))
+                .collect(),
+        ];
+        let bytes = collect(&streams);
+        let counts: Vec<usize> = streams.iter().map(|s| s.len()).collect();
+        let back = split(&bytes, &counts).expect("splits");
+        assert_eq!(back, streams);
+    }
+
+    #[test]
+    fn interleave_is_round_robin() {
+        // CDU0 block then CDU1 block: first 8 bytes on the wire are CDU0's
+        // mask.
+        let b0 = BlockPayload::from_block(&block_with(&[(0, 7)]));
+        let b1 = BlockPayload::from_block(&block_with(&[(1, 8)]));
+        let bytes = collect(&[vec![b0.clone()], vec![b1.clone()]]);
+        assert_eq!(&bytes[0..8], &b0.mask);
+        assert_eq!(bytes[8], 7u8);
+        assert_eq!(&bytes[9..17], &b1.mask);
+    }
+
+    #[test]
+    fn truncated_stream_returns_none() {
+        let streams = vec![vec![BlockPayload::from_block(&block_with(&[(0, 1)]))]];
+        let bytes = collect(&streams);
+        assert!(split(&bytes[..4], &[1]).is_none());
+    }
+
+    #[test]
+    fn packets_for_rounds_up() {
+        assert_eq!(packets_for(0), 0);
+        assert_eq!(packets_for(1), 1);
+        assert_eq!(packets_for(128), 1);
+        assert_eq!(packets_for(129), 2);
+    }
+}

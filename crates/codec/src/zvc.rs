@@ -1,0 +1,243 @@
+//! Zero-Value Compression (ZVC).
+//!
+//! ZVC (Rhu et al., HPCA 2018; Sec. II-B4) stores a 1-bit non-zero mask per
+//! word plus the packed non-zero words.  It compresses equally well for any
+//! spatial distribution of zeros — which is why JPEG-ACT uses it instead of
+//! run-length coding on frequency-domain activations, whose zeros are
+//! randomly spread across mid and high frequencies (Sec. III-F).
+//!
+//! Two word widths are used in this workspace:
+//!
+//! * 1-byte words over quantized `i8` coefficients (the JPEG-ACT back end;
+//!   max ratio 8×: one mask bit per byte),
+//! * 4-byte words over raw `f32` activations (cDMA-style compression of
+//!   sparse ReLU/dropout outputs; max ratio 32×).
+
+use serde::{Deserialize, Serialize};
+
+/// A ZVC-compressed buffer: non-zero bit mask plus packed non-zero words.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Zvc {
+    /// One bit per source word, LSB-first within each mask byte.
+    mask: Vec<u8>,
+    /// The non-zero words, packed in order.
+    values: Vec<u8>,
+    /// Number of source words.
+    words: usize,
+    /// Word width in bytes (1 or 4 in practice).
+    word_bytes: usize,
+}
+
+impl Zvc {
+    /// Compresses a byte buffer interpreted as `word_bytes`-wide words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word_bytes` is zero or `data.len()` is not a multiple of
+    /// `word_bytes`.
+    pub fn compress(data: &[u8], word_bytes: usize) -> Self {
+        assert!(word_bytes > 0, "word width must be positive");
+        assert_eq!(
+            data.len() % word_bytes,
+            0,
+            "data length {} not a multiple of word width {word_bytes}",
+            data.len()
+        );
+        let words = data.len() / word_bytes;
+        let mut mask = vec![0u8; words.div_ceil(8)];
+        let mut values = Vec::new();
+        for w in 0..words {
+            let chunk = &data[w * word_bytes..(w + 1) * word_bytes];
+            if chunk.iter().any(|&b| b != 0) {
+                mask[w / 8] |= 1 << (w % 8);
+                values.extend_from_slice(chunk);
+            }
+        }
+        Zvc {
+            mask,
+            values,
+            words,
+            word_bytes,
+        }
+    }
+
+    /// Compresses a slice of `i8` values (1-byte words).
+    pub fn compress_i8(data: &[i8]) -> Self {
+        let bytes: Vec<u8> = data.iter().map(|&v| v as u8).collect();
+        Zvc::compress(&bytes, 1)
+    }
+
+    /// Compresses a slice of `f32` values (4-byte words); only exact `+0.0`
+    /// bit patterns count as zero, matching a hardware word comparator.
+    pub fn compress_f32(data: &[f32]) -> Self {
+        let mut bytes = Vec::with_capacity(data.len() * 4);
+        for &v in data {
+            // Normalize -0.0 to +0.0 so the mask sees it as zero, as the
+            // cDMA hardware does for sign-magnitude zero.
+            let v = if v == 0.0 { 0.0 } else { v };
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        Zvc::compress(&bytes, 4)
+    }
+
+    /// Decompresses back to the original byte buffer.
+    pub fn decompress(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.words * self.word_bytes];
+        let mut vi = 0usize;
+        for w in 0..self.words {
+            if self.mask[w / 8] >> (w % 8) & 1 == 1 {
+                out[w * self.word_bytes..(w + 1) * self.word_bytes]
+                    .copy_from_slice(&self.values[vi..vi + self.word_bytes]);
+                vi += self.word_bytes;
+            }
+        }
+        out
+    }
+
+    /// Decompresses to `i8` values (requires 1-byte words).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream was not compressed with 1-byte words.
+    pub fn decompress_i8(&self) -> Vec<i8> {
+        assert_eq!(self.word_bytes, 1, "not an i8 stream");
+        self.decompress().into_iter().map(|b| b as i8).collect()
+    }
+
+    /// Decompresses to `f32` values (requires 4-byte words).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream was not compressed with 4-byte words.
+    pub fn decompress_f32(&self) -> Vec<f32> {
+        assert_eq!(self.word_bytes, 4, "not an f32 stream");
+        self.decompress()
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect()
+    }
+
+    /// Compressed size in bytes: mask plus packed values.
+    pub fn compressed_bytes(&self) -> usize {
+        self.mask.len() + self.values.len()
+    }
+
+    /// Uncompressed size in bytes.
+    pub fn uncompressed_bytes(&self) -> usize {
+        self.words * self.word_bytes
+    }
+
+    /// Compression ratio (uncompressed / compressed).
+    pub fn ratio(&self) -> f64 {
+        self.uncompressed_bytes() as f64 / self.compressed_bytes() as f64
+    }
+
+    /// Number of non-zero words.
+    pub fn nonzero_words(&self) -> usize {
+        self.values.len() / self.word_bytes
+    }
+
+    /// The non-zero mask bytes (for collector/splitter framing).
+    pub fn mask_bytes(&self) -> &[u8] {
+        &self.mask
+    }
+
+    /// The packed non-zero value bytes.
+    pub fn value_bytes(&self) -> &[u8] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_i8_mixed() {
+        let data: Vec<i8> = vec![3, 0, -1, 0, 0, 12, 0, 0, 3, 2, -1, 1, 0, 0, 0, 0];
+        let z = Zvc::compress_i8(&data);
+        assert_eq!(z.decompress_i8(), data);
+    }
+
+    #[test]
+    fn figure4_example() {
+        // Fig. 4 of the paper: 8 values [3,0,-1,0,0,12,0,0] -> mask
+        // 10100100 (LSB-first here) + packed [3,-1,12].
+        let data: Vec<i8> = vec![3, 0, -1, 0, 0, 12, 0, 0];
+        let z = Zvc::compress_i8(&data);
+        assert_eq!(z.nonzero_words(), 3);
+        assert_eq!(z.compressed_bytes(), 1 + 3);
+        assert_eq!(z.ratio(), 2.0);
+    }
+
+    #[test]
+    fn all_zero_hits_max_ratio() {
+        let data = vec![0i8; 64];
+        let z = Zvc::compress_i8(&data);
+        assert_eq!(z.compressed_bytes(), 8); // mask only
+        assert_eq!(z.ratio(), 8.0);
+        assert_eq!(z.decompress_i8(), data);
+    }
+
+    #[test]
+    fn all_nonzero_has_mask_overhead() {
+        let data = vec![1i8; 64];
+        let z = Zvc::compress_i8(&data);
+        assert_eq!(z.compressed_bytes(), 8 + 64);
+        assert!(z.ratio() < 1.0);
+    }
+
+    #[test]
+    fn ratio_independent_of_zero_placement() {
+        // Clustered vs scattered zeros, same count -> same size.
+        let mut clustered = vec![0i8; 64];
+        let mut scattered = vec![0i8; 64];
+        for i in 0..32 {
+            clustered[i] = 5;
+            scattered[i * 2] = 5;
+        }
+        let zc = Zvc::compress_i8(&clustered);
+        let zs = Zvc::compress_i8(&scattered);
+        assert_eq!(zc.compressed_bytes(), zs.compressed_bytes());
+    }
+
+    #[test]
+    fn roundtrip_f32() {
+        let data = vec![0.0f32, 1.5, 0.0, -2.25, 0.0, 0.0, 3.75, 0.0];
+        let z = Zvc::compress_f32(&data);
+        assert_eq!(z.decompress_f32(), data);
+        // 8 words -> 1 mask byte + 3 * 4 value bytes.
+        assert_eq!(z.compressed_bytes(), 1 + 12);
+    }
+
+    #[test]
+    fn negative_zero_compresses_as_zero() {
+        let data = vec![-0.0f32, 1.0];
+        let z = Zvc::compress_f32(&data);
+        assert_eq!(z.nonzero_words(), 1);
+        let out = z.decompress_f32();
+        assert_eq!(out[0], 0.0);
+        assert_eq!(out[1], 1.0);
+    }
+
+    #[test]
+    fn non_multiple_of_8_words() {
+        let data: Vec<i8> = vec![1, 0, 2, 0, 3, 0, 4, 0, 5, 0, 6];
+        let z = Zvc::compress_i8(&data);
+        assert_eq!(z.decompress_i8(), data);
+        assert_eq!(z.mask_bytes().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn misaligned_data_panics() {
+        let _ = Zvc::compress(&[1, 2, 3], 4);
+    }
+
+    #[test]
+    fn empty_input() {
+        let z = Zvc::compress_i8(&[]);
+        assert_eq!(z.compressed_bytes(), 0);
+        assert!(z.decompress_i8().is_empty());
+    }
+}

@@ -1,0 +1,247 @@
+//! Property-based tests of the codec invariants.
+//!
+//! Lossless codecs must roundtrip bit-exactly for *any* input; lossy
+//! codecs must bound their error by their quantization step; the block
+//! layout must be a bijection up to padding for any tensor geometry.
+
+use jact_codec::bits::{BitReader, BitWriter};
+use jact_codec::block::{BlockLayout, PadStrategy};
+use jact_codec::brc::BrcMask;
+use jact_codec::csr::Csr;
+use jact_codec::dct::{dct2d, dct2d_i8, idct2d, idct2d_to_i8};
+use jact_codec::dpr::{round_f16, round_f8};
+use jact_codec::dqt::{Dqt, ZIGZAG};
+use jact_codec::quant::{dequantize, quantize, QuantKind};
+use jact_codec::rle;
+use jact_codec::sfpr::{self, SfprParams};
+use jact_codec::stream::{collect, split, BlockPayload};
+use jact_codec::zvc::Zvc;
+use jact_tensor::{Shape, Tensor};
+use proptest::prelude::*;
+
+fn arb_block() -> impl Strategy<Value = [i8; 64]> {
+    prop::collection::vec(any::<i8>(), 64).prop_map(|v| {
+        let mut b = [0i8; 64];
+        b.copy_from_slice(&v);
+        b
+    })
+}
+
+fn arb_sparse_block() -> impl Strategy<Value = [i8; 64]> {
+    prop::collection::vec(
+        prop_oneof![3 => Just(0i8), 1 => any::<i8>()],
+        64,
+    )
+    .prop_map(|v| {
+        let mut b = [0i8; 64];
+        b.copy_from_slice(&v);
+        b
+    })
+}
+
+proptest! {
+    #[test]
+    fn bits_roundtrip(fields in prop::collection::vec((any::<u32>(), 1u32..=32), 0..50)) {
+        let mut w = BitWriter::new();
+        for &(v, n) in &fields {
+            w.write_bits(v & ((1u64 << n) - 1) as u32, n);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &fields {
+            prop_assert_eq!(r.read_bits(n), Some(v & ((1u64 << n) - 1) as u32));
+        }
+    }
+
+    #[test]
+    fn zvc_roundtrip_any_bytes(data in prop::collection::vec(any::<i8>(), 0..512)) {
+        let z = Zvc::compress_i8(&data);
+        prop_assert_eq!(z.decompress_i8(), data);
+    }
+
+    #[test]
+    fn zvc_f32_roundtrip(data in prop::collection::vec(-100.0f32..100.0, 0..200)) {
+        let z = Zvc::compress_f32(&data);
+        let out = z.decompress_f32();
+        prop_assert_eq!(out.len(), data.len());
+        for (a, b) in data.iter().zip(&out) {
+            prop_assert_eq!(if *a == 0.0 { 0.0 } else { *a }, *b);
+        }
+    }
+
+    #[test]
+    fn zvc_size_depends_only_on_popcount(data in prop::collection::vec(any::<i8>(), 64)) {
+        let z = Zvc::compress_i8(&data);
+        let nz = data.iter().filter(|&&v| v != 0).count();
+        prop_assert_eq!(z.compressed_bytes(), 8 + nz);
+    }
+
+    #[test]
+    fn csr_roundtrip(data in prop::collection::vec(any::<i8>(), 0..1000), row in 1usize..=256) {
+        let c = Csr::compress(&data, row);
+        prop_assert_eq!(c.decompress(), data);
+    }
+
+    #[test]
+    fn rle_roundtrip_any_blocks(blocks in prop::collection::vec(arb_block(), 1..8)) {
+        let bytes = rle::encode_blocks(&blocks);
+        let dec = rle::decode_blocks(&bytes, blocks.len());
+        prop_assert_eq!(dec, Some(blocks));
+    }
+
+    #[test]
+    fn rle_roundtrip_sparse_blocks(blocks in prop::collection::vec(arb_sparse_block(), 1..8)) {
+        let bytes = rle::encode_blocks(&blocks);
+        let dec = rle::decode_blocks(&bytes, blocks.len());
+        prop_assert_eq!(dec, Some(blocks));
+    }
+
+    #[test]
+    fn brc_mask_matches_positivity(data in prop::collection::vec(-10.0f32..10.0, 1..256)) {
+        let t = Tensor::from_slice(&data);
+        let m = BrcMask::compress(&t);
+        for (i, &v) in data.iter().enumerate() {
+            prop_assert_eq!(m.is_positive(i), v > 0.0);
+        }
+    }
+
+    #[test]
+    fn dct_roundtrip_float(vals in prop::collection::vec(-100.0f32..100.0, 64)) {
+        let mut block = [0.0f32; 64];
+        block.copy_from_slice(&vals);
+        let orig = block;
+        dct2d(&mut block);
+        idct2d(&mut block);
+        for i in 0..64 {
+            prop_assert!((block[i] - orig[i]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn dct_fixed_point_roundtrip_error_bounded(block in arb_block()) {
+        let rec = idct2d_to_i8(&dct2d_i8(&block));
+        for i in 0..64 {
+            let d = (rec[i] as i32 - block[i] as i32).abs();
+            prop_assert!(d <= 2, "i={i}: {} vs {}", rec[i], block[i]);
+        }
+    }
+
+    #[test]
+    fn dct_energy_preserved(vals in prop::collection::vec(-50.0f32..50.0, 64)) {
+        let mut block = [0.0f32; 64];
+        block.copy_from_slice(&vals);
+        let e_in: f64 = block.iter().map(|&v| (v as f64).powi(2)).sum();
+        dct2d(&mut block);
+        let e_out: f64 = block.iter().map(|&v| (v as f64).powi(2)).sum();
+        prop_assert!((e_in - e_out).abs() <= 1e-2 * e_in.max(1.0));
+    }
+
+    #[test]
+    fn quantize_error_bounded_by_step(
+        coefs in prop::collection::vec(-2000i16..2000, 64),
+        q in 1u16..=255,
+    ) {
+        let mut c = [0i16; 64];
+        c.copy_from_slice(&coefs);
+        let dqt = Dqt::from_entries("flat", [q; 64]);
+        for kind in [QuantKind::Div, QuantKind::Shift] {
+            let quantized = quantize(kind, &c, &dqt);
+            let rec = dequantize(kind, &quantized, &dqt);
+            // Effective step: DIV uses q, SH the nearest power of two.
+            let step = match kind {
+                QuantKind::Div => q as i32,
+                QuantKind::Shift => 1i32 << dqt.log2_shifts()[0],
+            };
+            for i in 0..64 {
+                let saturated = quantized[i] == i8::MAX || quantized[i] == i8::MIN;
+                if !saturated {
+                    let d = (rec[i] as i32 - c[i] as i32).abs();
+                    prop_assert!(d <= step, "kind={kind:?} i={i} d={d} step={step}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_layout_roundtrip_any_geometry(
+        n in 1usize..4, c in 1usize..6, h in 1usize..12, w in 1usize..20,
+        strategy in prop_oneof![Just(PadStrategy::NchW), Just(PadStrategy::Hw)],
+    ) {
+        let shape = Shape::nchw(n, c, h, w);
+        let vals: Vec<i8> = (0..shape.len()).map(|i| ((i * 37) % 251) as i8).collect();
+        let l = BlockLayout::with_strategy(&shape, strategy);
+        prop_assert_eq!(l.from_blocks(&l.to_blocks(&vals)), vals);
+    }
+
+    #[test]
+    fn sfpr_values_respect_bit_width(
+        vals in prop::collection::vec(-100.0f32..100.0, 64),
+        bits in 2u32..=8,
+    ) {
+        let x = Tensor::from_vec(Shape::nchw(1, 1, 8, 8), vals);
+        let enc = sfpr::compress(&x, SfprParams::with_bits(bits));
+        let half = 1i32 << (bits - 1);
+        for &v in enc.values() {
+            prop_assert!((v as i32) >= -half && (v as i32) < half);
+        }
+    }
+
+    #[test]
+    fn sfpr_roundtrip_error_bounded(vals in prop::collection::vec(-100.0f32..100.0, 64)) {
+        let x = Tensor::from_vec(Shape::nchw(1, 1, 8, 8), vals);
+        let enc = sfpr::compress(&x, SfprParams::paper_default());
+        let rec = sfpr::decompress(&enc);
+        let max = x.max_abs();
+        for (a, b) in x.iter().zip(rec.iter()) {
+            // Quantization step + S=1.125 clipping of the top ~11%.
+            let bound = max / 128.0 + 0.112 * a.abs() + 1e-6;
+            prop_assert!((a - b).abs() <= bound, "{a} vs {b} (max {max})");
+        }
+    }
+
+    #[test]
+    fn f16_round_is_idempotent_and_monotone(a in -1e4f32..1e4, b in -1e4f32..1e4) {
+        let ra = round_f16(a);
+        prop_assert_eq!(round_f16(ra), ra);
+        if a <= b {
+            prop_assert!(round_f16(a) <= round_f16(b));
+        }
+    }
+
+    #[test]
+    fn f8_round_is_idempotent_and_monotone(a in -400.0f32..400.0, b in -400.0f32..400.0) {
+        let ra = round_f8(a);
+        prop_assert_eq!(round_f8(ra), ra);
+        if a <= b {
+            prop_assert!(round_f8(a) <= round_f8(b));
+        }
+    }
+
+    #[test]
+    fn collector_splitter_roundtrip(
+        blocks in prop::collection::vec(prop::collection::vec(arb_sparse_block(), 0..6), 1..5),
+    ) {
+        let streams: Vec<Vec<BlockPayload>> = blocks
+            .iter()
+            .map(|s| s.iter().map(BlockPayload::from_block).collect())
+            .collect();
+        let bytes = collect(&streams);
+        let counts: Vec<usize> = streams.iter().map(|s| s.len()).collect();
+        let back = split(&bytes, &counts);
+        prop_assert_eq!(back, Some(streams));
+    }
+
+    #[test]
+    fn zigzag_is_involution_safe(block in arb_block()) {
+        // Scatter then gather through ZIGZAG is the identity.
+        let mut zz = [0i8; 64];
+        for (k, &src) in ZIGZAG.iter().enumerate() {
+            zz[k] = block[src];
+        }
+        let mut back = [0i8; 64];
+        for (k, &dst) in ZIGZAG.iter().enumerate() {
+            back[dst] = zz[k];
+        }
+        prop_assert_eq!(back, block);
+    }
+}

@@ -1,0 +1,185 @@
+//! Convergence monitoring under lossy compression (Sec. VI-B).
+//!
+//! The paper observes that non-convergence under aggressive compression
+//! shows up as (1) a *sudden decrease in accuracy* during training —
+//! usable as a warning sign that compression is too high — and (2)
+//! *diverging activation statistics*: the mean or standard deviation of
+//! activations drifting over training, destabilizing the mean-dependent
+//! batch-norm parameters.  [`ConvergenceMonitor`] implements both
+//! detectors so training harnesses can flag the paper's Table I
+//! asterisks automatically.
+
+use jact_tensor::Tensor;
+
+/// Rolling statistics of one scalar series.
+#[derive(Debug, Clone, Default)]
+struct Series {
+    values: Vec<f64>,
+}
+
+impl Series {
+    fn push(&mut self, v: f64) {
+        self.values.push(v);
+    }
+
+    fn last(&self) -> Option<f64> {
+        self.values.last().copied()
+    }
+
+    fn max(&self) -> f64 {
+        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// Observes per-epoch validation scores and activation statistics and
+/// reports divergence.
+#[derive(Debug, Clone)]
+pub struct ConvergenceMonitor {
+    score: Series,
+    act_mean: Series,
+    act_std: Series,
+    /// Fractional drop from the best score that counts as "sudden
+    /// decrease" (default 0.5: accuracy halves).
+    pub score_drop_threshold: f64,
+    /// Multiplicative drift of activation statistics that counts as
+    /// divergence (default 4×).
+    pub stat_drift_threshold: f64,
+}
+
+impl Default for ConvergenceMonitor {
+    fn default() -> Self {
+        ConvergenceMonitor {
+            score: Series::default(),
+            act_mean: Series::default(),
+            act_std: Series::default(),
+            score_drop_threshold: 0.5,
+            stat_drift_threshold: 4.0,
+        }
+    }
+}
+
+/// Why the monitor flagged a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Divergence {
+    /// Validation score collapsed from its best value.
+    ScoreCollapse,
+    /// Activation mean drifted beyond the threshold.
+    MeanDrift,
+    /// Activation standard deviation drifted beyond the threshold.
+    StdDrift,
+}
+
+impl ConvergenceMonitor {
+    /// Creates a monitor with the default thresholds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one epoch's validation score.
+    pub fn observe_score(&mut self, score: f64) {
+        self.score.push(score);
+    }
+
+    /// Records activation statistics from a representative tensor (e.g.
+    /// one dense activation sampled per epoch).
+    pub fn observe_activation(&mut self, x: &Tensor) {
+        let mean = x.mean() as f64;
+        let var: f64 = x
+            .iter()
+            .map(|&v| {
+                let d = v as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / x.len() as f64;
+        self.act_mean.push(mean.abs());
+        self.act_std.push(var.sqrt());
+    }
+
+    /// Returns the first detected divergence, if any.
+    pub fn check(&self) -> Option<Divergence> {
+        // Sudden accuracy decrease (Sec. VI-B's warning sign).
+        if let Some(last) = self.score.last() {
+            let best = self.score.max();
+            if best > 0.0 && self.score.values.len() >= 2 && last < best * (1.0 - self.score_drop_threshold)
+            {
+                return Some(Divergence::ScoreCollapse);
+            }
+        }
+        // Statistic drift relative to the first observation.
+        let drifted = |s: &Series| -> bool {
+            match (s.values.first(), s.last()) {
+                (Some(&first), Some(last)) if first > 1e-9 => {
+                    last / first > self.stat_drift_threshold
+                        || first / last.max(1e-12) > self.stat_drift_threshold
+                }
+                _ => false,
+            }
+        };
+        if drifted(&self.act_mean) {
+            return Some(Divergence::MeanDrift);
+        }
+        if drifted(&self.act_std) {
+            return Some(Divergence::StdDrift);
+        }
+        None
+    }
+
+    /// `true` once any divergence criterion fires.
+    pub fn diverged(&self) -> bool {
+        self.check().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jact_tensor::Shape;
+
+    #[test]
+    fn healthy_run_is_not_flagged() {
+        let mut m = ConvergenceMonitor::new();
+        for (i, s) in [0.3, 0.5, 0.6, 0.65, 0.64].iter().enumerate() {
+            m.observe_score(*s);
+            let x = Tensor::full(Shape::vec(16), 1.0 + 0.01 * i as f32);
+            m.observe_activation(&x);
+        }
+        assert_eq!(m.check(), None);
+    }
+
+    #[test]
+    fn score_collapse_is_flagged() {
+        let mut m = ConvergenceMonitor::new();
+        for s in [0.3, 0.6, 0.65, 0.12] {
+            m.observe_score(s);
+        }
+        assert_eq!(m.check(), Some(Divergence::ScoreCollapse));
+        assert!(m.diverged());
+    }
+
+    #[test]
+    fn mean_drift_is_flagged() {
+        let mut m = ConvergenceMonitor::new();
+        m.observe_activation(&Tensor::full(Shape::vec(8), 0.5));
+        m.observe_activation(&Tensor::full(Shape::vec(8), 5.0));
+        assert_eq!(m.check(), Some(Divergence::MeanDrift));
+    }
+
+    #[test]
+    fn std_drift_is_flagged() {
+        let mut m = ConvergenceMonitor::new();
+        let narrow = Tensor::from_slice(&[0.9, 1.1, 0.9, 1.1]);
+        let wide = Tensor::from_slice(&[-9.0, 11.0, -9.0, 11.0]);
+        m.observe_activation(&narrow);
+        m.observe_activation(&wide);
+        assert_eq!(m.check(), Some(Divergence::StdDrift));
+    }
+
+    #[test]
+    fn single_observation_never_flags() {
+        let mut m = ConvergenceMonitor::new();
+        m.observe_score(0.1);
+        m.observe_activation(&Tensor::full(Shape::vec(4), 1.0));
+        assert_eq!(m.check(), None);
+    }
+}

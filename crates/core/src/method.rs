@@ -1,0 +1,311 @@
+//! Compression schemes and the Table II per-activation-type policy.
+
+use jact_codec::dqt::Dqt;
+use jact_codec::pipeline::{
+    BrcCodec, Codec, CoderKind, DprCodec, GistCsrCodec, JpegCodec, RawCodec, SfprCodec,
+    SfprZvcCodec, ZvcF32Codec,
+};
+use jact_codec::quant::QuantKind;
+use jact_dnn::act::ActKind;
+use jact_tensor::Shape;
+
+/// A DQT selection over training epochs.
+///
+/// `optL5H` (Sec. IV, Fig. 17) anneals the first epochs with the
+/// low-compression table, then switches to the high-compression one —
+/// avoiding divergence in the critical early period.
+#[derive(Debug, Clone)]
+pub enum DqtSchedule {
+    /// One table for all of training.
+    Fixed(Dqt),
+    /// `first` until `switch_epoch`, then `after`.
+    Piecewise {
+        /// Table for epochs `< switch_epoch`.
+        first: Dqt,
+        /// Table for the remainder of training.
+        after: Dqt,
+        /// First epoch (0-based) that uses `after`.
+        switch_epoch: usize,
+    },
+}
+
+impl DqtSchedule {
+    /// The paper's `optL5H`: `optL` for 5 epochs, then `optH`.
+    pub fn opt_l5h() -> Self {
+        DqtSchedule::Piecewise {
+            first: Dqt::opt_l(),
+            after: Dqt::opt_h(),
+            switch_epoch: 5,
+        }
+    }
+
+    /// The table in effect at `epoch`.
+    pub fn at_epoch(&self, epoch: usize) -> &Dqt {
+        match self {
+            DqtSchedule::Fixed(d) => d,
+            DqtSchedule::Piecewise {
+                first,
+                after,
+                switch_epoch,
+            } => {
+                if epoch < *switch_epoch {
+                    first
+                } else {
+                    after
+                }
+            }
+        }
+    }
+
+    /// Schedule name for experiment tables (`optL`, `optL5H`, `jpeg80`…).
+    pub fn name(&self) -> String {
+        match self {
+            DqtSchedule::Fixed(d) => d.name().to_string(),
+            DqtSchedule::Piecewise {
+                first,
+                after,
+                switch_epoch,
+            } => format!("{}{}{}", first.name(), switch_epoch, after.name().trim_start_matches("opt")),
+        }
+    }
+}
+
+/// A complete activation-compression scheme — one row of Table I.
+#[derive(Debug, Clone)]
+pub enum Scheme {
+    /// vDNN: offload with no compression.
+    Vdnn,
+    /// cDMA+: DMA-side ZVC on sparse activations, none on dense.
+    CdmaPlus,
+    /// GIST: 8-bit DPR on dense, BRC on eligible ReLUs, DPR+CSR on sparse.
+    Gist,
+    /// SFPR only: 8-bit scaled fix-point on everything.
+    Sfpr,
+    /// JPEG-BASE: SFPR + DCT + DIV + RLE on dense spatial activations.
+    JpegBase {
+        /// Quantization table (image or optimized).
+        dqt: Dqt,
+    },
+    /// JPEG-ACT: SFPR + DCT + SH + ZVC with a DQT schedule.
+    JpegAct {
+        /// Possibly piece-wise DQT schedule.
+        schedule: DqtSchedule,
+    },
+    /// Custom JPEG back-end pairing for the Table III ablation matrix.
+    JpegCustom {
+        /// Quantization table.
+        dqt: Dqt,
+        /// DIV or SH.
+        quant: QuantKind,
+        /// RLE or ZVC.
+        coder: CoderKind,
+    },
+}
+
+impl Scheme {
+    /// vDNN (uncompressed offload).
+    pub fn vdnn() -> Self {
+        Scheme::Vdnn
+    }
+
+    /// cDMA+ (DMA-side ZVC).
+    pub fn cdma_plus() -> Self {
+        Scheme::CdmaPlus
+    }
+
+    /// GIST (DPR/BRC/CSR).
+    pub fn gist() -> Self {
+        Scheme::Gist
+    }
+
+    /// SFPR-only.
+    pub fn sfpr() -> Self {
+        Scheme::Sfpr
+    }
+
+    /// JPEG-BASE with an image-quality table.
+    pub fn jpeg_base(quality: u32) -> Self {
+        Scheme::JpegBase {
+            dqt: Dqt::jpeg_quality(quality),
+        }
+    }
+
+    /// JPEG-ACT with a fixed DQT.
+    pub fn jpeg_act(dqt: Dqt) -> Self {
+        Scheme::JpegAct {
+            schedule: DqtSchedule::Fixed(dqt),
+        }
+    }
+
+    /// JPEG-ACT with the paper's piece-wise `optL5H` schedule.
+    pub fn jpeg_act_opt_l5h() -> Self {
+        Scheme::JpegAct {
+            schedule: DqtSchedule::opt_l5h(),
+        }
+    }
+
+    /// Scheme name for experiment tables.
+    pub fn name(&self) -> String {
+        match self {
+            Scheme::Vdnn => "vDNN".into(),
+            Scheme::CdmaPlus => "cDMA+".into(),
+            Scheme::Gist => "GIST".into(),
+            Scheme::Sfpr => "SFPR".into(),
+            Scheme::JpegBase { dqt } => format!("JPEG-BASE({})", dqt.name()),
+            Scheme::JpegAct { schedule } => format!("JPEG-ACT({})", schedule.name()),
+            Scheme::JpegCustom { dqt, quant, coder } => {
+                format!("JPEG({quant}+{coder}:{})", dqt.name())
+            }
+        }
+    }
+
+    /// Whether a dense spatial activation of `shape` is JPEG-eligible:
+    /// the paper applies JPEG only when the reshaped `(N·C·H) × W` matrix
+    /// spans at least one 8×8 block in each dimension (Table II footnote).
+    pub fn jpeg_eligible(shape: &Shape) -> bool {
+        shape.rank() == 4 && shape.w() >= 8 && shape.n() * shape.c() * shape.h() >= 8
+    }
+
+    /// Selects the codec for an activation of `kind` and `shape` at
+    /// `epoch` — the Table II policy.
+    pub fn codec_for(&self, kind: ActKind, shape: &Shape, epoch: usize) -> Box<dyn Codec> {
+        let dense = kind.is_dense_spatial();
+        match self {
+            Scheme::Vdnn => Box::new(RawCodec),
+            Scheme::CdmaPlus => {
+                if dense {
+                    // cDMA cannot compress dense activations.
+                    Box::new(RawCodec)
+                } else {
+                    Box::new(ZvcF32Codec)
+                }
+            }
+            Scheme::Gist => match kind {
+                ActKind::Conv | ActKind::Sum | ActKind::Norm => {
+                    Box::new(DprCodec::new(jact_codec::dpr::DprWidth::F8))
+                }
+                ActKind::ReluToOther => Box::new(BrcCodec),
+                _ => Box::new(GistCsrCodec),
+            },
+            Scheme::Sfpr => Box::new(SfprCodec::new()),
+            Scheme::JpegBase { dqt } => match kind {
+                ActKind::Conv | ActKind::Sum | ActKind::Norm if Self::jpeg_eligible(shape) => {
+                    Box::new(JpegCodec::new(dqt.clone(), QuantKind::Div, CoderKind::Rle))
+                }
+                ActKind::ReluToOther => Box::new(BrcCodec),
+                _ => Box::new(SfprCodec::new()),
+            },
+            Scheme::JpegAct { schedule } => {
+                let dqt = schedule.at_epoch(epoch).clone();
+                match kind {
+                    ActKind::Conv | ActKind::Sum | ActKind::Norm if Self::jpeg_eligible(shape) => {
+                        Box::new(JpegCodec::new(dqt, QuantKind::Shift, CoderKind::Zvc))
+                    }
+                    ActKind::ReluToOther => Box::new(BrcCodec),
+                    _ => Box::new(SfprZvcCodec::new()),
+                }
+            }
+            Scheme::JpegCustom { dqt, quant, coder } => match kind {
+                ActKind::Conv | ActKind::Sum | ActKind::Norm if Self::jpeg_eligible(shape) => {
+                    Box::new(JpegCodec::new(dqt.clone(), *quant, *coder))
+                }
+                ActKind::ReluToOther => Box::new(BrcCodec),
+                _ => Box::new(SfprCodec::new()),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_switches_at_epoch() {
+        let s = DqtSchedule::opt_l5h();
+        assert_eq!(s.at_epoch(0).name(), "optL");
+        assert_eq!(s.at_epoch(4).name(), "optL");
+        assert_eq!(s.at_epoch(5).name(), "optH");
+        assert_eq!(s.at_epoch(100).name(), "optH");
+        assert_eq!(s.name(), "optL5H");
+    }
+
+    #[test]
+    fn jpeg_eligibility_rules() {
+        assert!(Scheme::jpeg_eligible(&Shape::nchw(8, 16, 16, 16)));
+        assert!(Scheme::jpeg_eligible(&Shape::nchw(1, 1, 8, 8)));
+        assert!(!Scheme::jpeg_eligible(&Shape::nchw(1, 1, 8, 4))); // W < 8
+        assert!(!Scheme::jpeg_eligible(&Shape::nchw(1, 1, 4, 8))); // NCH < 8
+        assert!(!Scheme::jpeg_eligible(&Shape::mat(32, 32)));
+    }
+
+    #[test]
+    fn vdnn_is_always_raw() {
+        let s = Scheme::vdnn();
+        for kind in [ActKind::Conv, ActKind::ReluToConv, ActKind::Dropout] {
+            assert_eq!(s.codec_for(kind, &Shape::nchw(2, 4, 8, 8), 0).name(), "raw");
+        }
+    }
+
+    #[test]
+    fn cdma_raw_on_dense_zvc_on_sparse() {
+        let s = Scheme::cdma_plus();
+        let shape = Shape::nchw(2, 4, 8, 8);
+        assert_eq!(s.codec_for(ActKind::Conv, &shape, 0).name(), "raw");
+        assert_eq!(s.codec_for(ActKind::Sum, &shape, 0).name(), "raw");
+        assert_eq!(s.codec_for(ActKind::ReluToConv, &shape, 0).name(), "zvc-f32");
+        assert_eq!(s.codec_for(ActKind::Dropout, &shape, 0).name(), "zvc-f32");
+    }
+
+    #[test]
+    fn gist_policy_matches_table2() {
+        let s = Scheme::gist();
+        let shape = Shape::nchw(2, 4, 8, 8);
+        assert_eq!(s.codec_for(ActKind::Conv, &shape, 0).name(), "dpr-f8");
+        assert_eq!(s.codec_for(ActKind::ReluToOther, &shape, 0).name(), "brc");
+        assert_eq!(s.codec_for(ActKind::ReluToConv, &shape, 0).name(), "gist-csr");
+        assert_eq!(s.codec_for(ActKind::Pool, &shape, 0).name(), "gist-csr");
+    }
+
+    #[test]
+    fn jpeg_act_policy_matches_table2() {
+        let s = Scheme::jpeg_act_opt_l5h();
+        let shape = Shape::nchw(2, 4, 8, 8);
+        assert!(s
+            .codec_for(ActKind::Conv, &shape, 0)
+            .name()
+            .contains("SH+ZVC:optL"));
+        assert!(s
+            .codec_for(ActKind::Sum, &shape, 6)
+            .name()
+            .contains("SH+ZVC:optH"));
+        assert_eq!(s.codec_for(ActKind::ReluToOther, &shape, 0).name(), "brc");
+        assert_eq!(
+            s.codec_for(ActKind::ReluToConv, &shape, 0).name(),
+            "sfpr+zvc"
+        );
+        // Too small for JPEG -> falls back to SFPR+ZVC.
+        let tiny = Shape::nchw(1, 1, 4, 4);
+        assert_eq!(s.codec_for(ActKind::Conv, &tiny, 0).name(), "sfpr+zvc");
+    }
+
+    #[test]
+    fn jpeg_base_policy_matches_table2() {
+        let s = Scheme::jpeg_base(80);
+        let shape = Shape::nchw(2, 4, 8, 8);
+        assert!(s
+            .codec_for(ActKind::Conv, &shape, 0)
+            .name()
+            .contains("DIV+RLE:jpeg80"));
+        assert_eq!(s.codec_for(ActKind::ReluToConv, &shape, 0).name(), "sfpr");
+        let tiny = Shape::nchw(1, 1, 4, 4);
+        assert_eq!(s.codec_for(ActKind::Conv, &tiny, 0).name(), "sfpr");
+    }
+
+    #[test]
+    fn scheme_names() {
+        assert_eq!(Scheme::vdnn().name(), "vDNN");
+        assert_eq!(Scheme::jpeg_base(60).name(), "JPEG-BASE(jpeg60)");
+        assert_eq!(Scheme::jpeg_act_opt_l5h().name(), "JPEG-ACT(optL5H)");
+    }
+}

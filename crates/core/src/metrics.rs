@@ -1,0 +1,197 @@
+//! Rate/distortion metrics (Sec. IV) and the entropy analyses behind
+//! Figs. 2 and 6.
+
+use jact_codec::block::to_blocks_f32;
+use jact_codec::dct::dct2d;
+use jact_codec::dqt::Dqt;
+use jact_codec::pipeline::{Codec, CoderKind, JpegCodec};
+use jact_codec::quant::QuantKind;
+use jact_tensor::Tensor;
+
+/// Normalizing scaling factor λ1 of the objective (Eqn. 12).
+pub const LAMBDA_1: f64 = 10.0;
+/// Normalizing scaling factor λ2 of the objective (Eqn. 12).
+pub const LAMBDA_2: f64 = 10_000.0;
+
+/// Shannon entropy in bits per symbol of a stream of `i8` values
+/// (Eqn. 11) — the minimum bits required per quantized activation.
+pub fn shannon_entropy_i8(values: impl IntoIterator<Item = i8>) -> f64 {
+    let mut counts = [0u64; 256];
+    let mut total = 0u64;
+    for v in values {
+        counts[(v as u8) as usize] += 1;
+        total += 1;
+    }
+    if total == 0 {
+        return 0.0;
+    }
+    let mut h = 0.0f64;
+    for &c in &counts {
+        if c > 0 {
+            let p = c as f64 / total as f64;
+            h -= p * p.log2();
+        }
+    }
+    h
+}
+
+/// Per-element L2 error of a recovered activation (Eqn. 10):
+/// `L2 = ||x − x*|| / (N·C·H·W)`.
+pub fn recovered_l2(x: &Tensor, recovered: &Tensor) -> f64 {
+    x.l2_distance(recovered) / x.len() as f64
+}
+
+/// The rate/distortion objective (Eqn. 12):
+/// `O = (1 − α)·λ1·H + α·λ2·L2`.
+pub fn objective(entropy_bits: f64, l2: f64, alpha: f64) -> f64 {
+    (1.0 - alpha) * LAMBDA_1 * entropy_bits + alpha * LAMBDA_2 * l2
+}
+
+/// Evaluates one JPEG pipeline configuration on an activation, returning
+/// `(entropy H of the quantized coefficients, recovered L2 error)` — the
+/// two measurements the DQT optimizer trades off (Fig. 9).
+pub fn rate_distortion(x: &Tensor, dqt: &Dqt, quant: QuantKind) -> (f64, f64) {
+    let codec = JpegCodec::new(dqt.clone(), quant, CoderKind::Zvc);
+    let blocks = codec.quantized_blocks(x);
+    let h = shannon_entropy_i8(blocks.iter().flatten().copied());
+    let rec = codec.decompress(&codec.compress(x));
+    (h, recovered_l2(x, &rec))
+}
+
+/// Shannon entropy in bits per symbol of real values quantized with a
+/// fixed step size (unbounded alphabet).
+pub fn shannon_entropy_quantized(values: impl IntoIterator<Item = f32>, step: f32) -> f64 {
+    assert!(step > 0.0, "quantization step must be positive");
+    let mut counts: std::collections::HashMap<i64, u64> = std::collections::HashMap::new();
+    let mut total = 0u64;
+    for v in values {
+        let bin = (v / step).round() as i64;
+        *counts.entry(bin).or_insert(0) += 1;
+        total += 1;
+    }
+    if total == 0 {
+        return 0.0;
+    }
+    let mut h = 0.0f64;
+    for &c in counts.values() {
+        let p = c as f64 / total as f64;
+        h -= p * p.log2();
+    }
+    h
+}
+
+/// Spatial- and frequency-domain Shannon entropy of an activation
+/// (Figs. 2 and 6).
+///
+/// Both domains are quantized with the **same step size** (the spatial
+/// plane's max over 127 levels), so the entropies are directly
+/// comparable: the orthonormal DCT preserves energy, and for
+/// spatially-correlated data it concentrates that energy into few large
+/// coefficients — many near-zero bins, lower entropy.  For white noise
+/// the transform is just a rotation of an iid vector and no compaction
+/// occurs.
+pub fn spatial_frequency_entropy(x: &Tensor) -> (f64, f64) {
+    let max = x.max_abs().max(1e-12);
+    let step = max / 127.0;
+
+    let h_spatial = shannon_entropy_quantized(x.iter().copied(), step);
+
+    let blocks = to_blocks_f32(x.as_slice(), x.shape());
+    let mut freq_syms: Vec<f32> = Vec::with_capacity(blocks.len() * 64);
+    for b in &blocks {
+        let mut blk = *b;
+        dct2d(&mut blk);
+        freq_syms.extend_from_slice(&blk);
+    }
+    let h_freq = shannon_entropy_quantized(freq_syms, step);
+    (h_spatial, h_freq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jact_tensor::Shape;
+
+    #[test]
+    fn entropy_of_constant_is_zero() {
+        assert_eq!(shannon_entropy_i8(vec![7i8; 100]), 0.0);
+    }
+
+    #[test]
+    fn entropy_of_uniform_256_is_8_bits() {
+        let vals: Vec<i8> = (0..=255u8).map(|b| b as i8).collect();
+        let h = shannon_entropy_i8(vals);
+        assert!((h - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn entropy_of_two_symbols_is_one_bit() {
+        let vals: Vec<i8> = (0..100).map(|i| if i % 2 == 0 { 0 } else { 1 }).collect();
+        assert!((shannon_entropy_i8(vals) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_entropy_is_zero() {
+        assert_eq!(shannon_entropy_i8(Vec::<i8>::new()), 0.0);
+    }
+
+    #[test]
+    fn recovered_l2_basics() {
+        let a = Tensor::full(Shape::vec(4), 1.0);
+        let b = Tensor::full(Shape::vec(4), 0.0);
+        assert_eq!(recovered_l2(&a, &a), 0.0);
+        assert_eq!(recovered_l2(&a, &b), 2.0 / 4.0);
+    }
+
+    #[test]
+    fn objective_tradeoff_direction() {
+        // Higher alpha weights error more.
+        let low_alpha = objective(4.0, 0.01, 0.005);
+        let high_alpha = objective(4.0, 0.01, 0.5);
+        assert!(high_alpha > low_alpha);
+    }
+
+    fn smooth_activation() -> Tensor {
+        let shape = Shape::nchw(2, 4, 16, 16);
+        let data = (0..shape.len())
+            .map(|i| {
+                let x = (i % 16) as f32;
+                let y = ((i / 16) % 16) as f32;
+                ((x * 0.25).sin() + (y * 0.3).cos()) * 0.8
+            })
+            .collect();
+        Tensor::from_vec(shape, data)
+    }
+
+    #[test]
+    fn smooth_data_has_lower_frequency_entropy() {
+        // The paper's Fig. 2/6 claim: spatially-correlated activations are
+        // more compact in the frequency domain.
+        let x = smooth_activation();
+        let (hs, hf) = spatial_frequency_entropy(&x);
+        assert!(hf < hs, "H_freq={hf} should be < H_spatial={hs}");
+    }
+
+    #[test]
+    fn noise_has_no_frequency_advantage() {
+        // White noise: the DCT cannot compact it.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let shape = Shape::nchw(1, 4, 16, 16);
+        let data = (0..shape.len())
+            .map(|_| rng.gen_range(-0.5f32..0.5))
+            .collect();
+        let x = Tensor::from_vec(shape, data);
+        let (hs, hf) = spatial_frequency_entropy(&x);
+        assert!(hf > hs - 0.5, "noise: H_freq={hf} H_spatial={hs}");
+    }
+
+    #[test]
+    fn rate_distortion_orders_dqts() {
+        let x = smooth_activation();
+        let (h_l, e_l) = rate_distortion(&x, &Dqt::opt_l(), QuantKind::Shift);
+        let (h_h, e_h) = rate_distortion(&x, &Dqt::opt_h(), QuantKind::Shift);
+        assert!(h_h < h_l, "optH entropy {h_h} should be < optL {h_l}");
+        assert!(e_h >= e_l, "optH error {e_h} should be >= optL {e_l}");
+    }
+}

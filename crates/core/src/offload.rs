@@ -1,0 +1,240 @@
+//! The compressing offload activation store.
+//!
+//! [`OffloadStore`] implements `jact-dnn`'s
+//! [`ActivationStore`](jact_dnn::act::ActivationStore): each `save`
+//! compresses the activation with the codec Table II selects for its kind
+//! (see [`Scheme::codec_for`]), modelling the forward-pass offload to CPU
+//! memory; each `load` decompresses, modelling the backward-pass prefetch
+//! — so all gradient computation downstream consumes the *recovered*
+//! activation `x*` (Eqns. 6–8).
+//!
+//! Rank-2 activations (fully-connected inputs) are viewed as `[N, D, 1, 1]`
+//! for codecs that require NCHW, and restored on load.
+
+use crate::method::Scheme;
+use crate::stats::CompressionStats;
+use jact_codec::pipeline::{Codec, CompressedActivation};
+use jact_dnn::act::{ActKind, ActivationId, ActivationStore};
+use jact_tensor::{Shape, Tensor};
+use std::collections::HashMap;
+
+struct Entry {
+    compressed: CompressedActivation,
+    codec: Box<dyn Codec>,
+    original_shape: Shape,
+    /// Decompressed cache: a tensor may be consumed by several layers in
+    /// one backward pass (aliased keys), and hardware would keep the
+    /// prefetched copy in GPU memory for the same reason.
+    cache: Option<Tensor>,
+}
+
+/// An [`ActivationStore`] that compresses on save / decompresses on load.
+pub struct OffloadStore {
+    scheme: Scheme,
+    epoch: usize,
+    entries: HashMap<ActivationId, Entry>,
+    stats: CompressionStats,
+    /// Per-step sizes for footprint analyses: (kind, unc, comp).
+    step_log: Vec<(ActKind, usize, usize)>,
+}
+
+impl OffloadStore {
+    /// Creates a store for the given scheme.
+    pub fn new(scheme: Scheme) -> Self {
+        OffloadStore {
+            scheme,
+            epoch: 0,
+            entries: HashMap::new(),
+            stats: CompressionStats::new(),
+            step_log: Vec::new(),
+        }
+    }
+
+    /// Sets the current epoch (drives piece-wise DQT schedules).
+    pub fn set_epoch(&mut self, epoch: usize) {
+        self.epoch = epoch;
+    }
+
+    /// The scheme in use.
+    pub fn scheme(&self) -> &Scheme {
+        &self.scheme
+    }
+
+    /// Cumulative compression statistics across all saves.
+    pub fn stats(&self) -> &CompressionStats {
+        &self.stats
+    }
+
+    /// Resets the cumulative statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Sizes recorded during the most recent step: `(kind, uncompressed,
+    /// compressed)` per saved tensor — the data behind Fig. 19.
+    pub fn step_log(&self) -> &[(ActKind, usize, usize)] {
+        &self.step_log
+    }
+
+    /// Reshapes rank-2 `[N, D]` to `[N, D, 1, 1]` for NCHW-only codecs.
+    fn to_rank4(x: &Tensor) -> Tensor {
+        if x.shape().rank() == 4 {
+            x.clone()
+        } else if x.shape().rank() == 2 {
+            let (n, d) = (x.shape().dim(0), x.shape().dim(1));
+            x.reshape(Shape::nchw(n, d, 1, 1))
+        } else {
+            let len = x.len();
+            x.reshape(Shape::nchw(1, len, 1, 1))
+        }
+    }
+}
+
+impl ActivationStore for OffloadStore {
+    fn save(&mut self, id: ActivationId, kind: ActKind, x: &Tensor) {
+        let x4 = Self::to_rank4(x);
+        let codec = self.scheme.codec_for(kind, x4.shape(), self.epoch);
+        let compressed = codec.compress(&x4);
+        self.stats
+            .record(kind, compressed.uncompressed_bytes(), compressed.compressed_bytes());
+        self.step_log.push((
+            kind,
+            compressed.uncompressed_bytes(),
+            compressed.compressed_bytes(),
+        ));
+        self.entries.insert(
+            id,
+            Entry {
+                compressed,
+                codec,
+                original_shape: x.shape().clone(),
+                cache: None,
+            },
+        );
+    }
+
+    fn load(&mut self, id: ActivationId) -> Tensor {
+        let e = self
+            .entries
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("activation {id} was never saved"));
+        if e.cache.is_none() {
+            let t = e.codec.decompress(&e.compressed);
+            e.cache = Some(t.reshape(e.original_shape.clone()));
+        }
+        e.cache.clone().expect("cache populated above")
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.step_log.clear();
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth(shape: Shape) -> Tensor {
+        let data = (0..shape.len())
+            .map(|i| ((i % 32) as f32 * 0.2).sin() + 0.3)
+            .collect();
+        Tensor::from_vec(shape, data)
+    }
+
+    fn sparse(shape: Shape) -> Tensor {
+        let data = (0..shape.len())
+            .map(|i| if i % 3 == 0 { (i % 11) as f32 * 0.1 } else { 0.0 })
+            .collect();
+        Tensor::from_vec(shape, data)
+    }
+
+    #[test]
+    fn vdnn_store_is_exact() {
+        let mut s = OffloadStore::new(Scheme::vdnn());
+        let x = smooth(Shape::nchw(2, 3, 8, 8));
+        s.save(1, ActKind::Conv, &x);
+        assert_eq!(s.load(1), x);
+        assert_eq!(s.stats().overall_ratio(), 1.0);
+    }
+
+    #[test]
+    fn jpeg_act_store_compresses_with_bounded_error() {
+        let mut s = OffloadStore::new(Scheme::jpeg_act_opt_l5h());
+        let x = smooth(Shape::nchw(2, 4, 16, 16));
+        s.save(1, ActKind::Conv, &x);
+        let rec = s.load(1);
+        assert!(x.mse(&rec) < 1e-2, "mse={}", x.mse(&rec));
+        assert!(s.stats().overall_ratio() > 2.0);
+    }
+
+    #[test]
+    fn rank2_roundtrip() {
+        let mut s = OffloadStore::new(Scheme::sfpr());
+        let x = smooth(Shape::mat(4, 64));
+        s.save(2, ActKind::Linear, &x);
+        let rec = s.load(2);
+        assert_eq!(rec.shape(), x.shape());
+        // 8-bit quantization plus the intentional S=1.125 clipping of the
+        // top of each channel's range.
+        assert!(x.mse(&rec) < 2e-2, "mse={}", x.mse(&rec));
+    }
+
+    #[test]
+    fn load_is_cached_and_repeatable() {
+        let mut s = OffloadStore::new(Scheme::jpeg_act_opt_l5h());
+        let x = smooth(Shape::nchw(1, 8, 8, 8));
+        s.save(3, ActKind::Sum, &x);
+        let a = s.load(3);
+        let b = s.load(3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn epoch_changes_dqt() {
+        let mut s = OffloadStore::new(Scheme::jpeg_act_opt_l5h());
+        let x = smooth(Shape::nchw(1, 8, 16, 16));
+        s.save(1, ActKind::Conv, &x);
+        let early = s.stats().total_compressed();
+        s.clear();
+        s.reset_stats();
+        s.set_epoch(10);
+        s.save(1, ActKind::Conv, &x);
+        let late = s.stats().total_compressed();
+        assert!(late < early, "optH ({late}) should beat optL ({early})");
+    }
+
+    #[test]
+    fn brc_load_returns_binary_surrogate() {
+        let mut s = OffloadStore::new(Scheme::gist());
+        let x = sparse(Shape::nchw(1, 2, 8, 8));
+        s.save(4, ActKind::ReluToOther, &x);
+        let rec = s.load(4);
+        for (a, b) in x.iter().zip(rec.iter()) {
+            assert_eq!(*a > 0.0, *b == 1.0);
+        }
+    }
+
+    #[test]
+    fn stats_accumulate_across_steps_but_log_resets() {
+        let mut s = OffloadStore::new(Scheme::sfpr());
+        let x = smooth(Shape::nchw(1, 2, 8, 8));
+        s.save(1, ActKind::Conv, &x);
+        s.clear();
+        s.save(1, ActKind::Conv, &x);
+        assert_eq!(s.step_log().len(), 1);
+        let conv = s.stats().by_kind().next().unwrap().1;
+        assert_eq!(conv.count, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "never saved")]
+    fn missing_id_panics() {
+        let mut s = OffloadStore::new(Scheme::vdnn());
+        let _ = s.load(9);
+    }
+}

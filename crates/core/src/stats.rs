@@ -1,0 +1,161 @@
+//! Compression accounting, broken down by activation type (Fig. 19).
+
+use jact_dnn::act::ActKind;
+use std::collections::BTreeMap;
+
+/// Cumulative compression statistics across saves.
+#[derive(Debug, Clone, Default)]
+pub struct CompressionStats {
+    per_kind: BTreeMap<String, KindStats>,
+}
+
+/// Byte totals for one activation kind.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KindStats {
+    /// Uncompressed bytes saved.
+    pub uncompressed: u64,
+    /// Compressed bytes produced.
+    pub compressed: u64,
+    /// Number of tensors.
+    pub count: u64,
+}
+
+impl KindStats {
+    /// Compression ratio for this kind.
+    pub fn ratio(&self) -> f64 {
+        if self.compressed == 0 {
+            0.0
+        } else {
+            self.uncompressed as f64 / self.compressed as f64
+        }
+    }
+}
+
+impl CompressionStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one compressed activation.
+    pub fn record(&mut self, kind: ActKind, uncompressed: usize, compressed: usize) {
+        let e = self.per_kind.entry(kind.to_string()).or_default();
+        e.uncompressed += uncompressed as u64;
+        e.compressed += compressed as u64;
+        e.count += 1;
+    }
+
+    /// Per-kind breakdown, sorted by kind name.
+    pub fn by_kind(&self) -> impl Iterator<Item = (&str, &KindStats)> {
+        self.per_kind.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Total uncompressed bytes.
+    pub fn total_uncompressed(&self) -> u64 {
+        self.per_kind.values().map(|v| v.uncompressed).sum()
+    }
+
+    /// Total compressed bytes.
+    pub fn total_compressed(&self) -> u64 {
+        self.per_kind.values().map(|v| v.compressed).sum()
+    }
+
+    /// Overall compression ratio (Table I's bracketed numbers).
+    pub fn overall_ratio(&self) -> f64 {
+        let c = self.total_compressed();
+        if c == 0 {
+            0.0
+        } else {
+            self.total_uncompressed() as f64 / c as f64
+        }
+    }
+
+    /// Resets all counters.
+    pub fn reset(&mut self) {
+        self.per_kind.clear();
+    }
+
+    /// Merges another statistics object into this one.
+    pub fn merge(&mut self, other: &CompressionStats) {
+        for (k, v) in &other.per_kind {
+            let e = self.per_kind.entry(k.clone()).or_default();
+            e.uncompressed += v.uncompressed;
+            e.compressed += v.compressed;
+            e.count += v.count;
+        }
+    }
+}
+
+impl std::fmt::Display for CompressionStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:<16} {:>12} {:>12} {:>8} {:>8}",
+            "kind", "orig (B)", "compr (B)", "ratio", "count"
+        )?;
+        for (k, v) in self.by_kind() {
+            writeln!(
+                f,
+                "{:<16} {:>12} {:>12} {:>8.2} {:>8}",
+                k, v.uncompressed, v.compressed, v.ratio(), v.count
+            )?;
+        }
+        write!(
+            f,
+            "{:<16} {:>12} {:>12} {:>8.2}",
+            "TOTAL",
+            self.total_uncompressed(),
+            self.total_compressed(),
+            self.overall_ratio()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_ratios() {
+        let mut s = CompressionStats::new();
+        s.record(ActKind::Conv, 1000, 250);
+        s.record(ActKind::Conv, 1000, 250);
+        s.record(ActKind::Dropout, 400, 100);
+        assert_eq!(s.total_uncompressed(), 2400);
+        assert_eq!(s.total_compressed(), 600);
+        assert_eq!(s.overall_ratio(), 4.0);
+        let conv = s.by_kind().find(|(k, _)| *k == "conv").unwrap().1;
+        assert_eq!(conv.count, 2);
+        assert_eq!(conv.ratio(), 4.0);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = CompressionStats::new();
+        assert_eq!(s.overall_ratio(), 0.0);
+        assert_eq!(s.total_compressed(), 0);
+    }
+
+    #[test]
+    fn reset_and_merge() {
+        let mut a = CompressionStats::new();
+        a.record(ActKind::Sum, 100, 50);
+        let mut b = CompressionStats::new();
+        b.record(ActKind::Sum, 100, 50);
+        b.record(ActKind::Pool, 80, 20);
+        a.merge(&b);
+        assert_eq!(a.total_uncompressed(), 280);
+        a.reset();
+        assert_eq!(a.total_uncompressed(), 0);
+    }
+
+    #[test]
+    fn display_contains_totals() {
+        let mut s = CompressionStats::new();
+        s.record(ActKind::Conv, 100, 25);
+        let txt = format!("{s}");
+        assert!(txt.contains("TOTAL"));
+        assert!(txt.contains("conv"));
+        assert!(txt.contains("4.00"));
+    }
+}

@@ -1,0 +1,178 @@
+//! Natural-image-like random fields.
+//!
+//! Real photographs have a roughly `1/f` spatial power spectrum: most
+//! energy in low frequencies, smoothly decaying tails.  These generators
+//! synthesize fields with that property by summing random sinusoidal
+//! plane waves with amplitude inversely proportional to frequency, plus a
+//! few smooth Gaussian bumps — enough structure for the paper's
+//! frequency-entropy comparison (Fig. 2) to reproduce.
+
+use jact_tensor::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of one plane-wave component.
+#[derive(Debug, Clone, Copy)]
+struct Wave {
+    fx: f32,
+    fy: f32,
+    phase: f32,
+    amp: f32,
+}
+
+fn random_waves(rng: &mut StdRng, count: usize, max_freq: f32) -> Vec<Wave> {
+    (0..count)
+        .map(|_| {
+            let f = rng.gen_range(0.5f32..max_freq);
+            let theta = rng.gen_range(0.0f32..std::f32::consts::TAU);
+            Wave {
+                fx: f * theta.cos(),
+                fy: f * theta.sin(),
+                phase: rng.gen_range(0.0..std::f32::consts::TAU),
+                // ~1/f amplitude: low frequencies dominate, as in photos.
+                amp: 1.0 / f,
+            }
+        })
+        .collect()
+}
+
+/// Evaluates a wave sum at pixel `(x, y)` of an image with extent `size`.
+fn field(waves: &[Wave], x: usize, y: usize, size: usize) -> f32 {
+    let (xf, yf) = (x as f32 / size as f32, y as f32 / size as f32);
+    waves
+        .iter()
+        .map(|w| w.amp * (std::f32::consts::TAU * (w.fx * xf + w.fy * yf) + w.phase).sin())
+        .sum()
+}
+
+/// Generates one natural-image-like plane in `[0, 1]`, shape
+/// `[1, channels, size, size]`.
+///
+/// Channels share the same structure with small offsets, like the RGB
+/// planes of a photo.
+pub fn natural_image(channels: usize, size: usize, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Enough components to populate the whole spectrum (with 1/f decay),
+    // as photographs do.
+    let waves = random_waves(&mut rng, 24, 14.0);
+    let chan_offsets: Vec<f32> = (0..channels).map(|_| rng.gen_range(-0.1..0.1)).collect();
+    // Real photographs contain objects: sharp occlusion boundaries that
+    // keep the spectrum from decaying too fast.  Add a few random
+    // rectangles with hard edges.
+    let n_rects = 3usize;
+    let rects: Vec<(f32, f32, f32, f32, f32)> = (0..n_rects)
+        .map(|_| {
+            (
+                rng.gen_range(0.0f32..0.8),
+                rng.gen_range(0.0f32..0.8),
+                rng.gen_range(0.1f32..0.4),
+                rng.gen_range(0.1f32..0.4),
+                rng.gen_range(-0.35f32..0.35),
+            )
+        })
+        .collect();
+    let shape = Shape::nchw(1, channels, size, size);
+    let mut data = vec![0.0f32; shape.len()];
+    // Normalize the wave sum to roughly unit range first.
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    let mut base = vec![0.0f32; size * size];
+    for y in 0..size {
+        for x in 0..size {
+            let mut v = field(&waves, x, y, size);
+            let (xf, yf) = (x as f32 / size as f32, y as f32 / size as f32);
+            for &(rx, ry, rw, rh, amp) in &rects {
+                if xf >= rx && xf < rx + rw && yf >= ry && yf < ry + rh {
+                    v += amp;
+                }
+            }
+            lo = lo.min(v);
+            hi = hi.max(v);
+            base[y * size + x] = v;
+        }
+    }
+    let span = (hi - lo).max(1e-6);
+    for (ci, &off) in chan_offsets.iter().enumerate() {
+        for (i, &b) in base.iter().enumerate() {
+            data[ci * size * size + i] = (((b - lo) / span) + off).clamp(0.0, 1.0);
+        }
+    }
+    Tensor::from_vec(shape, data)
+}
+
+/// Generates a batch of natural images, shape `[n, channels, size, size]`.
+pub fn natural_batch(n: usize, channels: usize, size: usize, seed: u64) -> Tensor {
+    let shape = Shape::nchw(n, channels, size, size);
+    let mut data = Vec::with_capacity(shape.len());
+    for i in 0..n {
+        let img = natural_image(channels, size, seed.wrapping_add(i as u64 * 7919));
+        data.extend_from_slice(img.as_slice());
+    }
+    Tensor::from_vec(shape, data)
+}
+
+/// Spatial autocorrelation at lag 1 (horizontal), averaged over planes —
+/// a quick measure that generated images are smooth, not white noise.
+pub fn lag1_autocorrelation(x: &Tensor) -> f64 {
+    let (n, c, h, w) = (x.shape().n(), x.shape().c(), x.shape().h(), x.shape().w());
+    let mean = x.mean() as f64;
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for ni in 0..n {
+        for ci in 0..c {
+            for hi in 0..h {
+                for wi in 0..w {
+                    let a = x.get4(ni, ci, hi, wi) as f64 - mean;
+                    den += a * a;
+                    if wi + 1 < w {
+                        let b = x.get4(ni, ci, hi, wi + 1) as f64 - mean;
+                        num += a * b;
+                    }
+                }
+            }
+        }
+    }
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn images_are_deterministic_per_seed() {
+        let a = natural_image(3, 16, 42);
+        let b = natural_image(3, 16, 42);
+        let c = natural_image(3, 16, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn pixel_range_is_unit_interval() {
+        let img = natural_image(3, 32, 7);
+        assert!(img.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // Uses a reasonable part of the range.
+        assert!(img.max_abs() > 0.5);
+    }
+
+    #[test]
+    fn images_are_spatially_correlated() {
+        let img = natural_image(1, 32, 9);
+        let rho = lag1_autocorrelation(&img);
+        assert!(rho > 0.7, "lag-1 autocorrelation only {rho}");
+    }
+
+    #[test]
+    fn batch_stacks_distinct_images() {
+        let b = natural_batch(3, 1, 16, 100);
+        assert_eq!(b.shape().dims(), &[3, 1, 16, 16]);
+        let first: Vec<f32> = b.as_slice()[0..256].to_vec();
+        let second: Vec<f32> = b.as_slice()[256..512].to_vec();
+        assert_ne!(first, second);
+    }
+}

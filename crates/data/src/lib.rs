@@ -1,0 +1,23 @@
+//! # jact-data
+//!
+//! Deterministic synthetic datasets substituting for the paper's CIFAR10,
+//! ImageNet, and Div2K inputs (see DESIGN.md §2 for the substitution
+//! rationale).
+//!
+//! The generators produce **spatially correlated** images — smooth
+//! multi-scale fields with class-dependent structure — because the paper's
+//! central empirical observation (Figs. 2 and 6) is that convolutions of
+//! such images yield activations whose frequency-domain representation is
+//! more compact than their spatial representation.  White noise would
+//! erase exactly the property under study.
+//!
+//! * [`synth`] — a 10-class classification task over structured images;
+//! * [`sr`] — super-resolution pairs (degraded input, clean target);
+//! * [`image`] — standalone natural-image-like fields for the entropy
+//!   analyses.
+
+pub mod image;
+pub mod sr;
+pub mod synth;
+
+pub use synth::SynthConfig;

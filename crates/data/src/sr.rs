@@ -1,0 +1,111 @@
+//! Super-resolution pairs (Div2K substitute).
+//!
+//! The paper evaluates VDSR on 64×64 random crops of Div2K (Sec. V).
+//! Here targets are procedural high-detail textures, and inputs are the
+//! classic SR degradation: 2× box downsampling followed by nearest
+//! upsampling, plus mild noise.  The network learns the residual detail.
+
+use crate::image;
+use jact_dnn::train::SrBatch;
+use jact_tensor::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// 2× box-downsample then nearest-upsample — the low-resolution proxy.
+///
+/// # Panics
+///
+/// Panics if height/width are odd.
+pub fn degrade(x: &Tensor, noise: f32, rng: &mut StdRng) -> Tensor {
+    let (n, c, h, w) = (x.shape().n(), x.shape().c(), x.shape().h(), x.shape().w());
+    assert!(h % 2 == 0 && w % 2 == 0, "extent must be even");
+    let mut out = Tensor::zeros(x.shape().clone());
+    for ni in 0..n {
+        for ci in 0..c {
+            for by in 0..h / 2 {
+                for bx in 0..w / 2 {
+                    let avg = (x.get4(ni, ci, 2 * by, 2 * bx)
+                        + x.get4(ni, ci, 2 * by, 2 * bx + 1)
+                        + x.get4(ni, ci, 2 * by + 1, 2 * bx)
+                        + x.get4(ni, ci, 2 * by + 1, 2 * bx + 1))
+                        / 4.0;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let v = (avg + rng.gen_range(-1.0f32..1.0) * noise).clamp(0.0, 1.0);
+                            out.set4(ni, ci, 2 * by + dy, 2 * bx + dx, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Generates `n_batches` super-resolution batches of `batch_size` crops.
+pub fn sr_batches(
+    n_batches: usize,
+    batch_size: usize,
+    channels: usize,
+    size: usize,
+    seed: u64,
+) -> Vec<SrBatch> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_batches)
+        .map(|bi| {
+            let shape = Shape::nchw(batch_size, channels, size, size);
+            let mut data = Vec::with_capacity(shape.len());
+            for ii in 0..batch_size {
+                let img_seed = seed
+                    .wrapping_mul(40_503)
+                    .wrapping_add((bi * batch_size + ii) as u64);
+                let img = image::natural_image(channels, size, img_seed);
+                data.extend_from_slice(img.as_slice());
+            }
+            let target = Tensor::from_vec(shape, data);
+            let input = degrade(&target, 0.01, &mut rng);
+            SrBatch { input, target }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jact_dnn::metrics::psnr;
+
+    #[test]
+    fn degrade_removes_detail_but_keeps_range() {
+        let target = image::natural_image(1, 32, 3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let input = degrade(&target, 0.0, &mut rng);
+        assert!(input.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // Degraded differs from target but not wildly (> 15 dB PSNR).
+        let p = psnr(&input, &target, 1.0);
+        assert!(p > 15.0 && p.is_finite(), "psnr={p}");
+        assert!(target.mse(&input) > 0.0);
+    }
+
+    #[test]
+    fn degrade_is_blockwise_constant_without_noise() {
+        let target = image::natural_image(1, 16, 4);
+        let mut rng = StdRng::seed_from_u64(0);
+        let input = degrade(&target, 0.0, &mut rng);
+        for by in 0..8 {
+            for bx in 0..8 {
+                let v = input.get4(0, 0, 2 * by, 2 * bx);
+                assert_eq!(input.get4(0, 0, 2 * by + 1, 2 * bx + 1), v);
+            }
+        }
+    }
+
+    #[test]
+    fn batches_are_shaped_and_deterministic() {
+        let a = sr_batches(2, 3, 1, 16, 9);
+        let b = sr_batches(2, 3, 1, 16, 9);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].input.shape().dims(), &[3, 1, 16, 16]);
+        assert_eq!(a[0].input, b[0].input);
+        assert_eq!(a[0].target, b[0].target);
+    }
+}

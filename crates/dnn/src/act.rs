@@ -1,0 +1,228 @@
+//! Activation memoization: the seam where offload compression plugs in.
+//!
+//! During the forward pass each layer saves the activations its backward
+//! pass will need (Sec. II-A); during the backward pass it loads them
+//! back.  The [`ActivationStore`] trait abstracts that storage:
+//!
+//! * [`PassthroughStore`] keeps exact tensors (the uncompressed baseline);
+//! * `jact-core`'s `OffloadStore` compresses on save and decompresses on
+//!   load, so every backward computation sees the *recovered* activation
+//!   `x*` — precisely how lossy compression perturbs training (Eqns. 6–9).
+//!
+//! Saved activations are tagged with an [`ActKind`] so the store can apply
+//! the paper's per-type method selection (Table II).
+
+use jact_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Unique key of one saved activation tensor.
+///
+/// Keys are allocated by model builders; aliasing two layers to one key
+/// expresses "this tensor is saved once and consumed by both" (e.g. a
+/// ReLU output that is also the next conv's input).
+pub type ActivationId = u64;
+
+/// What kind of activation a saved tensor is — the classification driving
+/// the paper's compression method selection (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActKind {
+    /// Dense convolution input (output of a norm/ReLU chain head).
+    Conv,
+    /// Dense activation produced by a residual addition, consumed by conv.
+    Sum,
+    /// Batch-norm input (the conv output in a CNR block).
+    Norm,
+    /// ReLU output whose consumer is a convolution (values needed).
+    ReluToConv,
+    /// ReLU output whose consumers need only the sign (BRC-eligible).
+    ReluToOther,
+    /// Pooling input/output.
+    Pool,
+    /// Dropout output (sparse).
+    Dropout,
+    /// Fully-connected layer input (2-D).
+    Linear,
+}
+
+impl ActKind {
+    /// `true` for the dense kinds the JPEG pipelines target (`conv` and
+    /// `sum` activations with spatial extent; Table II).
+    pub fn is_dense_spatial(self) -> bool {
+        matches!(self, ActKind::Conv | ActKind::Sum | ActKind::Norm)
+    }
+}
+
+impl std::fmt::Display for ActKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ActKind::Conv => "conv",
+            ActKind::Sum => "sum",
+            ActKind::Norm => "norm",
+            ActKind::ReluToConv => "relu(to conv)",
+            ActKind::ReluToOther => "relu(to other)",
+            ActKind::Pool => "pool",
+            ActKind::Dropout => "dropout",
+            ActKind::Linear => "linear",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Storage for activations memoized between the forward and backward pass.
+pub trait ActivationStore {
+    /// Saves `x` under `id` with its activation kind.
+    fn save(&mut self, id: ActivationId, kind: ActKind, x: &Tensor);
+
+    /// Loads the (possibly lossily recovered) activation saved under `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing was saved under `id` this step.
+    fn load(&mut self, id: ActivationId) -> Tensor;
+
+    /// Drops all saved activations (end of a training step).
+    fn clear(&mut self);
+
+    /// Runtime-typed access for harnesses that hold the store behind the
+    /// trait and need the concrete type back (e.g. to read compression
+    /// statistics or advance a DQT schedule's epoch).
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// Exact in-memory storage — the uncompressed training baseline.
+#[derive(Debug, Default)]
+pub struct PassthroughStore {
+    tensors: HashMap<ActivationId, Tensor>,
+}
+
+impl PassthroughStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of activations currently held.
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// `true` if no activations are held.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+}
+
+impl ActivationStore for PassthroughStore {
+    fn save(&mut self, id: ActivationId, _kind: ActKind, x: &Tensor) {
+        self.tensors.insert(id, x.clone());
+    }
+
+    fn load(&mut self, id: ActivationId) -> Tensor {
+        self.tensors
+            .get(&id)
+            .unwrap_or_else(|| panic!("activation {id} was never saved"))
+            .clone()
+    }
+
+    fn clear(&mut self) {
+        self.tensors.clear();
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Per-step execution context threaded through every layer call.
+pub struct Context<'a> {
+    /// `true` during training (dropout active, BN batch statistics).
+    pub training: bool,
+    /// Seeded RNG for stochastic layers.
+    pub rng: &'a mut rand::rngs::StdRng,
+    /// Activation storage (exact or compressing).
+    pub store: &'a mut dyn ActivationStore,
+}
+
+impl<'a> Context<'a> {
+    /// Creates a context.
+    pub fn new(
+        training: bool,
+        rng: &'a mut rand::rngs::StdRng,
+        store: &'a mut dyn ActivationStore,
+    ) -> Self {
+        Context {
+            training,
+            rng,
+            store,
+        }
+    }
+}
+
+/// Allocates unique activation ids for model builders.
+#[derive(Debug, Default)]
+pub struct IdAlloc {
+    next: ActivationId,
+}
+
+impl IdAlloc {
+    /// Creates an allocator starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a fresh id.
+    pub fn fresh(&mut self) -> ActivationId {
+        let id = self.next;
+        self.next += 1;
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jact_tensor::Shape;
+    use rand::SeedableRng;
+
+    #[test]
+    fn passthrough_roundtrip() {
+        let mut s = PassthroughStore::new();
+        let t = Tensor::full(Shape::vec(4), 2.0);
+        s.save(7, ActKind::Conv, &t);
+        assert_eq!(s.load(7), t);
+        assert_eq!(s.len(), 1);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "never saved")]
+    fn missing_activation_panics() {
+        let mut s = PassthroughStore::new();
+        let _ = s.load(99);
+    }
+
+    #[test]
+    fn id_alloc_is_sequential_and_unique() {
+        let mut a = IdAlloc::new();
+        let ids: Vec<_> = (0..5).map(|_| a.fresh()).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn kind_density_classification() {
+        assert!(ActKind::Conv.is_dense_spatial());
+        assert!(ActKind::Sum.is_dense_spatial());
+        assert!(!ActKind::ReluToConv.is_dense_spatial());
+        assert!(!ActKind::Dropout.is_dense_spatial());
+    }
+
+    #[test]
+    fn context_construction() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut store = PassthroughStore::new();
+        let ctx = Context::new(true, &mut rng, &mut store);
+        assert!(ctx.training);
+    }
+}

@@ -1,0 +1,132 @@
+//! Inverted dropout.
+
+use crate::act::{ActKind, ActivationId, Context};
+use crate::layers::Layer;
+use jact_tensor::Tensor;
+use rand::Rng;
+
+/// Inverted dropout: in training, zeroes each element with probability
+/// `p` and scales survivors by `1/(1-p)`.
+///
+/// The backward mask is derived from the stored activation's non-zero
+/// pattern.  When the consumer (a conv or linear layer) already saves the
+/// dropout output, the mask key aliases that tensor and the dropout layer
+/// stores nothing extra — the paper's Table II treats the saved dropout
+/// output as one sparse, ZVC-friendly activation.
+pub struct Dropout {
+    p: f32,
+    /// Key of the saved output (own or aliased to the consumer's input).
+    output_key: ActivationId,
+    saves_output: bool,
+    label: String,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1)`.
+    pub fn new(label: impl Into<String>, p: f32, output_key: ActivationId) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1)");
+        Dropout {
+            p,
+            output_key,
+            saves_output: true,
+            label: label.into(),
+        }
+    }
+
+    /// Marks the output as saved by its consumer (aliased key).
+    pub fn aliased(mut self) -> Self {
+        self.saves_output = false;
+        self
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, x: &Tensor, ctx: &mut Context<'_>) -> Tensor {
+        if !ctx.training {
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let data: Vec<f32> = x
+            .iter()
+            .map(|&v| {
+                if ctx.rng.gen::<f32>() < keep {
+                    v * scale
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let y = Tensor::from_vec(x.shape().clone(), data);
+        if self.saves_output {
+            ctx.store.save(self.output_key, ActKind::Dropout, &y);
+        }
+        y
+    }
+
+    fn backward(&mut self, grad: &Tensor, ctx: &mut Context<'_>) -> Tensor {
+        let saved = ctx.store.load(self.output_key);
+        let scale = 1.0 / (1.0 - self.p);
+        grad.zip(&saved, |g, s| if s != 0.0 { g * scale } else { 0.0 })
+    }
+
+    fn name(&self) -> String {
+        format!("{}(dropout {})", self.label, self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::act::{Context, PassthroughStore};
+    use crate::layers::testutil::fwd_bwd;
+    use jact_tensor::Shape;
+    use rand::SeedableRng;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let x = Tensor::from_slice(&[1.0, -2.0, 3.0]);
+        let mut d = Dropout::new("d", 0.5, 0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut store = PassthroughStore::new();
+        let mut ctx = Context::new(false, &mut rng, &mut store);
+        let y = d.forward(&x, &mut ctx);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn training_zeroes_about_p_fraction() {
+        let x = Tensor::full(Shape::vec(10_000), 1.0);
+        let mut d = Dropout::new("d", 0.3, 0);
+        let (y, _) = fwd_bwd(&mut d, &x, &Tensor::zeros(x.shape().clone()));
+        let sparsity = y.sparsity();
+        assert!((sparsity - 0.3).abs() < 0.03, "sparsity={sparsity}");
+        // Survivors are scaled so the expected sum is preserved.
+        assert!((y.mean() - 1.0).abs() < 0.05, "mean={}", y.mean());
+    }
+
+    #[test]
+    fn backward_masks_and_scales() {
+        let x = Tensor::full(Shape::vec(1000), 1.0);
+        let g = Tensor::full(Shape::vec(1000), 1.0);
+        let mut d = Dropout::new("d", 0.5, 0);
+        let (y, gx) = fwd_bwd(&mut d, &x, &g);
+        for (yi, gi) in y.iter().zip(gx.iter()) {
+            if *yi == 0.0 {
+                assert_eq!(*gi, 0.0);
+            } else {
+                assert!((gi - 2.0).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in")]
+    fn invalid_p_rejected() {
+        let _ = Dropout::new("d", 1.0, 0);
+    }
+}

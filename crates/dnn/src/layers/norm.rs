@@ -1,0 +1,308 @@
+//! Batch normalization over NCHW channels.
+
+use crate::act::{ActKind, ActivationId, Context};
+use crate::layers::Layer;
+use crate::param::Param;
+use jact_tensor::{Shape, Tensor};
+
+/// Batch normalization (Ioffe & Szegedy 2015) — the `norm` of the CNR
+/// block (Fig. 3).  Its presence forces the *dense* conv output to be
+/// memoized, which is the storage problem JPEG-ACT attacks (Sec. II-A).
+///
+/// The backward pass reloads the (possibly recovered) input activation
+/// and the batch statistics captured during forward; the statistics are
+/// tiny and stay on-GPU in the paper, so they are kept in the layer here.
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    eps: f32,
+    channels: usize,
+    /// Batch statistics captured during the forward pass.
+    batch_mean: Vec<f32>,
+    batch_var: Vec<f32>,
+    input_key: ActivationId,
+    input_kind: ActKind,
+    saves_input: bool,
+    label: String,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer with affine parameters γ=1, β=0.
+    pub fn new(label: impl Into<String>, channels: usize, input_key: ActivationId) -> Self {
+        let label = label.into();
+        BatchNorm2d {
+            gamma: Param::new(
+                format!("{label}.gamma"),
+                Tensor::full(Shape::vec(channels), 1.0),
+                false,
+            ),
+            beta: Param::new(
+                format!("{label}.beta"),
+                Tensor::zeros(Shape::vec(channels)),
+                false,
+            ),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.1,
+            eps: 1e-5,
+            channels,
+            batch_mean: vec![0.0; channels],
+            batch_var: vec![1.0; channels],
+            input_key,
+            input_kind: ActKind::Norm,
+            saves_input: true,
+            label,
+        }
+    }
+
+    /// Marks the input as saved by its producer (aliased key).
+    pub fn aliased(mut self) -> Self {
+        self.saves_input = false;
+        self
+    }
+
+    /// Sets the activation kind the saved input is classified as (e.g.
+    /// [`ActKind::Sum`] when a pre-activation block feeds this norm).
+    pub fn input_kind(mut self, kind: ActKind) -> Self {
+        self.input_kind = kind;
+        self
+    }
+
+    /// The per-channel running mean (inference statistics).
+    pub fn running_mean(&self) -> &[f32] {
+        &self.running_mean
+    }
+
+    /// The per-channel running variance (inference statistics).
+    pub fn running_var(&self) -> &[f32] {
+        &self.running_var
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, x: &Tensor, ctx: &mut Context<'_>) -> Tensor {
+        let (n, c, h, w) = (x.shape().n(), x.shape().c(), x.shape().h(), x.shape().w());
+        assert_eq!(c, self.channels, "{}: channel mismatch", self.label);
+        let plane = h * w;
+        let m = (n * plane) as f32;
+        let xv = x.as_slice();
+
+        if ctx.training {
+            if self.saves_input {
+                ctx.store.save(self.input_key, self.input_kind, x);
+            }
+            // Batch statistics.
+            for ci in 0..c {
+                let mut sum = 0.0f64;
+                let mut sq = 0.0f64;
+                for ni in 0..n {
+                    let base = (ni * c + ci) * plane;
+                    for &v in &xv[base..base + plane] {
+                        sum += v as f64;
+                        sq += (v as f64) * (v as f64);
+                    }
+                }
+                let mean = (sum / m as f64) as f32;
+                let var = (sq / m as f64) as f32 - mean * mean;
+                self.batch_mean[ci] = mean;
+                self.batch_var[ci] = var.max(0.0);
+                self.running_mean[ci] =
+                    (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean;
+                self.running_var[ci] =
+                    (1.0 - self.momentum) * self.running_var[ci] + self.momentum * self.batch_var[ci];
+            }
+        }
+
+        let (mean, var): (&[f32], &[f32]) = if ctx.training {
+            (&self.batch_mean, &self.batch_var)
+        } else {
+            (&self.running_mean, &self.running_var)
+        };
+
+        let g = self.gamma.value.as_slice();
+        let b = self.beta.value.as_slice();
+        let mut out = vec![0.0f32; xv.len()];
+        for ni in 0..n {
+            for ci in 0..c {
+                let inv = 1.0 / (var[ci] + self.eps).sqrt();
+                let base = (ni * c + ci) * plane;
+                for i in base..base + plane {
+                    out[i] = g[ci] * (xv[i] - mean[ci]) * inv + b[ci];
+                }
+            }
+        }
+        Tensor::from_vec(x.shape().clone(), out)
+    }
+
+    fn backward(&mut self, grad: &Tensor, ctx: &mut Context<'_>) -> Tensor {
+        let x = ctx.store.load(self.input_key);
+        let (n, c, h, w) = (x.shape().n(), x.shape().c(), x.shape().h(), x.shape().w());
+        let plane = h * w;
+        let m = (n * plane) as f32;
+        let xv = x.as_slice();
+        let gv = grad.as_slice();
+        let g = self.gamma.value.as_slice();
+
+        let mut dgamma = vec![0.0f32; c];
+        let mut dbeta = vec![0.0f32; c];
+        let mut out = vec![0.0f32; xv.len()];
+
+        for ci in 0..c {
+            let mean = self.batch_mean[ci];
+            let inv = 1.0 / (self.batch_var[ci] + self.eps).sqrt();
+            // First pass: Σdy and Σ(dy · x̂).
+            let mut sum_dy = 0.0f64;
+            let mut sum_dy_xhat = 0.0f64;
+            for ni in 0..n {
+                let base = (ni * c + ci) * plane;
+                for i in base..base + plane {
+                    let xhat = (xv[i] - mean) * inv;
+                    sum_dy += gv[i] as f64;
+                    sum_dy_xhat += (gv[i] * xhat) as f64;
+                }
+            }
+            dbeta[ci] = sum_dy as f32;
+            dgamma[ci] = sum_dy_xhat as f32;
+            // Second pass: dx.
+            let k1 = (sum_dy / m as f64) as f32;
+            let k2 = (sum_dy_xhat / m as f64) as f32;
+            let scale = g[ci] * inv;
+            for ni in 0..n {
+                let base = (ni * c + ci) * plane;
+                for i in base..base + plane {
+                    let xhat = (xv[i] - mean) * inv;
+                    out[i] = scale * (gv[i] - k1 - xhat * k2);
+                }
+            }
+        }
+        self.gamma
+            .accumulate(&Tensor::from_vec(Shape::vec(c), dgamma));
+        self.beta
+            .accumulate(&Tensor::from_vec(Shape::vec(c), dbeta));
+        Tensor::from_vec(x.shape().clone(), out)
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn name(&self) -> String {
+        format!("{}(bn {})", self.label, self.channels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::act::{Context, PassthroughStore};
+    use crate::layers::testutil::{fwd_bwd, gradcheck_input};
+    use rand::SeedableRng;
+
+    fn input() -> Tensor {
+        let shape = Shape::nchw(2, 3, 4, 4);
+        let data = (0..shape.len())
+            .map(|i| ((i as f32 * 1.3).sin()) * 2.0 + 0.5)
+            .collect();
+        Tensor::from_vec(shape, data)
+    }
+
+    #[test]
+    fn output_is_normalized_in_training() {
+        let x = input();
+        let mut bn = BatchNorm2d::new("bn", 3, 0);
+        let (y, _) = fwd_bwd(&mut bn, &x, &Tensor::zeros(x.shape().clone()));
+        // Per-channel mean ~0, var ~1.
+        let (n, c, h, w) = (2, 3, 4, 4);
+        for ci in 0..c {
+            let mut vals = Vec::new();
+            for ni in 0..n {
+                for hi in 0..h {
+                    for wi in 0..w {
+                        vals.push(y.get4(ni, ci, hi, wi));
+                    }
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "c={ci} mean={mean}");
+            assert!((var - 1.0).abs() < 1e-2, "c={ci} var={var}");
+        }
+    }
+
+    #[test]
+    fn eval_mode_uses_running_stats() {
+        let x = input();
+        let mut bn = BatchNorm2d::new("bn", 3, 0);
+        // Train a few steps to move running stats.
+        for _ in 0..20 {
+            let _ = fwd_bwd(&mut bn, &x, &Tensor::zeros(x.shape().clone()));
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut store = PassthroughStore::new();
+        let mut ctx = Context::new(false, &mut rng, &mut store);
+        let y = bn.forward(&x, &mut ctx);
+        // With converged running stats, eval output ~ train output.
+        let mut ctx = Context::new(true, &mut rng, &mut store);
+        let yt = bn.forward(&x, &mut ctx);
+        assert!(y.mse(&yt) < 1e-2, "mse={}", y.mse(&yt));
+    }
+
+    #[test]
+    fn gamma_beta_affect_output() {
+        let x = input();
+        let mut bn = BatchNorm2d::new("bn", 3, 0);
+        bn.gamma.value = Tensor::from_slice(&[2.0, 1.0, 1.0]);
+        bn.beta.value = Tensor::from_slice(&[0.0, 5.0, 0.0]);
+        let (y, _) = fwd_bwd(&mut bn, &x, &Tensor::zeros(x.shape().clone()));
+        // Channel 1 should have mean ~5.
+        let mut sum = 0.0f32;
+        for ni in 0..2 {
+            for hi in 0..4 {
+                for wi in 0..4 {
+                    sum += y.get4(ni, 1, hi, wi);
+                }
+            }
+        }
+        assert!((sum / 32.0 - 5.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn input_gradcheck() {
+        let x = input();
+        gradcheck_input(&mut || Box::new(BatchNorm2d::new("bn", 3, 0)), &x, 3e-2);
+    }
+
+    #[test]
+    fn grad_sums_match_dbeta_dgamma() {
+        let x = input();
+        let mut bn = BatchNorm2d::new("bn", 3, 0);
+        let gy = x.map(|v| v * 0.1 + 0.05);
+        let _ = fwd_bwd(&mut bn, &x, &gy);
+        // dβ = Σ dy per channel.
+        for ci in 0..3 {
+            let mut s = 0.0f32;
+            for ni in 0..2 {
+                for hi in 0..4 {
+                    for wi in 0..4 {
+                        s += gy.get4(ni, ci, hi, wi);
+                    }
+                }
+            }
+            assert!((bn.beta.grad.as_slice()[ci] - s).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn constant_channel_stays_finite() {
+        // Zero variance channel must not produce NaN.
+        let x = Tensor::full(Shape::nchw(1, 1, 4, 4), 3.0);
+        let mut bn = BatchNorm2d::new("bn", 1, 0);
+        let (y, gx) = fwd_bwd(&mut bn, &x, &Tensor::full(x.shape().clone(), 1.0));
+        assert!(y.iter().all(|v| v.is_finite()));
+        assert!(gx.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,235 @@
+//! Pooling layers.
+
+use crate::act::{ActKind, ActivationId, Context};
+use crate::layers::Layer;
+use jact_tensor::ops::ConvGeom;
+use jact_tensor::{Shape, Tensor};
+
+/// Max pooling over square windows.
+///
+/// The backward pass recomputes the argmax from the stored (possibly
+/// recovered) input — so compression error can reroute gradients exactly
+/// as it would on hardware that stores the pooled input lossily.
+pub struct MaxPool2d {
+    geom: ConvGeom,
+    input_key: ActivationId,
+    saves_input: bool,
+    in_shape: Option<Shape>,
+    label: String,
+}
+
+impl MaxPool2d {
+    /// Creates a max pool of `kernel`×`kernel` windows with `stride`.
+    pub fn new(label: impl Into<String>, kernel: usize, stride: usize, input_key: ActivationId) -> Self {
+        MaxPool2d {
+            geom: ConvGeom::new(kernel, stride, 0),
+            input_key,
+            saves_input: true,
+            in_shape: None,
+            label: label.into(),
+        }
+    }
+
+    /// Marks the input as saved by its producer (aliased key).
+    pub fn aliased(mut self) -> Self {
+        self.saves_input = false;
+        self
+    }
+
+    fn pool(&self, x: &Tensor) -> Tensor {
+        let (n, c, h, w) = (x.shape().n(), x.shape().c(), x.shape().h(), x.shape().w());
+        let (oh, ow) = (self.geom.out_extent(h), self.geom.out_extent(w));
+        let k = self.geom.kernel;
+        let s = self.geom.stride;
+        let mut out = Tensor::zeros(Shape::nchw(n, c, oh, ow));
+        for ni in 0..n {
+            for ci in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut m = f32::NEG_INFINITY;
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                m = m.max(x.get4(ni, ci, oy * s + ky, ox * s + kx));
+                            }
+                        }
+                        out.set4(ni, ci, oy, ox, m);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: &Tensor, ctx: &mut Context<'_>) -> Tensor {
+        if ctx.training && self.saves_input {
+            ctx.store.save(self.input_key, ActKind::Pool, x);
+        }
+        self.in_shape = Some(x.shape().clone());
+        self.pool(x)
+    }
+
+    fn backward(&mut self, grad: &Tensor, ctx: &mut Context<'_>) -> Tensor {
+        let x = ctx.store.load(self.input_key);
+        let shape = self.in_shape.clone().expect("backward before forward");
+        assert_eq!(x.shape(), &shape, "{}: stored input shape mismatch", self.label);
+        let (n, c, _h, _w) = (shape.n(), shape.c(), shape.h(), shape.w());
+        let (oh, ow) = (grad.shape().h(), grad.shape().w());
+        let k = self.geom.kernel;
+        let s = self.geom.stride;
+        let mut gx = Tensor::zeros(shape);
+        for ni in 0..n {
+            for ci in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        // Recompute argmax from the (recovered) input.
+                        let (mut by, mut bx, mut best) = (0usize, 0usize, f32::NEG_INFINITY);
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let v = x.get4(ni, ci, oy * s + ky, ox * s + kx);
+                                if v > best {
+                                    best = v;
+                                    by = oy * s + ky;
+                                    bx = ox * s + kx;
+                                }
+                            }
+                        }
+                        let g = grad.get4(ni, ci, oy, ox);
+                        let cur = gx.get4(ni, ci, by, bx);
+                        gx.set4(ni, ci, by, bx, cur + g);
+                    }
+                }
+            }
+        }
+        gx
+    }
+
+    fn name(&self) -> String {
+        format!("{}(maxpool {}s{})", self.label, self.geom.kernel, self.geom.stride)
+    }
+}
+
+/// Global average pooling: NCHW → `[N, C]`.
+///
+/// Needs no saved activation — the gradient is uniform over the plane.
+pub struct GlobalAvgPool {
+    in_shape: Option<Shape>,
+    label: String,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pool.
+    pub fn new(label: impl Into<String>) -> Self {
+        GlobalAvgPool {
+            in_shape: None,
+            label: label.into(),
+        }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, x: &Tensor, _ctx: &mut Context<'_>) -> Tensor {
+        let (n, c, h, w) = (x.shape().n(), x.shape().c(), x.shape().h(), x.shape().w());
+        self.in_shape = Some(x.shape().clone());
+        let plane = (h * w) as f32;
+        let mut out = Tensor::zeros(Shape::mat(n, c));
+        for ni in 0..n {
+            for ci in 0..c {
+                let mut s = 0.0f32;
+                for hi in 0..h {
+                    for wi in 0..w {
+                        s += x.get4(ni, ci, hi, wi);
+                    }
+                }
+                out.as_mut_slice()[ni * c + ci] = s / plane;
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor, _ctx: &mut Context<'_>) -> Tensor {
+        let shape = self.in_shape.clone().expect("backward before forward");
+        let (n, c, h, w) = (shape.n(), shape.c(), shape.h(), shape.w());
+        let plane = (h * w) as f32;
+        let mut gx = Tensor::zeros(shape);
+        for ni in 0..n {
+            for ci in 0..c {
+                let g = grad.as_slice()[ni * c + ci] / plane;
+                for hi in 0..h {
+                    for wi in 0..w {
+                        gx.set4(ni, ci, hi, wi, g);
+                    }
+                }
+            }
+        }
+        gx
+    }
+
+    fn name(&self) -> String {
+        format!("{}(gap)", self.label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::testutil::fwd_bwd;
+
+    #[test]
+    fn maxpool_forward_2x2() {
+        let x = Tensor::from_vec(
+            Shape::nchw(1, 1, 4, 4),
+            vec![
+                1.0, 2.0, 3.0, 4.0, //
+                5.0, 6.0, 7.0, 8.0, //
+                9.0, 10.0, 11.0, 12.0, //
+                13.0, 14.0, 15.0, 16.0,
+            ],
+        );
+        let mut p = MaxPool2d::new("p", 2, 2, 0);
+        let (y, _) = fwd_bwd(&mut p, &x, &Tensor::zeros(Shape::nchw(1, 1, 2, 2)));
+        assert_eq!(y.as_slice(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let x = Tensor::from_vec(
+            Shape::nchw(1, 1, 2, 2),
+            vec![1.0, 9.0, 3.0, 2.0],
+        );
+        let g = Tensor::from_vec(Shape::nchw(1, 1, 1, 1), vec![5.0]);
+        let mut p = MaxPool2d::new("p", 2, 2, 0);
+        let (_, gx) = fwd_bwd(&mut p, &x, &g);
+        assert_eq!(gx.as_slice(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_gradient_sum_preserved() {
+        let shape = Shape::nchw(2, 3, 4, 4);
+        let x = Tensor::from_vec(
+            shape.clone(),
+            (0..shape.len()).map(|i| ((i * 31 % 19) as f32) - 9.0).collect(),
+        );
+        let g = Tensor::full(Shape::nchw(2, 3, 2, 2), 1.0);
+        let mut p = MaxPool2d::new("p", 2, 2, 0);
+        let (_, gx) = fwd_bwd(&mut p, &x, &g);
+        assert!((gx.sum() - g.sum()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gap_forward_and_backward() {
+        let x = Tensor::from_vec(
+            Shape::nchw(1, 2, 2, 2),
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
+        );
+        let mut p = GlobalAvgPool::new("g");
+        let gy = Tensor::from_vec(Shape::mat(1, 2), vec![4.0, 8.0]);
+        let (y, gx) = fwd_bwd(&mut p, &x, &gy);
+        assert_eq!(y.as_slice(), &[2.5, 25.0]);
+        assert_eq!(
+            gx.as_slice(),
+            &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! # jact-dnn
+//!
+//! A from-scratch CNN training substrate for the JPEG-ACT reproduction
+//! (Evans, Liu, Aamodt, ISCA 2020).
+//!
+//! The paper evaluates activation compression by training CNNs whose
+//! backward pass consumes *recovered* (decompressed) activations.  This
+//! crate provides exactly that machinery:
+//!
+//! * [`layers`] — conv / batch-norm / ReLU / pool / dropout / linear with
+//!   full backprop, each memoizing its saved activation through an
+//!   [`act::ActivationStore`] so a compressing store (in `jact-core`) can
+//!   transparently inject compression error;
+//! * [`net`] — sequential and residual composition (the CNR blocks of
+//!   Fig. 3);
+//! * [`models`] — scaled-down but architecturally faithful builders for
+//!   the paper's networks: VGG-style (dropout), ResNet basic and
+//!   bottleneck, Wide ResNet, and VDSR;
+//! * [`optim`] — SGD with momentum, weight decay and step schedules
+//!   (Eqn. 1);
+//! * [`train`] — a training loop with classification and super-resolution
+//!   objectives;
+//! * [`metrics`] — top-1 accuracy and PSNR.
+//!
+//! The key design point is the *activation aliasing* used by real
+//! frameworks (Sec. II-A): in a conv→norm→ReLU chain, the conv input is
+//! the previous ReLU's output, so it is saved once and loaded by both
+//! consumers.  Model builders wire these aliases explicitly.
+
+pub mod act;
+pub mod layers;
+pub mod loss;
+pub mod metrics;
+pub mod models;
+pub mod net;
+pub mod optim;
+pub mod param;
+pub mod train;
+
+pub use act::{ActKind, ActivationId, ActivationStore, Context, PassthroughStore};
+pub use net::{Network, Node};
+pub use param::Param;

@@ -1,0 +1,147 @@
+//! Training objectives: softmax cross-entropy and mean-squared error.
+
+use jact_tensor::{Shape, Tensor};
+
+/// Softmax cross-entropy over `[N, classes]` logits.
+///
+/// Returns `(mean loss, dLogits)` in one pass — the gradient of the mean
+/// loss with respect to the logits is `(softmax - onehot) / N`.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 2 or a label is out of range.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f64, Tensor) {
+    assert_eq!(logits.shape().rank(), 2, "logits must be [N, classes]");
+    let n = logits.shape().dim(0);
+    let k = logits.shape().dim(1);
+    assert_eq!(labels.len(), n, "label count mismatch");
+
+    let lv = logits.as_slice();
+    let mut grad = vec![0.0f32; lv.len()];
+    let mut loss = 0.0f64;
+    for (i, &label) in labels.iter().enumerate() {
+        assert!(label < k, "label {label} out of range for {k} classes");
+        let row = &lv[i * k..(i + 1) * k];
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let exps: Vec<f64> = row.iter().map(|&v| ((v - max) as f64).exp()).collect();
+        let z: f64 = exps.iter().sum();
+        let p_label = exps[label] / z;
+        loss -= p_label.max(1e-12).ln();
+        for (j, &e) in exps.iter().enumerate() {
+            let p = (e / z) as f32;
+            grad[i * k + j] = (p - if j == label { 1.0 } else { 0.0 }) / n as f32;
+        }
+    }
+    (
+        loss / n as f64,
+        Tensor::from_vec(Shape::mat(n, k), grad),
+    )
+}
+
+/// Mean squared error between prediction and target (any matching shapes).
+///
+/// Returns `(mean loss, dPred)` with `dPred = 2 (pred - target) / len`.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn mse_loss(pred: &Tensor, target: &Tensor) -> (f64, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "shape mismatch in mse loss");
+    let n = pred.len() as f64;
+    let loss = pred.mse(target);
+    let grad = pred.zip(target, |p, t| 2.0 * (p - t) / n as f32);
+    (loss, grad)
+}
+
+/// Top-1 predictions from `[N, classes]` logits.
+pub fn argmax_rows(logits: &Tensor) -> Vec<usize> {
+    assert_eq!(logits.shape().rank(), 2);
+    let n = logits.shape().dim(0);
+    let k = logits.shape().dim(1);
+    let lv = logits.as_slice();
+    (0..n)
+        .map(|i| {
+            let row = &lv[i * k..(i + 1) * k];
+            row.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                .map(|(j, _)| j)
+                .expect("non-empty row")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_perfect_prediction_near_zero() {
+        let logits = Tensor::from_vec(Shape::mat(1, 3), vec![10.0, -10.0, -10.0]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-6, "loss={loss}");
+        assert!(grad.max_abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_k() {
+        let logits = Tensor::zeros(Shape::mat(2, 4));
+        let (loss, _) = softmax_cross_entropy(&logits, &[1, 3]);
+        assert!((loss - (4.0f64).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(Shape::mat(2, 3), vec![1.0, 2.0, 0.5, -1.0, 0.0, 1.0]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[2, 0]);
+        let gv = grad.as_slice();
+        for i in 0..2 {
+            let s: f32 = gv[i * 3..(i + 1) * 3].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_numeric_gradient() {
+        let logits = Tensor::from_vec(Shape::mat(1, 3), vec![0.3, -0.7, 1.1]);
+        let labels = [2usize];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[i] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[i] -= eps;
+            let (fp, _) = softmax_cross_entropy(&lp, &labels);
+            let (fm, _) = softmax_cross_entropy(&lm, &labels);
+            let num = (fp - fm) / (2.0 * eps as f64);
+            assert!(
+                (num - grad.as_slice()[i] as f64).abs() < 1e-4,
+                "i={i}: num={num} ana={}",
+                grad.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn mse_loss_and_gradient() {
+        let p = Tensor::from_slice(&[1.0, 2.0]);
+        let t = Tensor::from_slice(&[0.0, 0.0]);
+        let (loss, grad) = mse_loss(&p, &t);
+        assert!((loss - 2.5).abs() < 1e-9);
+        assert_eq!(grad.as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn argmax_rows_picks_max() {
+        let logits = Tensor::from_vec(Shape::mat(2, 3), vec![0.1, 0.9, 0.2, 5.0, -1.0, 2.0]);
+        assert_eq!(argmax_rows(&logits), vec![1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_panics() {
+        let logits = Tensor::zeros(Shape::mat(1, 2));
+        let _ = softmax_cross_entropy(&logits, &[5]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Evaluation metrics: top-1 accuracy and PSNR.
+
+use crate::loss::argmax_rows;
+use jact_tensor::Tensor;
+
+/// Fraction of rows whose argmax matches the label.
+///
+/// # Panics
+///
+/// Panics if `logits` is not `[N, classes]` with `N == labels.len()`.
+pub fn top1_accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
+    let preds = argmax_rows(logits);
+    assert_eq!(preds.len(), labels.len(), "label count mismatch");
+    let correct = preds
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    correct as f64 / labels.len() as f64
+}
+
+/// Peak Signal-to-Noise Ratio in dB for signals in `[0, peak]` — the
+/// super-resolution quality metric used for VDSR (Table I).
+///
+/// # Panics
+///
+/// Panics if shapes differ or `peak <= 0`.
+pub fn psnr(pred: &Tensor, target: &Tensor, peak: f32) -> f64 {
+    assert!(peak > 0.0, "peak must be positive");
+    let mse = pred.mse(target);
+    if mse == 0.0 {
+        return f64::INFINITY;
+    }
+    10.0 * ((peak as f64) * (peak as f64) / mse).log10()
+}
+
+/// Running average helper for per-epoch statistics.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Average {
+    sum: f64,
+    count: usize,
+}
+
+impl Average {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, v: f64) {
+        self.sum += v;
+        self.count += 1;
+    }
+
+    /// Current mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jact_tensor::Shape;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let logits = Tensor::from_vec(
+            Shape::mat(3, 2),
+            vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0],
+        );
+        assert_eq!(top1_accuracy(&logits, &[0, 1, 1]), 2.0 / 3.0);
+        assert_eq!(top1_accuracy(&logits, &[0, 1, 0]), 1.0);
+    }
+
+    #[test]
+    fn psnr_known_values() {
+        let a = Tensor::full(Shape::vec(4), 0.5);
+        let b = Tensor::full(Shape::vec(4), 0.6);
+        // mse = 0.01, peak 1 -> psnr = 20 dB.
+        let p = psnr(&a, &b, 1.0);
+        assert!((p - 20.0).abs() < 0.05, "psnr={p}");
+        assert!(psnr(&a, &a, 1.0).is_infinite());
+    }
+
+    #[test]
+    fn psnr_higher_is_better() {
+        let t = Tensor::full(Shape::vec(8), 0.5);
+        let close = Tensor::full(Shape::vec(8), 0.51);
+        let far = Tensor::full(Shape::vec(8), 0.8);
+        assert!(psnr(&close, &t, 1.0) > psnr(&far, &t, 1.0));
+    }
+
+    #[test]
+    fn average_accumulates() {
+        let mut a = Average::new();
+        assert_eq!(a.mean(), 0.0);
+        a.push(1.0);
+        a.push(3.0);
+        assert_eq!(a.mean(), 2.0);
+        assert_eq!(a.count(), 2);
+    }
+}

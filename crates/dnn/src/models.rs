@@ -1,0 +1,531 @@
+//! Scaled-down but architecturally faithful builders for the paper's
+//! networks.
+//!
+//! | Builder | Paper network | Structure preserved |
+//! |---|---|---|
+//! | [`mini_vgg`] | VGG-16 | conv/ReLU stacks, max-pool, dropout (BRC-eligible ReLUs) |
+//! | [`mini_resnet`] | ResNet-18/CIFAR | post-activation basic blocks, CNR chains, downsample shortcuts |
+//! | [`mini_resnet_bottleneck`] | ResNet-50 | pre-activation bottleneck blocks (1×1/3×3/1×1) whose block outputs are dense **sum** activations consumed by convs |
+//! | [`wide_resnet`] | WRN | widened pre-activation basic blocks with in-block dropout |
+//! | [`vdsr`] | VDSR | deep conv/BN/ReLU chain with a global residual, MSE objective |
+//!
+//! The builders wire the activation-store keys the way real frameworks
+//! memoize tensors (Sec. II-A): each tensor is saved once, by whichever
+//! layer touches it first, and every other consumer aliases that key.
+//! The [`ActKind`] attached at save time is what drives the per-type
+//! compression policy (Table II) in `jact-core`.
+
+use crate::act::{ActKind, ActivationId, IdAlloc};
+use crate::layers::{
+    BatchNorm2d, Conv2d, Dropout, Flatten, GlobalAvgPool, Linear, MaxPool2d, Relu,
+};
+use crate::net::{Network, Node};
+use rand::rngs::StdRng;
+
+/// Tracking state for the tensor currently flowing through the builder.
+#[derive(Debug, Clone, Copy)]
+struct Inc {
+    /// Pre-assigned activation id for this tensor.
+    key: ActivationId,
+    /// Whether some layer already saved it under `key`.
+    saved: bool,
+    /// How a saver should classify it.
+    kind: ActKind,
+}
+
+/// Incremental network builder that manages activation-id aliasing.
+struct Builder<'r> {
+    nodes: Vec<Node>,
+    ids: IdAlloc,
+    rng: &'r mut StdRng,
+    inc: Inc,
+}
+
+impl<'r> Builder<'r> {
+    fn new(rng: &'r mut StdRng) -> Self {
+        let mut ids = IdAlloc::new();
+        let key = ids.fresh();
+        Builder {
+            nodes: Vec::new(),
+            ids,
+            rng,
+            inc: Inc {
+                key,
+                saved: false,
+                kind: ActKind::Conv,
+            },
+        }
+    }
+
+    /// Produces a fresh incoming-state for a layer output.
+    fn advance(&mut self, kind: ActKind) {
+        self.inc = Inc {
+            key: self.ids.fresh(),
+            saved: false,
+            kind,
+        };
+    }
+
+    fn conv(
+        &mut self,
+        label: &str,
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        s: usize,
+        p: usize,
+        bias: bool,
+    ) {
+        let mut conv = Conv2d::new(label, in_c, out_c, k, s, p, bias, self.inc.key, self.rng)
+            .input_kind(self.inc.kind);
+        if self.inc.saved {
+            conv = conv.aliased();
+        } else {
+            self.inc.saved = true;
+        }
+        self.nodes.push(Node::layer(conv));
+        // A conv output is normally consumed by a norm layer.
+        self.advance(ActKind::Norm);
+    }
+
+    fn bn(&mut self, label: &str, c: usize) {
+        let mut bn = BatchNorm2d::new(label, c, self.inc.key).input_kind(self.inc.kind);
+        if self.inc.saved {
+            bn = bn.aliased();
+        } else {
+            self.inc.saved = true;
+        }
+        self.nodes.push(Node::layer(bn));
+        self.advance(ActKind::Conv);
+    }
+
+    fn relu(&mut self, label: &str, kind: ActKind) {
+        let key = self.ids.fresh();
+        self.nodes.push(Node::layer(Relu::new(label, key, kind)));
+        self.inc = Inc {
+            key,
+            saved: true,
+            kind,
+        };
+    }
+
+    fn maxpool(&mut self, label: &str, k: usize, s: usize) {
+        let mut pool = MaxPool2d::new(label, k, s, self.inc.key);
+        if self.inc.saved {
+            pool = pool.aliased();
+        } else {
+            self.inc.saved = true;
+        }
+        self.nodes.push(Node::layer(pool));
+        self.advance(ActKind::Pool);
+    }
+
+    fn dropout(&mut self, label: &str, p: f32) {
+        let key = self.ids.fresh();
+        self.nodes
+            .push(Node::layer(Dropout::new(label, p, key)));
+        self.inc = Inc {
+            key,
+            saved: true,
+            kind: ActKind::Dropout,
+        };
+    }
+
+    fn gap(&mut self, label: &str) {
+        self.nodes.push(Node::layer(GlobalAvgPool::new(label)));
+        self.advance(ActKind::Linear);
+    }
+
+    fn flatten(&mut self, label: &str) {
+        self.nodes.push(Node::layer(Flatten::new(label)));
+        self.advance(ActKind::Linear);
+    }
+
+    fn linear(&mut self, label: &str, in_d: usize, out_d: usize) {
+        let mut lin = Linear::new(label, in_d, out_d, self.inc.key, self.rng);
+        if self.inc.saved {
+            lin = lin.aliased();
+        } else {
+            self.inc.saved = true;
+        }
+        self.nodes.push(Node::layer(lin));
+        self.advance(ActKind::Linear);
+    }
+
+    /// Builds a residual split; both branch closures see the same incoming
+    /// tensor state, and the first branch's saves are visible to the
+    /// second (the main branch typically saves the shared input).
+    fn residual(
+        &mut self,
+        main: impl FnOnce(&mut Builder<'_>),
+        shortcut: impl FnOnce(&mut Builder<'_>),
+    ) {
+        let inc0 = self.inc;
+        let outer = std::mem::take(&mut self.nodes);
+
+        main(self);
+        let main_nodes = std::mem::take(&mut self.nodes);
+        // Whatever the main branch saved of the *shared input* is visible
+        // to the shortcut: if inc0 was unsaved, the main branch's first
+        // memoizing layer saved it under inc0.key.
+        self.inc = Inc {
+            saved: true,
+            ..inc0
+        };
+        shortcut(self);
+        let shortcut_nodes = std::mem::take(&mut self.nodes);
+
+        self.nodes = outer;
+        self.nodes.push(Node::Residual {
+            main: main_nodes,
+            shortcut: shortcut_nodes,
+        });
+        // A residual output is a dense sum activation (Table II "sum").
+        self.advance(ActKind::Sum);
+    }
+
+    fn finish(self, name: &str) -> Network {
+        Network::new(name, self.nodes)
+    }
+}
+
+/// VGG-style classifier (scaled-down VGG-16): conv/ReLU stacks with
+/// max-pooling and dropout.  Dropout makes its ReLUs BRC-eligible, the
+/// property GIST exploits on VGG (Sec. II-B1).
+///
+/// Input: `[N, in_c, 32, 32]`.
+pub fn mini_vgg(in_c: usize, classes: usize, rng: &mut StdRng) -> Network {
+    let mut b = Builder::new(rng);
+    let widths = [32usize, 64];
+    let mut c_in = in_c;
+    for (si, &w) in widths.iter().enumerate() {
+        b.conv(&format!("s{si}.conv1"), c_in, w, 3, 1, 1, true);
+        b.relu(&format!("s{si}.relu1"), ActKind::ReluToConv);
+        b.conv(&format!("s{si}.conv2"), w, w, 3, 1, 1, true);
+        b.relu(&format!("s{si}.relu2"), ActKind::ReluToOther);
+        b.dropout(&format!("s{si}.drop"), 0.25);
+        // Pool after dropout: the pool output feeds the next conv, which
+        // memoizes it as a pool activation (Table II "pool or dropout").
+        b.maxpool(&format!("s{si}.pool"), 2, 2);
+        c_in = w;
+    }
+    b.flatten("flatten");
+    b.linear("fc1", 64 * 8 * 8, 128);
+    b.relu("fc1.relu", ActKind::ReluToOther);
+    b.dropout("fc.drop", 0.5);
+    b.linear("fc2", 128, classes);
+    b.finish("mini-vgg")
+}
+
+/// CIFAR-style ResNet with post-activation basic blocks
+/// (conv/norm/ReLU CNR chains, Fig. 3), `blocks` blocks per stage over
+/// widths 16/32/64.
+///
+/// Input: `[N, in_c, 32, 32]`.
+pub fn mini_resnet(in_c: usize, blocks: usize, classes: usize, rng: &mut StdRng) -> Network {
+    assert!(blocks >= 1, "need at least one block per stage");
+    let mut b = Builder::new(rng);
+    let widths = [16usize, 32, 64];
+
+    b.conv("stem.conv", in_c, widths[0], 3, 1, 1, false);
+    b.bn("stem.bn", widths[0]);
+    b.relu("stem.relu", ActKind::ReluToConv);
+
+    let mut c_in = widths[0];
+    for (si, &w) in widths.iter().enumerate() {
+        for bi in 0..blocks {
+            let stride = if si > 0 && bi == 0 { 2 } else { 1 };
+            let lbl = format!("s{si}b{bi}");
+            let needs_down = stride != 1 || c_in != w;
+            let (ci, wi) = (c_in, w);
+            b.residual(
+                |m| {
+                    m.conv(&format!("{lbl}.conv1"), ci, wi, 3, stride, 1, false);
+                    m.bn(&format!("{lbl}.bn1"), wi);
+                    m.relu(&format!("{lbl}.relu1"), ActKind::ReluToConv);
+                    m.conv(&format!("{lbl}.conv2"), wi, wi, 3, 1, 1, false);
+                    m.bn(&format!("{lbl}.bn2"), wi);
+                },
+                |s| {
+                    if needs_down {
+                        s.conv(&format!("{lbl}.down"), ci, wi, 1, stride, 0, false);
+                        s.bn(&format!("{lbl}.downbn"), wi);
+                    }
+                },
+            );
+            b.relu(&format!("{lbl}.relu2"), ActKind::ReluToConv);
+            c_in = w;
+        }
+    }
+    b.gap("gap");
+    b.linear("fc", widths[2], classes);
+    b.finish("mini-resnet")
+}
+
+/// ResNet-50-flavoured network: **pre-activation bottleneck** blocks
+/// (1×1 reduce, 3×3, 1×1 expand).  Block outputs are raw additions, so
+/// the convolutions and norms that consume them memoize dense **sum**
+/// activations — the activation class that defeats sparse compression and
+/// motivates JPEG-ACT (Sec. I, Fig. 19).
+///
+/// Input: `[N, in_c, 32, 32]`.
+pub fn mini_resnet_bottleneck(
+    in_c: usize,
+    blocks: usize,
+    classes: usize,
+    rng: &mut StdRng,
+) -> Network {
+    assert!(blocks >= 1, "need at least one block per stage");
+    let mut b = Builder::new(rng);
+    let widths = [16usize, 32, 64]; // expanded widths; bottleneck = w/4
+
+    b.conv("stem.conv", in_c, widths[0], 3, 1, 1, false);
+    b.bn("stem.bn", widths[0]);
+    b.relu("stem.relu", ActKind::ReluToConv);
+
+    let mut c_in = widths[0];
+    for (si, &w) in widths.iter().enumerate() {
+        let mid = (w / 4).max(4);
+        for bi in 0..blocks {
+            let stride = if si > 0 && bi == 0 { 2 } else { 1 };
+            let lbl = format!("s{si}b{bi}");
+            let needs_down = stride != 1 || c_in != w;
+            let ci = c_in;
+            b.residual(
+                |m| {
+                    m.bn(&format!("{lbl}.bn1"), ci);
+                    m.relu(&format!("{lbl}.relu1"), ActKind::ReluToConv);
+                    m.conv(&format!("{lbl}.conv1"), ci, mid, 1, 1, 0, false);
+                    m.bn(&format!("{lbl}.bn2"), mid);
+                    m.relu(&format!("{lbl}.relu2"), ActKind::ReluToConv);
+                    m.conv(&format!("{lbl}.conv2"), mid, mid, 3, stride, 1, false);
+                    m.bn(&format!("{lbl}.bn3"), mid);
+                    m.relu(&format!("{lbl}.relu3"), ActKind::ReluToConv);
+                    m.conv(&format!("{lbl}.conv3"), mid, w, 1, 1, 0, false);
+                },
+                |s| {
+                    if needs_down {
+                        s.conv(&format!("{lbl}.down"), ci, w, 1, stride, 0, false);
+                    }
+                },
+            );
+            c_in = w;
+        }
+    }
+    b.bn("head.bn", widths[2]);
+    b.relu("head.relu", ActKind::ReluToOther);
+    b.gap("gap");
+    b.linear("fc", widths[2], classes);
+    b.finish("mini-resnet-bottleneck")
+}
+
+/// Wide ResNet: pre-activation basic blocks with width multiplier `k` and
+/// in-block dropout (Zagoruyko & Komodakis 2016) — the paper's most
+/// compression-sensitive network (Table I).
+///
+/// Input: `[N, in_c, 32, 32]`.
+pub fn wide_resnet(in_c: usize, k: usize, classes: usize, rng: &mut StdRng) -> Network {
+    assert!(k >= 1, "width multiplier must be >= 1");
+    let mut b = Builder::new(rng);
+    let widths = [16 * k, 32 * k, 64 * k];
+
+    b.conv("stem.conv", in_c, 16, 3, 1, 1, false);
+
+    let mut c_in = 16usize;
+    for (si, &w) in widths.iter().enumerate() {
+        for bi in 0..2usize {
+            let stride = if si > 0 && bi == 0 { 2 } else { 1 };
+            let lbl = format!("s{si}b{bi}");
+            let needs_down = stride != 1 || c_in != w;
+            let ci = c_in;
+            b.residual(
+                |m| {
+                    m.bn(&format!("{lbl}.bn1"), ci);
+                    m.relu(&format!("{lbl}.relu1"), ActKind::ReluToConv);
+                    m.conv(&format!("{lbl}.conv1"), ci, w, 3, stride, 1, false);
+                    m.bn(&format!("{lbl}.bn2"), w);
+                    m.relu(&format!("{lbl}.relu2"), ActKind::ReluToOther);
+                    m.dropout(&format!("{lbl}.drop"), 0.3);
+                    m.conv(&format!("{lbl}.conv2"), w, w, 3, 1, 1, false);
+                },
+                |s| {
+                    if needs_down {
+                        s.conv(&format!("{lbl}.down"), ci, w, 1, stride, 0, false);
+                    }
+                },
+            );
+            c_in = w;
+        }
+    }
+    b.bn("head.bn", widths[2]);
+    b.relu("head.relu", ActKind::ReluToOther);
+    b.gap("gap");
+    b.linear("fc", widths[2], classes);
+    b.finish("wide-resnet")
+}
+
+/// VDSR-style super-resolution network: a deep conv/BN/ReLU chain with a
+/// global residual (`y = x + f(x)`), modified with batch normalization as
+/// in the paper (Sec. V).  All activations are dense with few channels and
+/// large spatial extent — the worst case for offload (Sec. VI-D).
+///
+/// Input and output: `[N, channels, H, W]`.
+pub fn vdsr(channels: usize, width: usize, depth: usize, rng: &mut StdRng) -> Network {
+    assert!(depth >= 2, "vdsr needs at least input and output convs");
+    let mut b = Builder::new(rng);
+    let (c, w) = (channels, width);
+    b.residual(
+        |m| {
+            m.conv("in.conv", c, w, 3, 1, 1, false);
+            m.relu("in.relu", ActKind::ReluToConv);
+            for d in 0..depth - 2 {
+                m.conv(&format!("mid{d}.conv"), w, w, 3, 1, 1, false);
+                m.bn(&format!("mid{d}.bn"), w);
+                m.relu(&format!("mid{d}.relu"), ActKind::ReluToConv);
+            }
+            m.conv("out.conv", w, c, 3, 1, 1, false);
+        },
+        |_s| {},
+    );
+    b.finish("vdsr")
+}
+
+/// Builds a network by name — the registry the experiment harnesses use.
+///
+/// Recognized names: `mini-vgg`, `mini-resnet`, `mini-resnet-bottleneck`,
+/// `wide-resnet`, `vdsr`.
+///
+/// # Panics
+///
+/// Panics on an unknown name.
+pub fn build_by_name(name: &str, in_c: usize, classes: usize, rng: &mut StdRng) -> Network {
+    match name {
+        "mini-vgg" => mini_vgg(in_c, classes, rng),
+        "mini-resnet" => mini_resnet(in_c, 2, classes, rng),
+        "mini-resnet-bottleneck" => mini_resnet_bottleneck(in_c, 2, classes, rng),
+        "wide-resnet" => wide_resnet(in_c, 2, classes, rng),
+        "vdsr" => vdsr(in_c, 16, 6, rng),
+        other => panic!("unknown model {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::act::{Context, PassthroughStore};
+    use jact_tensor::init::seeded_rng;
+    use jact_tensor::{Shape, Tensor};
+    use rand::SeedableRng;
+
+    fn smoke(net: &mut Network, in_c: usize, out_dim: usize) {
+        let x = Tensor::from_vec(
+            Shape::nchw(2, in_c, 32, 32),
+            (0..2 * in_c * 32 * 32)
+                .map(|i| ((i as f32) * 0.01).sin())
+                .collect(),
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut store = PassthroughStore::new();
+        let y = {
+            let mut ctx = Context::new(true, &mut rng, &mut store);
+            net.forward(&x, &mut ctx)
+        };
+        assert_eq!(y.shape().dims(), &[2, out_dim]);
+        assert!(y.iter().all(|v| v.is_finite()));
+        let gy = Tensor::full(y.shape().clone(), 0.01);
+        let gx = {
+            let mut ctx = Context::new(true, &mut rng, &mut store);
+            net.backward(&gy, &mut ctx)
+        };
+        assert_eq!(gx.shape(), x.shape());
+        assert!(gx.iter().all(|v| v.is_finite()));
+        // Every trainable parameter with fan-in touched should have
+        // gradient signal somewhere.
+        let live = net
+            .params()
+            .iter()
+            .filter(|p| p.grad.max_abs() > 0.0)
+            .count();
+        assert!(live > 0, "no gradients flowed");
+    }
+
+    #[test]
+    fn mini_vgg_smoke() {
+        let mut rng = seeded_rng(10);
+        let mut net = mini_vgg(3, 10, &mut rng);
+        smoke(&mut net, 3, 10);
+    }
+
+    #[test]
+    fn mini_resnet_smoke() {
+        let mut rng = seeded_rng(11);
+        let mut net = mini_resnet(3, 1, 10, &mut rng);
+        smoke(&mut net, 3, 10);
+    }
+
+    #[test]
+    fn mini_resnet_bottleneck_smoke() {
+        let mut rng = seeded_rng(12);
+        let mut net = mini_resnet_bottleneck(3, 1, 10, &mut rng);
+        smoke(&mut net, 3, 10);
+    }
+
+    #[test]
+    fn wide_resnet_smoke() {
+        let mut rng = seeded_rng(13);
+        let mut net = wide_resnet(3, 1, 10, &mut rng);
+        smoke(&mut net, 3, 10);
+    }
+
+    #[test]
+    fn vdsr_smoke() {
+        let mut rng = seeded_rng(14);
+        let mut net = vdsr(3, 8, 4, &mut rng);
+        let x = Tensor::from_vec(
+            Shape::nchw(1, 3, 16, 16),
+            (0..3 * 256).map(|i| ((i as f32) * 0.02).cos() * 0.3).collect(),
+        );
+        let mut r = rand::rngs::StdRng::seed_from_u64(0);
+        let mut store = PassthroughStore::new();
+        let y = {
+            let mut ctx = Context::new(true, &mut r, &mut store);
+            net.forward(&x, &mut ctx)
+        };
+        assert_eq!(y.shape(), x.shape());
+        let gy = Tensor::full(y.shape().clone(), 0.01);
+        let mut ctx = Context::new(true, &mut r, &mut store);
+        let gx = net.backward(&gy, &mut ctx);
+        assert!(gx.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn registry_builds_all() {
+        for name in [
+            "mini-vgg",
+            "mini-resnet",
+            "mini-resnet-bottleneck",
+            "wide-resnet",
+            "vdsr",
+        ] {
+            let mut rng = seeded_rng(1);
+            let mut net = build_by_name(name, 3, 10, &mut rng);
+            assert!(net.num_parameters() > 0, "{name}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown model")]
+    fn unknown_model_panics() {
+        let mut rng = seeded_rng(1);
+        let _ = build_by_name("alexnet", 3, 10, &mut rng);
+    }
+
+    #[test]
+    fn parameter_counts_scale_with_width() {
+        let mut rng = seeded_rng(1);
+        let mut w1 = wide_resnet(3, 1, 10, &mut rng);
+        let mut rng = seeded_rng(1);
+        let mut w2 = wide_resnet(3, 2, 10, &mut rng);
+        assert!(w2.num_parameters() > 3 * w1.num_parameters());
+    }
+}

@@ -1,0 +1,322 @@
+//! Network composition: sequences and residual blocks.
+
+use crate::act::Context;
+use crate::layers::Layer;
+use crate::param::Param;
+use jact_tensor::Tensor;
+
+/// A node in the network graph: a single layer or a residual split.
+pub enum Node {
+    /// A plain layer.
+    Layer(Box<dyn Layer>),
+    /// A residual connection: `y = main(x) + shortcut(x)`.
+    ///
+    /// An empty shortcut is the identity.  The addition itself needs no
+    /// saved activation (its gradient is the identity on both branches);
+    /// the *sum output* is classified and memoized by its consumer (the
+    /// next conv saves it with [`crate::act::ActKind::Sum`]).
+    Residual {
+        /// The main (transform) branch.
+        main: Vec<Node>,
+        /// The shortcut branch; empty means identity.
+        shortcut: Vec<Node>,
+    },
+}
+
+impl Node {
+    /// Wraps a layer.
+    pub fn layer(l: impl Layer + 'static) -> Node {
+        Node::Layer(Box::new(l))
+    }
+
+    fn forward(&mut self, x: &Tensor, ctx: &mut Context<'_>) -> Tensor {
+        match self {
+            Node::Layer(l) => l.forward(x, ctx),
+            Node::Residual { main, shortcut } => {
+                let mut m = x.clone();
+                for n in main.iter_mut() {
+                    m = n.forward(&m, ctx);
+                }
+                let mut s = x.clone();
+                for n in shortcut.iter_mut() {
+                    s = n.forward(&s, ctx);
+                }
+                m.zip(&s, |a, b| a + b)
+            }
+        }
+    }
+
+    fn backward(&mut self, grad: &Tensor, ctx: &mut Context<'_>) -> Tensor {
+        match self {
+            Node::Layer(l) => l.backward(grad, ctx),
+            Node::Residual { main, shortcut } => {
+                let mut gm = grad.clone();
+                for n in main.iter_mut().rev() {
+                    gm = n.backward(&gm, ctx);
+                }
+                let mut gs = grad.clone();
+                for n in shortcut.iter_mut().rev() {
+                    gs = n.backward(&gs, ctx);
+                }
+                gm.zip(&gs, |a, b| a + b)
+            }
+        }
+    }
+
+    fn collect_params<'a>(&'a mut self, out: &mut Vec<&'a mut Param>) {
+        match self {
+            Node::Layer(l) => out.extend(l.params()),
+            Node::Residual { main, shortcut } => {
+                for n in main.iter_mut() {
+                    n.collect_params(out);
+                }
+                for n in shortcut.iter_mut() {
+                    n.collect_params(out);
+                }
+            }
+        }
+    }
+
+    fn collect_names(&mut self, out: &mut Vec<String>) {
+        match self {
+            Node::Layer(l) => out.push(l.name()),
+            Node::Residual { main, shortcut } => {
+                out.push("residual{".into());
+                for n in main.iter_mut() {
+                    n.collect_names(out);
+                }
+                if !shortcut.is_empty() {
+                    out.push("}shortcut{".into());
+                    for n in shortcut.iter_mut() {
+                        n.collect_names(out);
+                    }
+                }
+                out.push("}".into());
+            }
+        }
+    }
+}
+
+/// A feed-forward network: an ordered list of [`Node`]s.
+pub struct Network {
+    nodes: Vec<Node>,
+    name: String,
+}
+
+impl Network {
+    /// Builds a network from nodes.
+    pub fn new(name: impl Into<String>, nodes: Vec<Node>) -> Self {
+        Network {
+            nodes,
+            name: name.into(),
+        }
+    }
+
+    /// The network's name (used in experiment tables).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Forward pass through all nodes.
+    pub fn forward(&mut self, x: &Tensor, ctx: &mut Context<'_>) -> Tensor {
+        let mut h = x.clone();
+        for n in self.nodes.iter_mut() {
+            h = n.forward(&h, ctx);
+        }
+        h
+    }
+
+    /// Backward pass; returns the input gradient.
+    pub fn backward(&mut self, grad: &Tensor, ctx: &mut Context<'_>) -> Tensor {
+        let mut g = grad.clone();
+        for n in self.nodes.iter_mut().rev() {
+            g = n.backward(&g, ctx);
+        }
+        g
+    }
+
+    /// All trainable parameters, in graph order.
+    pub fn params(&mut self) -> Vec<&mut Param> {
+        let mut out = Vec::new();
+        for n in self.nodes.iter_mut() {
+            n.collect_params(&mut out);
+        }
+        out
+    }
+
+    /// Zeroes every parameter gradient.
+    pub fn zero_grads(&mut self) {
+        for p in self.params() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total trainable scalar count.
+    pub fn num_parameters(&mut self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+
+    /// Layer names in execution order (diagnostics).
+    pub fn layer_names(&mut self) -> Vec<String> {
+        let mut out = Vec::new();
+        for n in self.nodes.iter_mut() {
+            n.collect_names(&mut out);
+        }
+        out
+    }
+
+    /// Snapshots all parameter values as a name → tensor state dict
+    /// (checkpointing; model builders guarantee unique parameter names).
+    pub fn state(&mut self) -> Vec<(String, Tensor)> {
+        self.params()
+            .into_iter()
+            .map(|p| (p.name.clone(), p.value.clone()))
+            .collect()
+    }
+
+    /// Restores parameter values from a state dict produced by
+    /// [`Network::state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a parameter is missing from `state` or has a different
+    /// shape — loading a checkpoint into the wrong architecture is a
+    /// programming error.
+    pub fn load_state(&mut self, state: &[(String, Tensor)]) {
+        use std::collections::HashMap;
+        let map: HashMap<&str, &Tensor> =
+            state.iter().map(|(n, t)| (n.as_str(), t)).collect();
+        for p in self.params() {
+            let t = map
+                .get(p.name.as_str())
+                .unwrap_or_else(|| panic!("missing parameter {} in state dict", p.name));
+            assert_eq!(
+                t.shape(),
+                p.value.shape(),
+                "shape mismatch for parameter {}",
+                p.name
+            );
+            p.value = (*t).clone();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::act::{ActKind, Context, PassthroughStore};
+    use crate::layers::{Conv2d, Relu};
+    use jact_tensor::init::seeded_rng;
+    use jact_tensor::Shape;
+    use rand::SeedableRng;
+
+    fn run(net: &mut Network, x: &Tensor, gy: &Tensor) -> (Tensor, Tensor) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut store = PassthroughStore::new();
+        let y = {
+            let mut ctx = Context::new(true, &mut rng, &mut store);
+            net.forward(x, &mut ctx)
+        };
+        let gx = {
+            let mut ctx = Context::new(true, &mut rng, &mut store);
+            net.backward(gy, &mut ctx)
+        };
+        (y, gx)
+    }
+
+    #[test]
+    fn identity_residual_doubles_gradient() {
+        // y = x + x = 2x when main is empty? main must be non-empty in
+        // real nets; test with identity-weight conv in main.
+        let mut rng = seeded_rng(3);
+        let mut conv = Conv2d::new("c", 1, 1, 1, 1, 0, false, 0, &mut rng);
+        conv.params()[0].value = Tensor::from_vec(Shape::mat(1, 1), vec![1.0]);
+        let mut net = Network::new(
+            "res",
+            vec![Node::Residual {
+                main: vec![Node::layer(conv)],
+                shortcut: vec![],
+            }],
+        );
+        let x = Tensor::full(Shape::nchw(1, 1, 2, 2), 3.0);
+        let gy = Tensor::full(Shape::nchw(1, 1, 2, 2), 1.0);
+        let (y, gx) = run(&mut net, &x, &gy);
+        assert!(y.iter().all(|&v| (v - 6.0).abs() < 1e-6));
+        assert!(gx.iter().all(|&v| (v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn sequential_composition_and_params() {
+        let mut rng = seeded_rng(5);
+        let conv = Conv2d::new("c1", 1, 2, 3, 1, 1, true, 0, &mut rng);
+        let relu = Relu::new("r1", 1, ActKind::ReluToOther);
+        let mut net = Network::new("seq", vec![Node::layer(conv), Node::layer(relu)]);
+        assert_eq!(net.params().len(), 2); // weight + bias
+        assert_eq!(net.num_parameters(), 2 * 9 + 2);
+        let x = Tensor::full(Shape::nchw(1, 1, 4, 4), 0.5);
+        let gy = Tensor::full(Shape::nchw(1, 2, 4, 4), 1.0);
+        let (y, gx) = run(&mut net, &x, &gy);
+        assert_eq!(y.shape(), &Shape::nchw(1, 2, 4, 4));
+        assert_eq!(gx.shape(), x.shape());
+        assert!(y.iter().all(|&v| v >= 0.0)); // post-ReLU
+    }
+
+    #[test]
+    fn zero_grads_resets() {
+        let mut rng = seeded_rng(5);
+        let conv = Conv2d::new("c1", 1, 1, 1, 1, 0, false, 0, &mut rng);
+        let mut net = Network::new("n", vec![Node::layer(conv)]);
+        let x = Tensor::full(Shape::nchw(1, 1, 2, 2), 1.0);
+        let gy = Tensor::full(Shape::nchw(1, 1, 2, 2), 1.0);
+        let _ = run(&mut net, &x, &gy);
+        assert!(net.params()[0].grad.max_abs() > 0.0);
+        net.zero_grads();
+        assert_eq!(net.params()[0].grad.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn state_dict_roundtrip_restores_outputs() {
+        use crate::models::mini_resnet;
+        let mut rng = seeded_rng(31);
+        let mut net = mini_resnet(3, 1, 4, &mut rng);
+        let x = Tensor::full(Shape::nchw(1, 3, 32, 32), 0.3);
+        let gy = Tensor::full(Shape::mat(1, 4), 0.1);
+
+        let state = net.state();
+        let (y0, _) = run(&mut net, &x, &gy);
+        // Perturb the weights via a training-like update.
+        for p in net.params() {
+            p.value.map_in_place(|v| v + 0.05);
+        }
+        let (y1, _) = run(&mut net, &x, &gy);
+        assert!(y0.mse(&y1) > 0.0, "perturbation must change outputs");
+        // Restoring the checkpoint restores the function.
+        net.load_state(&state);
+        let (y2, _) = run(&mut net, &x, &gy);
+        assert!(y0.mse(&y2) < 1e-10, "mse={}", y0.mse(&y2));
+    }
+
+    #[test]
+    #[should_panic(expected = "missing parameter")]
+    fn load_state_rejects_missing_params() {
+        use crate::models::mini_resnet;
+        let mut rng = seeded_rng(31);
+        let mut net = mini_resnet(3, 1, 4, &mut rng);
+        net.load_state(&[]);
+    }
+
+    #[test]
+    fn layer_names_reflect_structure() {
+        let mut rng = seeded_rng(5);
+        let mut net = Network::new(
+            "n",
+            vec![Node::Residual {
+                main: vec![Node::layer(Conv2d::new("c", 1, 1, 1, 1, 0, false, 0, &mut rng))],
+                shortcut: vec![],
+            }],
+        );
+        let names = net.layer_names();
+        assert!(names.iter().any(|n| n.contains("residual")));
+        assert!(names.iter().any(|n| n.contains("conv")));
+    }
+}

@@ -1,0 +1,176 @@
+//! Stochastic gradient descent (Eqn. 1) with momentum, weight decay, and
+//! step schedules.
+
+use crate::param::Param;
+
+/// SGD hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SgdConfig {
+    /// Learning rate η.
+    pub lr: f32,
+    /// Classical momentum coefficient (0 disables).
+    pub momentum: f32,
+    /// L2 weight decay applied to parameters flagged `decay`.
+    pub weight_decay: f32,
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        SgdConfig {
+            lr: 0.1,
+            momentum: 0.9,
+            weight_decay: 5e-4,
+        }
+    }
+}
+
+/// The SGD optimizer: `w ← w − η (∇w + λw + μ·buf)`.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    config: SgdConfig,
+    /// Multiplicative LR decay applied at the epochs in `milestones`.
+    gamma: f32,
+    milestones: Vec<usize>,
+    current_lr: f32,
+}
+
+impl Sgd {
+    /// Creates an optimizer with no schedule.
+    pub fn new(config: SgdConfig) -> Self {
+        Sgd {
+            current_lr: config.lr,
+            config,
+            gamma: 1.0,
+            milestones: Vec::new(),
+        }
+    }
+
+    /// Adds a multi-step schedule: multiply the LR by `gamma` at each
+    /// epoch in `milestones`.
+    pub fn with_schedule(mut self, milestones: &[usize], gamma: f32) -> Self {
+        self.milestones = milestones.to_vec();
+        self.gamma = gamma;
+        self
+    }
+
+    /// The learning rate currently in effect.
+    pub fn lr(&self) -> f32 {
+        self.current_lr
+    }
+
+    /// Notifies the optimizer that `epoch` (0-based) is starting,
+    /// applying any scheduled decay.
+    pub fn start_epoch(&mut self, epoch: usize) {
+        let decays = self.milestones.iter().filter(|&&m| m <= epoch).count();
+        self.current_lr = self.config.lr * self.gamma.powi(decays as i32);
+    }
+
+    /// Applies one update step to the given parameters, consuming their
+    /// accumulated gradients (which are then zeroed).
+    pub fn step(&mut self, params: Vec<&mut Param>) {
+        let lr = self.current_lr;
+        let mu = self.config.momentum;
+        let wd = self.config.weight_decay;
+        for p in params {
+            let decay = if p.decay { wd } else { 0.0 };
+            let value = p.value.as_mut_slice();
+            let grad = p.grad.as_mut_slice();
+            let buf = p.momentum.as_mut_slice();
+            for i in 0..value.len() {
+                let g = grad[i] + decay * value[i];
+                buf[i] = mu * buf[i] + g;
+                value[i] -= lr * buf[i];
+                grad[i] = 0.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jact_tensor::{Shape, Tensor};
+
+    fn param(v: f32, g: f32, decay: bool) -> Param {
+        let mut p = Param::new("p", Tensor::full(Shape::vec(1), v), decay);
+        p.grad = Tensor::full(Shape::vec(1), g);
+        p
+    }
+
+    #[test]
+    fn plain_sgd_step() {
+        let mut opt = Sgd::new(SgdConfig {
+            lr: 0.1,
+            momentum: 0.0,
+            weight_decay: 0.0,
+        });
+        let mut p = param(1.0, 2.0, true);
+        opt.step(vec![&mut p]);
+        assert!((p.value.as_slice()[0] - 0.8).abs() < 1e-6);
+        assert_eq!(p.grad.as_slice()[0], 0.0, "grad consumed");
+    }
+
+    #[test]
+    fn momentum_accumulates() {
+        let mut opt = Sgd::new(SgdConfig {
+            lr: 1.0,
+            momentum: 0.5,
+            weight_decay: 0.0,
+        });
+        let mut p = param(0.0, 1.0, false);
+        opt.step(vec![&mut p]);
+        assert!((p.value.as_slice()[0] + 1.0).abs() < 1e-6); // -1
+        p.grad = Tensor::full(Shape::vec(1), 1.0);
+        opt.step(vec![&mut p]);
+        // buf = 0.5*1 + 1 = 1.5 -> value = -1 - 1.5 = -2.5
+        assert!((p.value.as_slice()[0] + 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_decay_only_on_flagged() {
+        let cfg = SgdConfig {
+            lr: 1.0,
+            momentum: 0.0,
+            weight_decay: 0.1,
+        };
+        let mut opt = Sgd::new(cfg);
+        let mut w = param(1.0, 0.0, true);
+        let mut b = param(1.0, 0.0, false);
+        opt.step(vec![&mut w, &mut b]);
+        assert!((w.value.as_slice()[0] - 0.9).abs() < 1e-6);
+        assert_eq!(b.value.as_slice()[0], 1.0);
+    }
+
+    #[test]
+    fn schedule_decays_at_milestones() {
+        let mut opt = Sgd::new(SgdConfig {
+            lr: 1.0,
+            momentum: 0.0,
+            weight_decay: 0.0,
+        })
+        .with_schedule(&[2, 4], 0.1);
+        opt.start_epoch(0);
+        assert_eq!(opt.lr(), 1.0);
+        opt.start_epoch(2);
+        assert!((opt.lr() - 0.1).abs() < 1e-9);
+        opt.start_epoch(5);
+        assert!((opt.lr() - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn descends_a_quadratic() {
+        // minimize f(w) = (w-3)^2 via SGD.
+        let mut opt = Sgd::new(SgdConfig {
+            lr: 0.1,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        });
+        let mut p = param(0.0, 0.0, false);
+        for _ in 0..100 {
+            let w = p.value.as_slice()[0];
+            p.grad = Tensor::full(Shape::vec(1), 2.0 * (w - 3.0));
+            opt.step(vec![&mut p]);
+        }
+        assert!((p.value.as_slice()[0] - 3.0).abs() < 0.05);
+    }
+}

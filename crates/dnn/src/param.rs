@@ -1,0 +1,94 @@
+//! Trainable parameters: value + gradient + momentum state.
+
+use jact_tensor::Tensor;
+
+/// One trainable parameter tensor with its accumulated gradient and the
+/// optimizer's momentum buffer.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Gradient accumulated by the last backward pass.
+    pub grad: Tensor,
+    /// SGD momentum buffer (same shape as `value`).
+    pub momentum: Tensor,
+    /// Whether weight decay applies (true for weights, false for biases
+    /// and batch-norm affine parameters, following standard practice).
+    pub decay: bool,
+    /// Diagnostic name.
+    pub name: String,
+}
+
+impl Param {
+    /// Wraps an initialized value tensor as a trainable parameter.
+    pub fn new(name: impl Into<String>, value: Tensor, decay: bool) -> Self {
+        let grad = Tensor::zeros(value.shape().clone());
+        let momentum = Tensor::zeros(value.shape().clone());
+        Param {
+            value,
+            grad,
+            momentum,
+            decay,
+            name: name.into(),
+        }
+    }
+
+    /// Zeroes the gradient in place.
+    pub fn zero_grad(&mut self) {
+        self.grad.map_in_place(|_| 0.0);
+    }
+
+    /// Accumulates `g` into the gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn accumulate(&mut self, g: &Tensor) {
+        assert_eq!(self.grad.shape(), g.shape(), "gradient shape mismatch");
+        for (a, &b) in self.grad.iter_mut().zip(g.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Number of scalar elements.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// `true` iff the parameter is empty (never, by tensor invariant).
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jact_tensor::Shape;
+
+    #[test]
+    fn new_param_has_zero_grad_and_momentum() {
+        let p = Param::new("w", Tensor::full(Shape::vec(3), 1.0), true);
+        assert_eq!(p.grad.sum(), 0.0);
+        assert_eq!(p.momentum.sum(), 0.0);
+        assert!(p.decay);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn accumulate_and_zero() {
+        let mut p = Param::new("w", Tensor::zeros(Shape::vec(2)), false);
+        p.accumulate(&Tensor::from_slice(&[1.0, 2.0]));
+        p.accumulate(&Tensor::from_slice(&[0.5, -1.0]));
+        assert_eq!(p.grad.as_slice(), &[1.5, 1.0]);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn accumulate_shape_mismatch_panics() {
+        let mut p = Param::new("w", Tensor::zeros(Shape::vec(2)), false);
+        p.accumulate(&Tensor::zeros(Shape::vec(3)));
+    }
+}

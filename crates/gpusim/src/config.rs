@@ -1,0 +1,93 @@
+//! Machine configuration: the simulated GPU and interconnect.
+
+use serde::{Deserialize, Serialize};
+
+/// Titan V-like GPU and system parameters (Sec. V: 40 SMs at 1455 MHz
+/// boost, 850 MHz HBM, 32 B/cycle crossbar links, PCIe 3.0 at an
+/// effective 12.8 GB/s).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GpuConfig {
+    /// Streaming multiprocessor count.
+    pub sm_count: u32,
+    /// Core boost clock in GHz.
+    pub clock_ghz: f64,
+    /// FP32 FMA lanes per SM (2 ops per lane-cycle).
+    pub lanes_per_sm: u32,
+    /// Achievable fraction of peak FLOPs for dense conv kernels.
+    pub conv_efficiency: f64,
+    /// Effective speedup of Winograd on 3×3 stride-1 convolutions.
+    pub winograd_gain: f64,
+    /// HBM bandwidth in GB/s achievable by memory-bound kernels.
+    pub hbm_gbps: f64,
+    /// Crossbar link width in bytes per core cycle (per CDU/DMA port).
+    pub xbar_bytes_per_cycle: f64,
+    /// Effective PCIe transfer rate in GB/s (paper: 12.8).
+    pub pcie_gbps: f64,
+    /// CDU intake rate in bytes of *uncompressed f32* per core cycle:
+    /// the SFPR front end consumes one 32 B crossbar sector per cycle
+    /// (Fig. 8), equivalently one 64 B int8 block per 8 cycles past SFPR
+    /// (Sec. III-G).
+    pub cdu_bytes_per_cycle: f64,
+    /// Number of L2/memory partitions (cache-side CDU replication count).
+    pub mem_partitions: u32,
+}
+
+impl GpuConfig {
+    /// The paper's simulated Titan V configuration.
+    pub fn titan_v() -> Self {
+        GpuConfig {
+            sm_count: 40,
+            clock_ghz: 1.455,
+            lanes_per_sm: 64,
+            conv_efficiency: 0.55,
+            winograd_gain: 2.0,
+            hbm_gbps: 650.0,
+            xbar_bytes_per_cycle: 32.0,
+            pcie_gbps: 12.8,
+            cdu_bytes_per_cycle: 32.0,
+            mem_partitions: 48,
+        }
+    }
+
+    /// Peak FP32 throughput in GFLOP/s.
+    pub fn peak_gflops(&self) -> f64 {
+        self.sm_count as f64 * self.lanes_per_sm as f64 * 2.0 * self.clock_ghz
+    }
+
+    /// Uncompressed intake rate of one CDU in GB/s.
+    pub fn cdu_gbps(&self) -> f64 {
+        self.cdu_bytes_per_cycle * self.clock_ghz
+    }
+
+    /// One crossbar link's bandwidth in GB/s.
+    pub fn xbar_link_gbps(&self) -> f64 {
+        self.xbar_bytes_per_cycle * self.clock_ghz
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        Self::titan_v()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn titan_v_peak_near_7_4_tflops() {
+        let g = GpuConfig::titan_v();
+        let peak = g.peak_gflops();
+        assert!((peak - 7449.6).abs() < 1.0, "peak={peak}");
+    }
+
+    #[test]
+    fn cdu_rate_matches_figure_8() {
+        // 32 B/cycle at 1.455 GHz ~ 46.6 GB/s of uncompressed intake —
+        // one crossbar sector per cycle into the SFPR front end.
+        let g = GpuConfig::titan_v();
+        assert!((g.cdu_gbps() - 46.56).abs() < 0.01);
+        assert!((g.xbar_link_gbps() - g.cdu_gbps()).abs() < 1e-9);
+    }
+}

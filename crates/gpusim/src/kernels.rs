@@ -1,0 +1,256 @@
+//! Analytic kernel duration model.
+//!
+//! Per-layer durations follow a roofline: compute-bound convolutions run
+//! at a fraction of peak FLOPs (with a Winograd gain on 3×3 stride-1
+//! kernels, the algorithm cuDNN selects in the paper's microbenchmarks,
+//! Sec. VI-D), and elementwise/norm/pool kernels are HBM-bandwidth-bound.
+
+use crate::config::GpuConfig;
+use serde::{Deserialize, Serialize};
+
+/// Classification of a saved activation for the offload model —
+/// decoupled from `jact-dnn`'s richer `ActKind`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActClass {
+    /// Dense spatial activation (conv input / sum / norm input).
+    Dense,
+    /// Sparse activation whose values are needed (ReLU-to-conv, pool,
+    /// dropout).
+    Sparse,
+    /// ReLU output needing only the sign downstream (BRC-eligible).
+    ReluOther,
+}
+
+/// What a layer memoizes for the backward pass.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SavedAct {
+    /// Activation class (drives the per-method compression ratio).
+    pub class: ActClass,
+    /// Uncompressed f32 size in bytes.
+    pub bytes: u64,
+}
+
+/// The computational kind of one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// Convolution with square `k`×`k` kernels.
+    Conv {
+        /// Input channels.
+        cin: u32,
+        /// Output channels.
+        cout: u32,
+        /// Kernel extent.
+        k: u32,
+        /// Spatial stride.
+        stride: u32,
+    },
+    /// Batch normalization.
+    Norm,
+    /// ReLU.
+    Relu,
+    /// 2×2 max pooling.
+    Pool,
+    /// Dropout.
+    Dropout,
+}
+
+/// One layer of a microbenchmarked block, with input geometry at the
+/// benchmark batch size.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LayerSpec {
+    /// Layer kind and parameters.
+    pub kind: LayerKind,
+    /// Batch size.
+    pub n: u32,
+    /// Input spatial height.
+    pub h: u32,
+    /// Input spatial width.
+    pub w: u32,
+    /// Activation saved for the backward pass, if any.
+    pub saved: Option<SavedAct>,
+}
+
+impl LayerSpec {
+    /// Input channel count (1 for non-conv layers' bookkeeping).
+    fn cin(&self) -> u32 {
+        match self.kind {
+            LayerKind::Conv { cin, .. } => cin,
+            _ => 0,
+        }
+    }
+
+    /// Output spatial extent of a conv (same-padded), else unchanged.
+    pub fn out_hw(&self) -> (u32, u32) {
+        match self.kind {
+            LayerKind::Conv { stride, .. } => (self.h / stride, self.w / stride),
+            LayerKind::Pool => (self.h / 2, self.w / 2),
+            _ => (self.h, self.w),
+        }
+    }
+
+    /// Forward FLOPs of this layer.
+    pub fn forward_flops(&self) -> f64 {
+        match self.kind {
+            LayerKind::Conv { cin, cout, k, .. } => {
+                let (oh, ow) = self.out_hw();
+                2.0 * self.n as f64
+                    * cout as f64
+                    * oh as f64
+                    * ow as f64
+                    * cin as f64
+                    * (k * k) as f64
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Bytes moved through HBM by the forward kernel (inputs + outputs,
+    /// f32).
+    pub fn forward_bytes(&self, act_channels: u32) -> f64 {
+        let (oh, ow) = self.out_hw();
+        let cin = if self.cin() > 0 { self.cin() } else { act_channels };
+        let cout = match self.kind {
+            LayerKind::Conv { cout, .. } => cout,
+            _ => act_channels,
+        };
+        let input = self.n as f64 * cin as f64 * self.h as f64 * self.w as f64 * 4.0;
+        let output = self.n as f64 * cout as f64 * oh as f64 * ow as f64 * 4.0;
+        input + output
+    }
+
+    /// Forward duration in microseconds on `gpu`.
+    pub fn forward_us(&self, gpu: &GpuConfig, act_channels: u32) -> f64 {
+        let mut flops = self.forward_flops();
+        if let LayerKind::Conv { k, stride, .. } = self.kind {
+            if k == 3 && stride == 1 {
+                flops /= gpu.winograd_gain;
+            }
+        }
+        let t_compute = flops / (gpu.peak_gflops() * 1e9 * gpu.conv_efficiency) * 1e6;
+        let t_mem = self.forward_bytes(act_channels) / (gpu.hbm_gbps * 1e9) * 1e6;
+        t_compute.max(t_mem).max(1.0) // >= 1 µs kernel launch floor
+    }
+
+    /// Backward duration in microseconds: convolutions do ~2× the forward
+    /// work (input- and weight-gradient GEMMs); elementwise kernels move
+    /// ~1.5× the forward bytes.
+    pub fn backward_us(&self, gpu: &GpuConfig, act_channels: u32) -> f64 {
+        match self.kind {
+            LayerKind::Conv { .. } => 2.0 * self.forward_us(gpu, act_channels),
+            _ => 1.5 * self.forward_us(gpu, act_channels),
+        }
+    }
+}
+
+/// Builds the saved-activation descriptor for a dense tensor of the given
+/// geometry.
+pub fn saved_dense(n: u32, c: u32, h: u32, w: u32) -> SavedAct {
+    SavedAct {
+        class: ActClass::Dense,
+        bytes: n as u64 * c as u64 * h as u64 * w as u64 * 4,
+    }
+}
+
+/// Builds a sparse saved-activation descriptor.
+pub fn saved_sparse(n: u32, c: u32, h: u32, w: u32) -> SavedAct {
+    SavedAct {
+        class: ActClass::Sparse,
+        bytes: n as u64 * c as u64 * h as u64 * w as u64 * 4,
+    }
+}
+
+/// Builds a BRC-eligible ReLU saved-activation descriptor.
+pub fn saved_relu_other(n: u32, c: u32, h: u32, w: u32) -> SavedAct {
+    SavedAct {
+        class: ActClass::ReluOther,
+        bytes: n as u64 * c as u64 * h as u64 * w as u64 * 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv_spec(cin: u32, cout: u32, k: u32, stride: u32, hw: u32) -> LayerSpec {
+        LayerSpec {
+            kind: LayerKind::Conv {
+                cin,
+                cout,
+                k,
+                stride,
+            },
+            n: 16,
+            h: hw,
+            w: hw,
+            saved: None,
+        }
+    }
+
+    #[test]
+    fn conv_flops_formula() {
+        let s = conv_spec(64, 64, 3, 1, 32);
+        // 2 * 16 * 64 * 32 * 32 * 64 * 9
+        assert_eq!(s.forward_flops(), 2.0 * 16.0 * 64.0 * 1024.0 * 64.0 * 9.0);
+    }
+
+    #[test]
+    fn strided_conv_shrinks_output() {
+        let s = conv_spec(64, 128, 3, 2, 32);
+        assert_eq!(s.out_hw(), (16, 16));
+    }
+
+    #[test]
+    fn conv_3x3_is_compute_bound_1x1_memory_bound() {
+        let gpu = GpuConfig::titan_v();
+        // Big 3x3: compute dominated.
+        let big = conv_spec(256, 256, 3, 1, 32);
+        let t_mem = big.forward_bytes(256) / (gpu.hbm_gbps * 1e9) * 1e6;
+        assert!(big.forward_us(&gpu, 256) > t_mem * 1.5);
+        // 1x1 bottleneck with many channels: memory-bound (the paper's
+        // GIST pathology, Sec. VI-D).
+        let pw = conv_spec(2048, 512, 1, 1, 7);
+        let t_flop =
+            pw.forward_flops() / (gpu.peak_gflops() * 1e9 * gpu.conv_efficiency) * 1e6;
+        assert!(pw.forward_us(&gpu, 512) >= t_flop);
+    }
+
+    #[test]
+    fn winograd_speeds_up_3x3_only() {
+        let gpu = GpuConfig::titan_v();
+        let with = conv_spec(256, 256, 3, 1, 64);
+        let strided = conv_spec(256, 256, 3, 2, 64);
+        // Same FLOPs/4 for strided output; compare per-flop time instead:
+        let t1 = with.forward_us(&gpu, 256) / with.forward_flops();
+        let t2 = strided.forward_us(&gpu, 256) / strided.forward_flops();
+        assert!(t1 < t2, "winograd conv should be faster per FLOP");
+    }
+
+    #[test]
+    fn elementwise_layers_are_memory_bound() {
+        let gpu = GpuConfig::titan_v();
+        let relu = LayerSpec {
+            kind: LayerKind::Relu,
+            n: 16,
+            h: 56,
+            w: 56,
+            saved: None,
+        };
+        let t = relu.forward_us(&gpu, 256);
+        let expect = relu.forward_bytes(256) / (gpu.hbm_gbps * 1e9) * 1e6;
+        assert!((t - expect).abs() < 1e-9 || t == 1.0);
+    }
+
+    #[test]
+    fn backward_costs_more_than_forward() {
+        let gpu = GpuConfig::titan_v();
+        let s = conv_spec(128, 128, 3, 1, 32);
+        assert!(s.backward_us(&gpu, 128) > s.forward_us(&gpu, 128));
+    }
+
+    #[test]
+    fn saved_descriptors_compute_bytes() {
+        assert_eq!(saved_dense(16, 64, 32, 32).bytes, 16 * 64 * 1024 * 4);
+        assert_eq!(saved_sparse(1, 1, 8, 8).class, ActClass::Sparse);
+        assert_eq!(saved_relu_other(1, 1, 8, 8).class, ActClass::ReluOther);
+    }
+}

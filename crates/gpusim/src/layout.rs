@@ -1,0 +1,137 @@
+//! CDU count and placement sweeps (Sec. VI-E, Fig. 21).
+
+use crate::config::GpuConfig;
+use crate::netspec::NetworkSpec;
+use crate::offload::{MethodModel, Placement};
+use crate::sim::simulate_training_pass;
+use serde::{Deserialize, Serialize};
+
+/// One point of the Fig. 21 sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Fixed compression ratio of the synthetic method.
+    pub ratio: f64,
+    /// Number of DMA-side CDUs.
+    pub cdus: u32,
+    /// Placement label (`dma` or `cache+dma`).
+    pub placement: String,
+    /// Total pass time in µs.
+    pub total_us: f64,
+    /// Performance relative to the 1-CDU DMA-side point at this ratio.
+    pub relative: f64,
+}
+
+/// Runs the Fig. 21 sweep on `net`: fixed compression ratios × CDU
+/// counts, DMA-side and hybrid cache+DMA placements.
+pub fn cdu_sweep(
+    net: &NetworkSpec,
+    gpu: &GpuConfig,
+    ratios: &[f64],
+    cdu_counts: &[u32],
+) -> Vec<SweepPoint> {
+    let mut out = Vec::new();
+    for &ratio in ratios {
+        let base = simulate_training_pass(
+            net,
+            &MethodModel::fixed_ratio(ratio, Placement::DmaSide { cdus: 1 }),
+            gpu,
+        )
+        .total_us();
+        for &cdus in cdu_counts {
+            for (label, placement) in [
+                ("dma", Placement::DmaSide { cdus }),
+                ("cache+dma", Placement::Hybrid { cdus }),
+            ] {
+                let t = simulate_training_pass(
+                    net,
+                    &MethodModel::fixed_ratio(ratio, placement),
+                    gpu,
+                )
+                .total_us();
+                out.push(SweepPoint {
+                    ratio,
+                    cdus,
+                    placement: label.into(),
+                    total_us: t,
+                    relative: base / t,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netspec::resnet50_cifar;
+
+    fn sweep() -> Vec<SweepPoint> {
+        cdu_sweep(
+            &resnet50_cifar(),
+            &GpuConfig::titan_v(),
+            &[2.0, 4.0, 8.0, 12.0],
+            &[1, 2, 4, 8],
+        )
+    }
+
+    fn pt<'a>(s: &'a [SweepPoint], ratio: f64, cdus: u32, placement: &str) -> &'a SweepPoint {
+        s.iter()
+            .find(|p| p.ratio == ratio && p.cdus == cdus && p.placement == placement)
+            .expect("point exists")
+    }
+
+    #[test]
+    fn low_compression_insensitive_to_cdus() {
+        // At 2x, PCIe is the bottleneck: adding CDUs barely helps
+        // (Fig. 21, paper: "little increase over 1 CDU at 2x and 4x").
+        let s = sweep();
+        let one = pt(&s, 2.0, 1, "dma").total_us;
+        let eight = pt(&s, 2.0, 8, "dma").total_us;
+        assert!(
+            (one - eight).abs() / one < 0.02,
+            "2x: 1 CDU {one} vs 8 CDUs {eight}"
+        );
+    }
+
+    #[test]
+    fn high_compression_benefits_from_cdus() {
+        // At 8x+ the CDU intake is the bottleneck; more CDUs help.
+        let s = sweep();
+        let one = pt(&s, 8.0, 1, "dma").total_us;
+        let four = pt(&s, 8.0, 4, "dma").total_us;
+        assert!(four < one * 0.95, "8x: 1 CDU {one} vs 4 CDUs {four}");
+    }
+
+    #[test]
+    fn diminishing_returns_past_saturation() {
+        // Fig. 21: 12x gains ~1.08x from 2->4 CDUs but <0.5%-ish from
+        // 4->8 once another resource binds.
+        let s = sweep();
+        let two = pt(&s, 12.0, 2, "dma").total_us;
+        let four = pt(&s, 12.0, 4, "dma").total_us;
+        let eight = pt(&s, 12.0, 8, "dma").total_us;
+        let gain_24 = two / four;
+        let gain_48 = four / eight;
+        assert!(gain_24 > gain_48, "2->4 {gain_24} should exceed 4->8 {gain_48}");
+    }
+
+    #[test]
+    fn hybrid_no_better_than_dma_when_pcie_bound() {
+        // Sec. VI-E: cache+DMA SFPR gains ~1% over a 4-CDU DMA design.
+        let s = sweep();
+        let dma = pt(&s, 4.0, 4, "dma").total_us;
+        let hyb = pt(&s, 4.0, 4, "cache+dma").total_us;
+        assert!(
+            (dma - hyb) / dma < 0.05,
+            "hybrid should be within 5%: dma={dma} hyb={hyb}"
+        );
+    }
+
+    #[test]
+    fn relative_is_one_for_baseline_point() {
+        let s = sweep();
+        let p = pt(&s, 4.0, 1, "dma");
+        assert!((p.relative - 1.0).abs() < 1e-9);
+    }
+}

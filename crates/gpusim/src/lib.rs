@@ -1,0 +1,39 @@
+//! # jact-gpusim
+//!
+//! A timing simulator for activation offload during CNN training,
+//! reproducing the performance methodology of JPEG-ACT (Secs. V, VI-D,
+//! VI-E): CNR-block microbenchmarks on a Titan V-like GPU model with
+//! PCIe 3.0 offload at 12.8 GB/s effective, overlapping compute with
+//! compressed DMA traffic.
+//!
+//! The paper's own performance numbers come from GPGPU-Sim; what the
+//! experiments need is the *relative* timing of the compute stream and
+//! the offload stream under each compression method, which this model
+//! captures with:
+//!
+//! * [`config`] — the machine description (SMs, clocks, HBM bandwidth,
+//!   crossbar link width, PCIe rate, CDU throughput);
+//! * [`kernels`] — an analytic roofline duration model for conv / norm /
+//!   ReLU / pool kernels (Winograd-style efficiency on 3×3 convs,
+//!   memory-bound elementwise kernels);
+//! * [`netspec`] — full-scale layer tables for the paper's networks
+//!   (ResNet-18/50 on CIFAR and ImageNet dims, VGG-16, WRN, VDSR) and the
+//!   three-block sampling the paper microbenchmarks;
+//! * [`offload`] — per-method offload models: DMA-side accelerators
+//!   (cDMA+, SFPR, JPEG-BASE, JPEG-ACT), GPU-compute compression (GIST),
+//!   and uncompressed vDNN;
+//! * [`sim`] — the two-resource (compute engine / offload engine)
+//!   schedule with per-block staging barriers, mirroring Fig. 1a;
+//! * [`layout`] — CDU count and cache- vs DMA-side placement sweeps
+//!   (Fig. 21).
+
+pub mod config;
+pub mod kernels;
+pub mod layout;
+pub mod netspec;
+pub mod offload;
+pub mod sim;
+
+pub use config::GpuConfig;
+pub use offload::MethodModel;
+pub use sim::{simulate_training_pass, PassTiming};

@@ -1,0 +1,286 @@
+//! Layer tables of the paper's full-scale networks, sampled as CNR-block
+//! microbenchmarks (Sec. VI-D: three blocks per network — first, middle,
+//! last — at batch 16).
+
+use crate::kernels::{saved_dense, saved_relu_other, saved_sparse, LayerKind, LayerSpec};
+use serde::{Deserialize, Serialize};
+
+/// One conv/norm/ReLU block (optionally with pool or dropout), the unit
+/// the paper microbenchmarks.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CnrBlock {
+    /// Block label (e.g. `first`, `middle`, `last`).
+    pub name: String,
+    /// Layers in execution order.
+    pub layers: Vec<LayerSpec>,
+    /// Channel count of the activations flowing through (for the memory
+    /// model of elementwise layers).
+    pub channels: u32,
+}
+
+/// A network's microbenchmark sample.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkSpec {
+    /// Network/dataset label (e.g. `ResNet50/ImageNet`).
+    pub name: String,
+    /// The sampled CNR blocks.
+    pub blocks: Vec<CnrBlock>,
+    /// Multiplier on kernel durations: >1 models networks for which
+    /// cuDNN selects lower-compute-density kernels (the paper observes
+    /// this for VDSR, Sec. VI-D).
+    pub compute_derate: f64,
+}
+
+/// Extra layers appended to a CNR block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Extra {
+    /// Plain conv/norm/ReLU.
+    None,
+    /// CNR followed by 2×2 max pooling.
+    Pool,
+    /// CNR followed by dropout.
+    Dropout,
+}
+
+/// Builds one CNR block: conv (saves dense input), norm (saves dense
+/// input), ReLU (saves sparse output), plus an optional pool/dropout
+/// (saves sparse).
+#[allow(clippy::too_many_arguments)]
+pub fn cnr_block(
+    name: &str,
+    n: u32,
+    cin: u32,
+    cout: u32,
+    k: u32,
+    stride: u32,
+    hw: u32,
+    extra: Extra,
+) -> CnrBlock {
+    let (oh, ow) = (hw / stride, hw / stride);
+    // In bottleneck networks the input of a 1×1 convolution is a ReLU
+    // output: a sparse activation whose values the backward conv needs —
+    // GIST CSR-scans it (the Sec. VI-D pathology), JPEG-ACT applies
+    // SFPR+ZVC.  3×3 conv inputs in CNR chains are the dense conv/sum
+    // class.
+    let conv_input = if k == 1 {
+        saved_sparse(n, cin, hw, hw)
+    } else {
+        saved_dense(n, cin, hw, hw)
+    };
+    let mut layers = vec![
+        LayerSpec {
+            kind: LayerKind::Conv {
+                cin,
+                cout,
+                k,
+                stride,
+            },
+            n,
+            h: hw,
+            w: hw,
+            saved: Some(conv_input),
+        },
+        LayerSpec {
+            kind: LayerKind::Norm,
+            n,
+            h: oh,
+            w: ow,
+            saved: Some(saved_dense(n, cout, oh, ow)),
+        },
+        LayerSpec {
+            kind: LayerKind::Relu,
+            n,
+            h: oh,
+            w: ow,
+            saved: Some(match extra {
+                // A ReLU feeding pool/dropout does not feed a conv
+                // directly: BRC-eligible.
+                Extra::Pool | Extra::Dropout => saved_relu_other(n, cout, oh, ow),
+                Extra::None => saved_sparse(n, cout, oh, ow),
+            }),
+        },
+    ];
+    match extra {
+        Extra::Pool => layers.push(LayerSpec {
+            kind: LayerKind::Pool,
+            n,
+            h: oh,
+            w: ow,
+            saved: Some(saved_sparse(n, cout, oh / 2, ow / 2)),
+        }),
+        Extra::Dropout => layers.push(LayerSpec {
+            kind: LayerKind::Dropout,
+            n,
+            h: oh,
+            w: ow,
+            saved: Some(saved_sparse(n, cout, oh, ow)),
+        }),
+        Extra::None => {}
+    }
+    CnrBlock {
+        name: name.into(),
+        layers,
+        channels: cout,
+    }
+}
+
+/// The microbenchmark batch size the paper uses (Sec. VI-D).
+pub const BATCH: u32 = 16;
+
+/// ResNet-50 on ImageNet: bottleneck dims; the middle/last samples are
+/// the 1×1 bottleneck convolutions whose huge channel counts and few
+/// FLOPs defeat GIST's CSR scan (Sec. VI-D).
+pub fn resnet50_imagenet() -> NetworkSpec {
+    NetworkSpec {
+        name: "ResNet50/ImageNet".into(),
+        blocks: vec![
+            cnr_block("first", BATCH, 64, 64, 3, 1, 56, Extra::None),
+            cnr_block("middle", BATCH, 1024, 256, 1, 1, 14, Extra::None),
+            cnr_block("last", BATCH, 2048, 512, 1, 1, 7, Extra::None),
+        ],
+        compute_derate: 1.0,
+    }
+}
+
+/// ResNet-18 on ImageNet: 3×3 basic-block dims.
+pub fn resnet18_imagenet() -> NetworkSpec {
+    NetworkSpec {
+        name: "ResNet18/ImageNet".into(),
+        blocks: vec![
+            cnr_block("first", BATCH, 64, 64, 3, 1, 56, Extra::None),
+            cnr_block("middle", BATCH, 256, 256, 3, 1, 14, Extra::None),
+            cnr_block("last", BATCH, 512, 512, 3, 1, 7, Extra::None),
+        ],
+        compute_derate: 1.0,
+    }
+}
+
+/// ResNet-50 on CIFAR10 (32×32 inputs, bottleneck channels).
+pub fn resnet50_cifar() -> NetworkSpec {
+    NetworkSpec {
+        name: "ResNet50/CIFAR10".into(),
+        blocks: vec![
+            cnr_block("first", BATCH, 64, 64, 3, 1, 32, Extra::None),
+            cnr_block("middle", BATCH, 512, 128, 1, 1, 16, Extra::None),
+            cnr_block("last", BATCH, 1024, 256, 1, 1, 8, Extra::None),
+        ],
+        compute_derate: 1.0,
+    }
+}
+
+/// ResNet-101 on CIFAR10 — same block dims as ResNet-50, more of them;
+/// the microbenchmark samples are identical in shape.
+pub fn resnet101_cifar() -> NetworkSpec {
+    NetworkSpec {
+        name: "ResNet101/CIFAR10".into(),
+        ..resnet50_cifar()
+    }
+}
+
+/// VGG-16 on CIFAR10: conv stacks with pooling and dropout.
+pub fn vgg16_cifar() -> NetworkSpec {
+    NetworkSpec {
+        name: "VGG/CIFAR10".into(),
+        blocks: vec![
+            cnr_block("first", BATCH, 64, 64, 3, 1, 32, Extra::Pool),
+            cnr_block("middle", BATCH, 256, 256, 3, 1, 8, Extra::Dropout),
+            cnr_block("last", BATCH, 512, 512, 3, 1, 4, Extra::Dropout),
+        ],
+        compute_derate: 1.0,
+    }
+}
+
+/// Wide ResNet (WRN-28-10-like widths) on CIFAR10 with in-block dropout.
+pub fn wrn_cifar() -> NetworkSpec {
+    NetworkSpec {
+        name: "WRN/CIFAR10".into(),
+        blocks: vec![
+            cnr_block("first", BATCH, 160, 160, 3, 1, 32, Extra::Dropout),
+            cnr_block("middle", BATCH, 320, 320, 3, 1, 16, Extra::Dropout),
+            cnr_block("last", BATCH, 640, 640, 3, 1, 8, Extra::Dropout),
+        ],
+        compute_derate: 1.0,
+    }
+}
+
+/// VDSR on Div2K 64×64 crops: few channels, large spatial extent —
+/// the offload-unfriendly geometry of Sec. VI-D.
+pub fn vdsr_div2k() -> NetworkSpec {
+    NetworkSpec {
+        name: "VDSR/Div2K".into(),
+        blocks: vec![
+            cnr_block("first", BATCH, 64, 64, 3, 1, 64, Extra::None),
+            cnr_block("middle", BATCH, 64, 64, 3, 1, 64, Extra::None),
+            cnr_block("last", BATCH, 64, 64, 3, 1, 64, Extra::None),
+        ],
+        // cuDNN selects lower-compute-density kernels for VDSR's geometry
+        // (Sec. VI-D), observed as 1.4-2.3x worse offload performance.
+        compute_derate: 2.0,
+    }
+}
+
+/// All network specs evaluated in Fig. 20 / Table I order.
+pub fn all_networks() -> Vec<NetworkSpec> {
+    vec![
+        vgg16_cifar(),
+        resnet50_cifar(),
+        resnet101_cifar(),
+        wrn_cifar(),
+        resnet18_imagenet(),
+        resnet50_imagenet(),
+        vdsr_div2k(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::ActClass;
+
+    #[test]
+    fn cnr_block_saves_three_activations() {
+        let b = cnr_block("t", 16, 64, 64, 3, 1, 32, Extra::None);
+        let saved: Vec<_> = b.layers.iter().filter_map(|l| l.saved).collect();
+        assert_eq!(saved.len(), 3);
+        assert_eq!(saved[0].class, ActClass::Dense);
+        assert_eq!(saved[1].class, ActClass::Dense);
+        assert_eq!(saved[2].class, ActClass::Sparse);
+        // conv input = 16*64*32*32*4 bytes
+        assert_eq!(saved[0].bytes, 16 * 64 * 32 * 32 * 4);
+    }
+
+    #[test]
+    fn pool_and_dropout_extras_add_layers() {
+        let p = cnr_block("p", 16, 64, 64, 3, 1, 32, Extra::Pool);
+        assert_eq!(p.layers.len(), 4);
+        assert_eq!(
+            p.layers[2].saved.unwrap().class,
+            ActClass::ReluOther,
+            "relu before pool is BRC-eligible"
+        );
+        let d = cnr_block("d", 16, 64, 64, 3, 1, 32, Extra::Dropout);
+        assert_eq!(d.layers.len(), 4);
+    }
+
+    #[test]
+    fn all_networks_have_three_blocks() {
+        for n in all_networks() {
+            assert_eq!(n.blocks.len(), 3, "{}", n.name);
+            for b in &n.blocks {
+                assert!(b.layers.len() >= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn bottleneck_blocks_have_high_channel_ratio() {
+        let rn50 = resnet50_imagenet();
+        let last = &rn50.blocks[2];
+        if let LayerKind::Conv { cin, k, .. } = last.layers[0].kind {
+            assert_eq!(cin, 2048);
+            assert_eq!(k, 1);
+        } else {
+            panic!("expected conv");
+        }
+    }
+}

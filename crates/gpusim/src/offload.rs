@@ -1,0 +1,313 @@
+//! Per-method offload performance models.
+//!
+//! Each method is characterized by its compression ratios per activation
+//! class and by *where* compression happens:
+//!
+//! * **DMA-side accelerators** (cDMA+, SFPR, JPEG-BASE, JPEG-ACT): CDUs
+//!   between the crossbar and the PCIe DMA (Fig. 7b).  The effective
+//!   offload rate of an activation is `min(ΣCDU intake, PCIe × ratio)` —
+//!   PCIe-bound at low compression, crossbar/CDU-bound at high.
+//! * **Cache-side** (cDMA as published, Fig. 7c): one CDU per L2
+//!   partition, so intake never binds; replication costs area instead.
+//! * **GPU-compute compression** (GIST): compression/decompression run as
+//!   kernels on the SMs, consuming compute time instead of PCIe
+//!   bandwidth; nothing is offloaded.
+//! * **vDNN**: raw offload at PCIe rate.
+
+use crate::config::GpuConfig;
+use crate::kernels::ActClass;
+use serde::{Deserialize, Serialize};
+
+/// Where compression happens and what it costs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Placement {
+    /// CDUs at the DMA engine (Fig. 7b).
+    DmaSide {
+        /// Number of CDUs (paper default: 4).
+        cdus: u32,
+    },
+    /// CDUs replicated per L2 partition (Fig. 7c).
+    CacheSide,
+    /// SFPR at the cache partitions + transform CDUs at the DMA — the
+    /// hybrid of Sec. VI-E: the crossbar carries 4×-compressed traffic.
+    Hybrid {
+        /// DMA-side transform CDUs.
+        cdus: u32,
+    },
+    /// Compression kernels on the SMs; activations stay in GPU memory.
+    GpuCompute {
+        /// Throughput of the dense precision cast (DPR) in GB/s.
+        cast_gbps: f64,
+        /// Throughput of the CSR non-zero scan + gather in GB/s — the
+        /// cuSPARSE `dense2csr` path whose cost exceeds a 1×1 kernel on
+        /// bottleneck layers (Sec. VI-D).
+        scan_gbps: f64,
+        /// Fixed kernel-launch overhead per compressed tensor in µs.
+        launch_us: f64,
+    },
+}
+
+/// A compression method's performance model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MethodModel {
+    /// Display name.
+    pub name: String,
+    /// Compression ratio on dense (conv/sum/norm) activations.
+    pub dense_ratio: f64,
+    /// Ratio on sparse value-carrying activations (ReLU-to-conv, pool,
+    /// dropout).
+    pub sparse_ratio: f64,
+    /// Ratio on BRC-eligible ReLU outputs.
+    pub relu_other_ratio: f64,
+    /// Compression location/cost model.
+    pub placement: Placement,
+    /// Whether activations leave the GPU (false for GIST).
+    pub offloads: bool,
+}
+
+impl MethodModel {
+    /// vDNN: uncompressed offload.
+    pub fn vdnn() -> Self {
+        MethodModel {
+            name: "vDNN".into(),
+            dense_ratio: 1.0,
+            sparse_ratio: 1.0,
+            relu_other_ratio: 1.0,
+            placement: Placement::DmaSide { cdus: 1 },
+            offloads: true,
+        }
+    }
+
+    /// cDMA+ with the paper's measured ratios (1.3× average: ZVC helps
+    /// only sparse activations).
+    pub fn cdma_plus() -> Self {
+        MethodModel {
+            name: "cDMA+".into(),
+            dense_ratio: 1.0,
+            sparse_ratio: 2.1,
+            relu_other_ratio: 2.1,
+            placement: Placement::DmaSide { cdus: 4 },
+            offloads: true,
+        }
+    }
+
+    /// GIST: DPR + BRC + CSR into GPU memory via compute kernels.  The
+    /// CSR non-zero scan (cuSPARSE dense2csr) dominates on bottleneck
+    /// layers (Sec. VI-D), modelled by the launch/scan overhead.
+    pub fn gist() -> Self {
+        MethodModel {
+            name: "GIST".into(),
+            dense_ratio: 4.0,
+            sparse_ratio: 2.0,
+            relu_other_ratio: 32.0,
+            placement: Placement::GpuCompute {
+                cast_gbps: 200.0,
+                scan_gbps: 12.0,
+                launch_us: 20.0,
+            },
+            offloads: false,
+        }
+    }
+
+    /// SFPR-only DMA-side accelerator: a flat 4×.
+    pub fn sfpr() -> Self {
+        MethodModel {
+            name: "SFPR".into(),
+            dense_ratio: 4.0,
+            sparse_ratio: 4.0,
+            relu_other_ratio: 4.0,
+            placement: Placement::DmaSide { cdus: 4 },
+            offloads: true,
+        }
+    }
+
+    /// JPEG-BASE (jpeg80) with the paper's average ratios.
+    pub fn jpeg_base() -> Self {
+        MethodModel {
+            name: "JPEG-BASE".into(),
+            dense_ratio: 5.8,
+            sparse_ratio: 4.0,
+            relu_other_ratio: 32.0,
+            placement: Placement::DmaSide { cdus: 4 },
+            offloads: true,
+        }
+    }
+
+    /// JPEG-ACT (optL5H) with the paper's average ratios.
+    pub fn jpeg_act() -> Self {
+        MethodModel {
+            name: "JPEG-ACT".into(),
+            dense_ratio: 8.0,
+            sparse_ratio: 7.0,
+            relu_other_ratio: 32.0,
+            placement: Placement::DmaSide { cdus: 4 },
+            offloads: true,
+        }
+    }
+
+    /// A synthetic fixed-ratio DMA-side method (Fig. 21 sweeps).
+    pub fn fixed_ratio(ratio: f64, placement: Placement) -> Self {
+        MethodModel {
+            name: format!("fixed{ratio}x"),
+            dense_ratio: ratio,
+            sparse_ratio: ratio,
+            relu_other_ratio: ratio,
+            placement,
+            offloads: true,
+        }
+    }
+
+    /// Overrides measured ratios (wire functional-simulation results into
+    /// the performance model).
+    pub fn with_ratios(mut self, dense: f64, sparse: f64, relu_other: f64) -> Self {
+        self.dense_ratio = dense;
+        self.sparse_ratio = sparse;
+        self.relu_other_ratio = relu_other;
+        self
+    }
+
+    /// Sets the CDU count for DMA-side/hybrid placements (Fig. 21).
+    pub fn with_cdus(mut self, cdus: u32) -> Self {
+        self.placement = match self.placement {
+            Placement::DmaSide { .. } => Placement::DmaSide { cdus },
+            Placement::Hybrid { .. } => Placement::Hybrid { cdus },
+            other => other,
+        };
+        self
+    }
+
+    /// Compression ratio for an activation class.
+    pub fn ratio(&self, class: ActClass) -> f64 {
+        match class {
+            ActClass::Dense => self.dense_ratio,
+            ActClass::Sparse => self.sparse_ratio,
+            ActClass::ReluOther => self.relu_other_ratio,
+        }
+    }
+
+    /// Effective offload rate in GB/s of *uncompressed* data for an
+    /// activation of `class`, on `gpu`.
+    ///
+    /// Returns `None` when the method does not offload (GIST).
+    pub fn offload_gbps(&self, class: ActClass, gpu: &GpuConfig) -> Option<f64> {
+        if !self.offloads {
+            return None;
+        }
+        let ratio = self.ratio(class);
+        let pcie_side = gpu.pcie_gbps * ratio;
+        let intake = match self.placement {
+            Placement::DmaSide { cdus } => cdus as f64 * gpu.cdu_gbps(),
+            // One CDU per partition: intake never binds before HBM.
+            Placement::CacheSide => gpu.mem_partitions as f64 * gpu.cdu_gbps(),
+            // The crossbar carries SFPR-compressed (4x) traffic, so each
+            // DMA-side CDU effectively ingests 4x more uncompressed data.
+            Placement::Hybrid { cdus } => cdus as f64 * gpu.cdu_gbps() * 4.0,
+            Placement::GpuCompute { .. } => unreachable!("handled above"),
+        };
+        Some(pcie_side.min(intake).min(gpu.hbm_gbps))
+    }
+
+    /// Time in µs the SMs spend compressing one saved activation of
+    /// `bytes` uncompressed size (GPU-compute methods only; 0 otherwise).
+    pub fn compute_compress_us(&self, class: ActClass, bytes: u64) -> f64 {
+        match self.placement {
+            Placement::GpuCompute {
+                cast_gbps,
+                scan_gbps,
+                launch_us,
+            } => match class {
+                // Dense: DPR cast, memory-bound.
+                ActClass::Dense => bytes as f64 / (cast_gbps * 1e9) * 1e6 + launch_us,
+                // Sparse: the dense2csr scan dominates.
+                ActClass::Sparse => bytes as f64 / (scan_gbps * 1e9) * 1e6 + launch_us,
+                // BRC: trivial mask extraction.
+                ActClass::ReluOther => bytes as f64 / (cast_gbps * 1e9) * 1e6 + 1.0,
+            },
+            _ => 0.0,
+        }
+    }
+
+    /// Time in µs the SMs spend decompressing one saved activation in the
+    /// backward pass (GPU-compute methods only; 0 otherwise).
+    pub fn compute_decompress_us(&self, class: ActClass, bytes: u64) -> f64 {
+        match self.placement {
+            Placement::GpuCompute {
+                cast_gbps,
+                scan_gbps,
+                launch_us,
+            } => match class {
+                ActClass::Dense => bytes as f64 / (cast_gbps * 1e9) * 1e6 + launch_us,
+                // CSR scatter is faster than the scan but still costly.
+                ActClass::Sparse => bytes as f64 / (2.0 * scan_gbps * 1e9) * 1e6 + launch_us,
+                ActClass::ReluOther => 1.0,
+            },
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vdnn_is_pcie_bound() {
+        let gpu = GpuConfig::titan_v();
+        let m = MethodModel::vdnn();
+        assert_eq!(m.offload_gbps(ActClass::Dense, &gpu), Some(12.8));
+    }
+
+    #[test]
+    fn compression_multiplies_effective_rate_until_cdu_bound() {
+        let gpu = GpuConfig::titan_v();
+        let m = MethodModel::fixed_ratio(2.0, Placement::DmaSide { cdus: 4 });
+        assert!((m.offload_gbps(ActClass::Dense, &gpu).unwrap() - 25.6).abs() < 1e-9);
+        // 8x with 1 CDU: intake 46.56 < 102.4 PCIe-side -> CDU-bound.
+        let m8 = MethodModel::fixed_ratio(8.0, Placement::DmaSide { cdus: 1 });
+        assert!((m8.offload_gbps(ActClass::Dense, &gpu).unwrap() - 46.56).abs() < 0.01);
+        // More CDUs lift the bound back to PCIe-side.
+        let m8b = m8.clone().with_cdus(4);
+        assert!((m8b.offload_gbps(ActClass::Dense, &gpu).unwrap() - 102.4).abs() < 0.01);
+    }
+
+    #[test]
+    fn hybrid_placement_multiplies_intake_when_cdu_bound() {
+        let gpu = GpuConfig::titan_v();
+        // One CDU at 12x is intake-bound (46.6 < 153.6 GB/s); SFPR at the
+        // cache quadruples the effective intake.
+        let dma = MethodModel::fixed_ratio(12.0, Placement::DmaSide { cdus: 1 });
+        let hyb = MethodModel::fixed_ratio(12.0, Placement::Hybrid { cdus: 1 });
+        assert!(
+            hyb.offload_gbps(ActClass::Dense, &gpu).unwrap()
+                > dma.offload_gbps(ActClass::Dense, &gpu).unwrap()
+        );
+    }
+
+    #[test]
+    fn gist_does_not_offload_but_costs_compute() {
+        let gpu = GpuConfig::titan_v();
+        let m = MethodModel::gist();
+        assert!(m.offload_gbps(ActClass::Dense, &gpu).is_none());
+        // CSR scan on 10 MB is slow; DPR cast on the same is cheap.
+        let scan = m.compute_compress_us(ActClass::Sparse, 10 << 20);
+        let cast = m.compute_compress_us(ActClass::Dense, 10 << 20);
+        assert!(scan > 5.0 * cast, "scan={scan} cast={cast}");
+        assert!(m.compute_compress_us(ActClass::ReluOther, 1 << 20) < 10.0);
+    }
+
+    #[test]
+    fn per_class_ratios() {
+        let m = MethodModel::jpeg_act();
+        assert_eq!(m.ratio(ActClass::Dense), 8.0);
+        assert_eq!(m.ratio(ActClass::ReluOther), 32.0);
+        let m = m.with_ratios(7.5, 6.0, 30.0);
+        assert_eq!(m.ratio(ActClass::Dense), 7.5);
+    }
+
+    #[test]
+    fn offload_rate_never_exceeds_hbm() {
+        let gpu = GpuConfig::titan_v();
+        let m = MethodModel::fixed_ratio(1000.0, Placement::CacheSide);
+        assert!(m.offload_gbps(ActClass::Dense, &gpu).unwrap() <= gpu.hbm_gbps);
+    }
+}

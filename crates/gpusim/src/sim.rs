@@ -1,0 +1,274 @@
+//! The two-resource offload schedule.
+//!
+//! Training a block sequence uses two engines (Fig. 1a): the **compute
+//! stream** (kernels, serial) and the **memcpy stream** (offload DMA in
+//! the forward pass, prefetch in the backward pass).  Saved activations
+//! become offload jobs when their producing kernel retires; a bounded
+//! staging buffer forces the compute stream to stall if offload falls
+//! more than [`STAGING_BLOCKS`] blocks behind — exactly the stall pattern
+//! Fig. 1a shows for uncompressed vDNN.
+//!
+//! GPU-compute methods (GIST) have no memcpy stream: their compression
+//! and decompression kernels are added to the compute stream instead.
+
+use crate::config::GpuConfig;
+use crate::netspec::{CnrBlock, NetworkSpec};
+use crate::offload::MethodModel;
+use serde::{Deserialize, Serialize};
+
+/// How many blocks of saved activations fit in the staging buffer before
+/// compute must wait for offload to drain.
+pub const STAGING_BLOCKS: usize = 2;
+
+/// Simulated timing of one forward+backward pass over a block sequence.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PassTiming {
+    /// Forward wall-clock in µs.
+    pub forward_us: f64,
+    /// Backward wall-clock in µs.
+    pub backward_us: f64,
+    /// Pure compute time (no offload interference), for overhead
+    /// accounting.
+    pub compute_only_us: f64,
+}
+
+impl PassTiming {
+    /// Total pass time in µs.
+    pub fn total_us(&self) -> f64 {
+        self.forward_us + self.backward_us
+    }
+
+    /// Overhead of offload over pure compute (≥ 1.0).
+    pub fn overhead(&self) -> f64 {
+        self.total_us() / self.compute_only_us
+    }
+}
+
+/// Per-block precomputed costs.
+struct BlockCost {
+    fwd_compute_us: f64,
+    bwd_compute_us: f64,
+    /// (uncompressed bytes, offload µs) per saved activation.
+    offload_us: f64,
+    /// Extra SM time for GPU-compute compression (forward).
+    fwd_extra_us: f64,
+    /// Extra SM time for GPU-compute decompression (backward).
+    bwd_extra_us: f64,
+}
+
+fn block_cost(block: &CnrBlock, method: &MethodModel, gpu: &GpuConfig) -> BlockCost {
+    let mut fwd = 0.0;
+    let mut bwd = 0.0;
+    let mut off = 0.0;
+    let mut fx = 0.0;
+    let mut bx = 0.0;
+    for l in &block.layers {
+        fwd += l.forward_us(gpu, block.channels);
+        bwd += l.backward_us(gpu, block.channels);
+        if let Some(s) = l.saved {
+            if let Some(rate) = method.offload_gbps(s.class, gpu) {
+                off += s.bytes as f64 / (rate * 1e9) * 1e6;
+            }
+            fx += method.compute_compress_us(s.class, s.bytes);
+            bx += method.compute_decompress_us(s.class, s.bytes);
+        }
+    }
+    BlockCost {
+        fwd_compute_us: fwd,
+        bwd_compute_us: bwd,
+        offload_us: off,
+        fwd_extra_us: fx,
+        bwd_extra_us: bx,
+    }
+}
+
+/// Simulates one forward+backward pass of `net` under `method`.
+pub fn simulate_training_pass(
+    net: &NetworkSpec,
+    method: &MethodModel,
+    gpu: &GpuConfig,
+) -> PassTiming {
+    let costs: Vec<BlockCost> = net
+        .blocks
+        .iter()
+        .map(|b| {
+            let mut c = block_cost(b, method, gpu);
+            c.fwd_compute_us *= net.compute_derate;
+            c.bwd_compute_us *= net.compute_derate;
+            c
+        })
+        .collect();
+    let compute_only: f64 = costs
+        .iter()
+        .map(|c| c.fwd_compute_us + c.bwd_compute_us)
+        .sum();
+
+    // ---- Forward: compute engine + offload engine with staging barrier.
+    let mut t_compute = 0.0f64;
+    let mut t_offload = 0.0f64;
+    let mut offload_done = vec![0.0f64; costs.len()];
+    for (i, c) in costs.iter().enumerate() {
+        if i >= STAGING_BLOCKS {
+            // Staging buffer full until block i-STAGING_BLOCKS drained.
+            t_compute = t_compute.max(offload_done[i - STAGING_BLOCKS]);
+        }
+        t_compute += c.fwd_compute_us + c.fwd_extra_us;
+        // Offload of this block starts when produced and the engine is
+        // free.
+        t_offload = t_offload.max(t_compute) + c.offload_us;
+        offload_done[i] = t_offload;
+    }
+    let forward_us = if costs.iter().any(|c| c.offload_us > 0.0) {
+        t_compute.max(t_offload)
+    } else {
+        t_compute
+    };
+
+    // ---- Backward: prefetch engine runs ahead (reverse block order).
+    let mut t_prefetch = 0.0f64;
+    let mut t_bcompute = 0.0f64;
+    let mut started = 0usize; // backward blocks whose compute began
+    for (i, c) in costs.iter().enumerate().rev() {
+        // Prefetch depth limit: cannot run more than STAGING_BLOCKS ahead
+        // of backward compute.
+        let blocks_ahead = (costs.len() - i).saturating_sub(started + 1);
+        if blocks_ahead > STAGING_BLOCKS {
+            t_prefetch = t_prefetch.max(t_bcompute);
+        }
+        t_prefetch += c.offload_us; // prefetch symmetric to offload
+        t_bcompute = t_bcompute.max(t_prefetch) + c.bwd_compute_us + c.bwd_extra_us;
+        started += 1;
+    }
+    let backward_us = t_bcompute;
+
+    PassTiming {
+        forward_us,
+        backward_us,
+        compute_only_us: compute_only,
+    }
+}
+
+/// Relative performance of `method` vs a baseline method on `net`
+/// (Fig. 20 bars: higher is faster).
+pub fn relative_performance(
+    net: &NetworkSpec,
+    method: &MethodModel,
+    baseline: &MethodModel,
+    gpu: &GpuConfig,
+) -> f64 {
+    let t_m = simulate_training_pass(net, method, gpu).total_us();
+    let t_b = simulate_training_pass(net, baseline, gpu).total_us();
+    t_b / t_m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netspec::{resnet50_cifar, resnet50_imagenet, vdsr_div2k, vgg16_cifar};
+
+    fn gpu() -> GpuConfig {
+        GpuConfig::titan_v()
+    }
+
+    #[test]
+    fn ordering_matches_paper_fig20() {
+        // vDNN < cDMA+ <= GIST-ish < SFPR < JPEG-BASE < JPEG-ACT on
+        // ResNet50.
+        let net = resnet50_imagenet();
+        let g = gpu();
+        let t = |m: &MethodModel| simulate_training_pass(&net, m, &g).total_us();
+        let vdnn = t(&MethodModel::vdnn());
+        let cdma = t(&MethodModel::cdma_plus());
+        let sfpr = t(&MethodModel::sfpr());
+        let base = t(&MethodModel::jpeg_base());
+        let jact = t(&MethodModel::jpeg_act());
+        assert!(vdnn > cdma, "vdnn={vdnn} cdma={cdma}");
+        assert!(cdma > sfpr, "cdma={cdma} sfpr={sfpr}");
+        assert!(sfpr > base, "sfpr={sfpr} base={base}");
+        assert!(base >= jact, "base={base} jact={jact}");
+    }
+
+    #[test]
+    fn jpeg_act_speedup_over_vdnn_in_paper_range() {
+        // Paper: 2.61x over vDNN averaged across networks.
+        let g = gpu();
+        let nets = [resnet50_imagenet(), resnet50_cifar(), vgg16_cifar()];
+        let mut speedups = Vec::new();
+        for net in &nets {
+            let s = relative_performance(
+                net,
+                &MethodModel::jpeg_act(),
+                &MethodModel::vdnn(),
+                &g,
+            );
+            speedups.push(s);
+        }
+        let avg: f64 = speedups.iter().sum::<f64>() / speedups.len() as f64;
+        assert!(
+            (1.5..4.5).contains(&avg),
+            "avg speedup {avg} out of plausible range ({speedups:?})"
+        );
+    }
+
+    #[test]
+    fn gist_suffers_on_bottleneck_networks() {
+        // GIST's CSR scan overhead costs proportionally more on ResNet50
+        // (1x1 bottlenecks: big activations, few FLOPs) than on VGG
+        // (Sec. VI-D): higher overhead vs pure compute.
+        let g = gpu();
+        let gist = MethodModel::gist();
+        let ov_rn50 = simulate_training_pass(&resnet50_imagenet(), &gist, &g).overhead();
+        let ov_vgg = simulate_training_pass(&vgg16_cifar(), &gist, &g).overhead();
+        assert!(
+            ov_rn50 > ov_vgg,
+            "GIST overhead on ResNet50 ({ov_rn50}) should exceed VGG ({ov_vgg})"
+        );
+    }
+
+    #[test]
+    fn vdsr_has_worst_offload_overhead() {
+        // Few channels + large spatial = high bytes/FLOP (Sec. VI-D).
+        let g = gpu();
+        let m = MethodModel::jpeg_act();
+        let ov_vdsr = simulate_training_pass(&vdsr_div2k(), &m, &g).overhead();
+        let ov_rn = simulate_training_pass(&resnet50_imagenet(), &m, &g).overhead();
+        assert!(
+            ov_vdsr > ov_rn,
+            "vdsr overhead {ov_vdsr} should exceed resnet {ov_rn}"
+        );
+    }
+
+    #[test]
+    fn gist_has_no_memcpy_stream() {
+        let g = gpu();
+        let net = resnet50_cifar();
+        let t = simulate_training_pass(&net, &MethodModel::gist(), &g);
+        // Forward = pure compute + compression kernels, no offload tail.
+        assert!(t.forward_us > 0.0);
+        assert!(t.overhead() > 1.0);
+    }
+
+    #[test]
+    fn infinite_compression_converges_to_compute_time() {
+        let g = gpu();
+        let net = resnet50_cifar();
+        let m = MethodModel::fixed_ratio(
+            1e6,
+            crate::offload::Placement::CacheSide,
+        );
+        let t = simulate_training_pass(&net, &m, &g);
+        assert!(
+            t.overhead() < 1.25,
+            "near-free offload should approach compute-only: {}",
+            t.overhead()
+        );
+    }
+
+    #[test]
+    fn timing_components_are_positive_and_consistent() {
+        let g = gpu();
+        let t = simulate_training_pass(&resnet50_cifar(), &MethodModel::vdnn(), &g);
+        assert!(t.forward_us > 0.0 && t.backward_us > 0.0);
+        assert!(t.total_us() >= t.compute_only_us);
+    }
+}

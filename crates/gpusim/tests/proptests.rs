@@ -1,0 +1,93 @@
+//! Property-based tests of the timing simulator's monotonicity
+//! invariants: more compression or more CDUs must never make a DMA-side
+//! design slower, and total time never drops below pure compute.
+
+use jact_gpusim::config::GpuConfig;
+use jact_gpusim::netspec::{cnr_block, Extra, NetworkSpec};
+use jact_gpusim::offload::{MethodModel, Placement};
+use jact_gpusim::sim::simulate_training_pass;
+use proptest::prelude::*;
+
+fn arb_network() -> impl Strategy<Value = NetworkSpec> {
+    (
+        prop::collection::vec((1u32..=512, 1u32..=512, prop_oneof![Just(1u32), Just(3)], 3u32..=6), 1..4),
+    )
+        .prop_map(|(blocks,)| NetworkSpec {
+            name: "prop".into(),
+            blocks: blocks
+                .into_iter()
+                .enumerate()
+                .map(|(i, (cin, cout, k, hw_exp))| {
+                    cnr_block(
+                        &format!("b{i}"),
+                        16,
+                        cin,
+                        cout,
+                        k,
+                        1,
+                        1 << hw_exp,
+                        Extra::None,
+                    )
+                })
+                .collect(),
+            compute_derate: 1.0,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn total_time_at_least_compute_only(net in arb_network(), ratio in 1.0f64..16.0) {
+        let gpu = GpuConfig::titan_v();
+        let m = MethodModel::fixed_ratio(ratio, Placement::DmaSide { cdus: 4 });
+        let t = simulate_training_pass(&net, &m, &gpu);
+        prop_assert!(t.total_us() + 1e-9 >= t.compute_only_us);
+        prop_assert!(t.forward_us > 0.0 && t.backward_us > 0.0);
+    }
+
+    #[test]
+    fn more_compression_never_slower(net in arb_network(), r1 in 1.0f64..8.0, dr in 0.1f64..8.0) {
+        let gpu = GpuConfig::titan_v();
+        let lo = MethodModel::fixed_ratio(r1, Placement::DmaSide { cdus: 4 });
+        let hi = MethodModel::fixed_ratio(r1 + dr, Placement::DmaSide { cdus: 4 });
+        let t_lo = simulate_training_pass(&net, &lo, &gpu).total_us();
+        let t_hi = simulate_training_pass(&net, &hi, &gpu).total_us();
+        prop_assert!(t_hi <= t_lo + 1e-6, "ratio {r1} -> {} slower: {t_lo} -> {t_hi}", r1 + dr);
+    }
+
+    #[test]
+    fn more_cdus_never_slower(net in arb_network(), ratio in 1.0f64..16.0, c1 in 1u32..8) {
+        let gpu = GpuConfig::titan_v();
+        let few = MethodModel::fixed_ratio(ratio, Placement::DmaSide { cdus: c1 });
+        let many = MethodModel::fixed_ratio(ratio, Placement::DmaSide { cdus: c1 * 2 });
+        let t_few = simulate_training_pass(&net, &few, &gpu).total_us();
+        let t_many = simulate_training_pass(&net, &many, &gpu).total_us();
+        prop_assert!(t_many <= t_few + 1e-6);
+    }
+
+    #[test]
+    fn cache_side_at_least_as_fast_as_dma_side(net in arb_network(), ratio in 1.0f64..16.0, cdus in 1u32..8) {
+        let gpu = GpuConfig::titan_v();
+        let dma = MethodModel::fixed_ratio(ratio, Placement::DmaSide { cdus });
+        let cache = MethodModel::fixed_ratio(ratio, Placement::CacheSide);
+        let t_dma = simulate_training_pass(&net, &dma, &gpu).total_us();
+        let t_cache = simulate_training_pass(&net, &cache, &gpu).total_us();
+        prop_assert!(t_cache <= t_dma + 1e-6);
+    }
+
+    #[test]
+    fn derate_scales_compute_linearly(net in arb_network(), derate in 1.0f64..4.0) {
+        let gpu = GpuConfig::titan_v();
+        let m = MethodModel::vdnn();
+        let base = simulate_training_pass(&net, &m, &gpu);
+        let mut slow_net = net.clone();
+        slow_net.compute_derate = derate;
+        let slow = simulate_training_pass(&slow_net, &m, &gpu);
+        prop_assert!(
+            (slow.compute_only_us - base.compute_only_us * derate).abs()
+                < 1e-6 * slow.compute_only_us.max(1.0)
+        );
+        prop_assert!(slow.total_us() + 1e-6 >= base.total_us());
+    }
+}

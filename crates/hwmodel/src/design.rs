@@ -1,0 +1,238 @@
+//! Design composition and the Table V aggregation.
+
+use crate::component::Component;
+use serde::{Deserialize, Serialize};
+
+/// NVIDIA Titan V reference die area in mm² (for the "<1 % of a modern
+/// GPU" claim).
+pub const TITAN_V_AREA_MM2: f64 = 815.0;
+/// NVIDIA Titan V TDP in watts.
+pub const TITAN_V_TDP_W: f64 = 250.0;
+/// Effective PCIe 3.0 transfer rate in GB/s (Sec. V).
+pub const PCIE_GBPS: f64 = 12.8;
+
+/// An accelerator design: which components each CDU instantiates, how
+/// many CDUs, and its average compression ratio.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Design {
+    /// Display name.
+    pub name: String,
+    /// Components inside each CDU.
+    pub cdu_components: Vec<Component>,
+    /// Number of CDUs (Table V uses 4).
+    pub cdus: u32,
+    /// Shared (non-replicated) components.
+    pub shared_components: Vec<Component>,
+    /// Average compression ratio (Table V row).
+    pub compression_ratio: f64,
+}
+
+/// Aggregated cost of a design.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DesignCost {
+    /// Total area in mm².
+    pub area_mm2: f64,
+    /// Total power in W.
+    pub power_w: f64,
+    /// Effective offload bandwidth in GB/s (`ratio × PCIe`).
+    pub offload_gbps: f64,
+    /// Area as a fraction of the Titan V die.
+    pub gpu_area_fraction: f64,
+    /// Power as a fraction of the Titan V TDP.
+    pub gpu_power_fraction: f64,
+}
+
+impl Design {
+    /// cDMA+: ZVC/ZVD CDUs at the DMA (Table V column 1).
+    pub fn cdma_plus() -> Self {
+        Design {
+            name: "cDMA+".into(),
+            cdu_components: vec![Component::CodingZvc, Component::CduBuffers],
+            cdus: 4,
+            shared_components: vec![Component::CollectorSplitter],
+            compression_ratio: 1.3,
+        }
+    }
+
+    /// SFPR-only accelerator.  No alignment buffer: SFPR streams values
+    /// without gathering 8×8 blocks, so `CduBuffers` is not instantiated.
+    pub fn sfpr() -> Self {
+        Design {
+            name: "SFPR".into(),
+            cdu_components: vec![Component::Sfpr],
+            cdus: 4,
+            shared_components: vec![Component::CollectorSplitter],
+            compression_ratio: 4.0,
+        }
+    }
+
+    /// JPEG-BASE (jpeg80): SFPR + DCT + DIV + RLE.
+    pub fn jpeg_base() -> Self {
+        Design {
+            name: "JPEG-BASE".into(),
+            cdu_components: vec![
+                Component::Sfpr,
+                Component::DctPair,
+                Component::QuantizeDiv,
+                Component::CodingRle,
+                Component::CduBuffers,
+            ],
+            cdus: 4,
+            shared_components: vec![Component::CollectorSplitter],
+            compression_ratio: 5.8,
+        }
+    }
+
+    /// JPEG-ACT (optL5H): SFPR + DCT + SH + ZVC.
+    pub fn jpeg_act() -> Self {
+        Design {
+            name: "JPEG-ACT".into(),
+            cdu_components: vec![
+                Component::Sfpr,
+                Component::DctPair,
+                Component::QuantizeShift,
+                Component::CodingZvc,
+                Component::CduBuffers,
+            ],
+            cdus: 4,
+            shared_components: vec![Component::CollectorSplitter],
+            compression_ratio: 8.5,
+        }
+    }
+
+    /// All Table V designs in column order.
+    pub fn table_v() -> Vec<Design> {
+        vec![
+            Design::cdma_plus(),
+            Design::sfpr(),
+            Design::jpeg_base(),
+            Design::jpeg_act(),
+        ]
+    }
+
+    /// Overrides the compression ratio (wire measured ratios in).
+    pub fn with_ratio(mut self, ratio: f64) -> Self {
+        self.compression_ratio = ratio;
+        self
+    }
+
+    /// Overrides the CDU count (area/power scale with replication; the
+    /// Fig. 21 performance sweep has a matching cost sweep here).
+    pub fn with_cdus(mut self, cdus: u32) -> Self {
+        assert!(cdus >= 1, "need at least one CDU");
+        self.cdus = cdus;
+        self
+    }
+
+    /// A cache-side variant: one CDU per L2 partition (48 on Volta) —
+    /// the replication cost that makes cache-side placement unattractive
+    /// (Sec. III-A).
+    pub fn cache_side(mut self) -> Self {
+        self.cdus = 48;
+        self.name = format!("{} (cache-side)", self.name);
+        self
+    }
+
+    /// Aggregates the design cost (Table V arithmetic; crossbar
+    /// excluded, as in the paper).
+    pub fn cost(&self) -> DesignCost {
+        let cdu_area: f64 = self.cdu_components.iter().map(|c| c.area_um2()).sum();
+        let cdu_power: f64 = self.cdu_components.iter().map(|c| c.power_mw()).sum();
+        let shared_area: f64 = self.shared_components.iter().map(|c| c.area_um2()).sum();
+        let shared_power: f64 = self.shared_components.iter().map(|c| c.power_mw()).sum();
+        let area_mm2 = (cdu_area * self.cdus as f64 + shared_area) / 1e6;
+        let power_w = (cdu_power * self.cdus as f64 + shared_power) / 1e3;
+        DesignCost {
+            area_mm2,
+            power_w,
+            offload_gbps: self.compression_ratio * PCIE_GBPS,
+            gpu_area_fraction: area_mm2 / TITAN_V_AREA_MM2,
+            gpu_power_fraction: power_w / TITAN_V_TDP_W,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jpeg_act_within_one_percent_of_gpu() {
+        // The abstract's headline hardware claim.
+        let c = Design::jpeg_act().cost();
+        assert!(c.gpu_area_fraction < 0.01, "area frac {}", c.gpu_area_fraction);
+        assert!(c.gpu_power_fraction < 0.01, "power frac {}", c.gpu_power_fraction);
+    }
+
+    #[test]
+    fn table5_area_close_to_paper() {
+        // Paper: cDMA+ 0.35, SFPR 0.31, JPEG-BASE 2.16, JPEG-ACT 1.48 mm².
+        let expect = [
+            ("cDMA+", 0.35),
+            ("SFPR", 0.31),
+            ("JPEG-BASE", 2.16),
+            ("JPEG-ACT", 1.48),
+        ];
+        for (d, (name, area)) in Design::table_v().iter().zip(expect) {
+            assert_eq!(d.name, name);
+            let got = d.cost().area_mm2;
+            assert!(
+                (got - area).abs() / area < 0.25,
+                "{name}: {got} vs paper {area}"
+            );
+        }
+    }
+
+    #[test]
+    fn jpeg_act_cheaper_than_jpeg_base() {
+        // Sec. VI-F: SH+ZVC reduce area by 1.3x and power by 1.5x.
+        let base = Design::jpeg_base().cost();
+        let act = Design::jpeg_act().cost();
+        let area_gain = base.area_mm2 / act.area_mm2;
+        let power_gain = base.power_w / act.power_w;
+        assert!((1.2..1.7).contains(&area_gain), "area gain {area_gain}");
+        assert!((1.2..1.8).contains(&power_gain), "power gain {power_gain}");
+        // ...while offering MORE offload bandwidth.
+        assert!(act.offload_gbps > base.offload_gbps);
+    }
+
+    #[test]
+    fn offload_bandwidth_is_ratio_times_pcie() {
+        let c = Design::jpeg_act().with_ratio(8.5).cost();
+        assert!((c.offload_gbps - 108.8).abs() < 1e-9);
+        let c = Design::cdma_plus().cost();
+        assert!((c.offload_gbps - 16.64).abs() < 0.01);
+    }
+
+    #[test]
+    fn ratio_override() {
+        let c = Design::sfpr().with_ratio(3.5).cost();
+        assert!((c.offload_gbps - 3.5 * PCIE_GBPS).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_scales_with_cdu_count() {
+        let c4 = Design::jpeg_act().cost();
+        let c8 = Design::jpeg_act().with_cdus(8).cost();
+        // Shared collector/splitter does not replicate.
+        assert!(c8.area_mm2 > 1.8 * c4.area_mm2 && c8.area_mm2 < 2.0 * c4.area_mm2);
+    }
+
+    #[test]
+    fn cache_side_replication_is_expensive() {
+        // Sec. III-A: replicating CDUs across 48 partitions costs ~12x
+        // the area of the 4-CDU DMA-side design — the reason JPEG is
+        // done exclusively at the DMA side.
+        let dma = Design::jpeg_act().cost();
+        let cache = Design::jpeg_act().cache_side().cost();
+        assert!(cache.area_mm2 > 10.0 * dma.area_mm2);
+        assert!(cache.gpu_area_fraction > 0.01, "no longer <1% of the GPU");
+    }
+
+    #[test]
+    fn power_ordering_matches_paper() {
+        // cDMA+ < SFPR < JPEG-ACT < JPEG-BASE.
+        let p: Vec<f64> = Design::table_v().iter().map(|d| d.cost().power_w).collect();
+        assert!(p[0] < p[1] && p[1] < p[3] && p[3] < p[2], "{p:?}");
+    }
+}

@@ -1,0 +1,24 @@
+//! # jact-hwmodel
+//!
+//! Synthesis cost model for the JPEG-ACT accelerator designs.
+//!
+//! The paper synthesizes RTL with Synopsys DC at 45 nm (FreePDK45), scales
+//! to 15 nm, and adds 50 % wire overhead (Sec. V).  This crate models that
+//! flow analytically:
+//!
+//! * [`component`] — per-component area/power, calibrated to the
+//!   published Table IV, plus an analytic gate-count model that lets the
+//!   SH-vs-DIV and ZVC-vs-RLE cost ratios be *derived* rather than
+//!   merely restated;
+//! * [`design`] — design composition (which components each accelerator
+//!   instantiates, CDU counts, buffers, collector/splitter) producing the
+//!   Table V totals and effective offload bandwidth;
+//! * [`tech`] — technology-node scaling (45 nm → 15 nm with wire
+//!   overhead).
+
+pub mod component;
+pub mod design;
+pub mod tech;
+
+pub use component::Component;
+pub use design::{Design, DesignCost};

@@ -1,0 +1,69 @@
+//! Technology-node scaling (Sec. V: FreePDK45 synthesis scaled to 15 nm
+//! with 50 % wire overhead, following Rhu et al. and the 15 nm open cell
+//! library methodology).
+
+use serde::{Deserialize, Serialize};
+
+/// A CMOS technology node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TechNode {
+    /// Feature size in nanometres.
+    pub nm: f64,
+    /// Supply voltage in volts (for power scaling).
+    pub vdd: f64,
+}
+
+/// FreePDK45 (the synthesis node).
+pub const NODE_45: TechNode = TechNode { nm: 45.0, vdd: 1.1 };
+/// The 15 nm open cell library node the paper scales to.
+pub const NODE_15: TechNode = TechNode { nm: 15.0, vdd: 0.8 };
+
+/// Fractional wire overhead added after scaling (paper: 50 %).
+pub const WIRE_OVERHEAD: f64 = 0.5;
+
+/// Scales a synthesized area from one node to another: area scales with
+/// the square of the feature size, then wire overhead is applied.
+pub fn scale_area(area_um2: f64, from: TechNode, to: TechNode) -> f64 {
+    let s = (to.nm / from.nm).powi(2);
+    area_um2 * s * (1.0 + WIRE_OVERHEAD)
+}
+
+/// Scales dynamic power: `P ∝ C·V²·f`; capacitance tracks feature size
+/// linearly, voltage quadratically, at constant frequency, with wire
+/// overhead on capacitance.
+pub fn scale_power(power_mw: f64, from: TechNode, to: TechNode) -> f64 {
+    let c = to.nm / from.nm;
+    let v = (to.vdd / from.vdd).powi(2);
+    power_mw * c * v * (1.0 + WIRE_OVERHEAD)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_scales_quadratically_plus_wires() {
+        // 45 -> 15 nm: (1/3)^2 * 1.5 = 1/6.
+        let scaled = scale_area(600.0, NODE_45, NODE_15);
+        assert!((scaled - 100.0).abs() < 1e-9, "{scaled}");
+    }
+
+    #[test]
+    fn power_scales_linearly_with_c_quadratically_with_v() {
+        let scaled = scale_power(100.0, NODE_45, NODE_15);
+        // (1/3) * (0.8/1.1)^2 * 1.5 = 0.2645
+        assert!((scaled - 26.446).abs() < 0.01, "{scaled}");
+    }
+
+    #[test]
+    fn identity_scaling_is_wire_overhead_only() {
+        let a = scale_area(100.0, NODE_45, NODE_45);
+        assert!((a - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_down_shrinks() {
+        assert!(scale_area(1000.0, NODE_45, NODE_15) < 1000.0);
+        assert!(scale_power(1000.0, NODE_45, NODE_15) < 1000.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Deterministic weight initializers.
+//!
+//! All randomness in this workspace flows through seeded [`rand::rngs::StdRng`]
+//! instances so every experiment is reproducible run-to-run.
+
+use crate::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples a standard normal value via Box–Muller.
+///
+/// Implemented locally to avoid pulling in `rand_distr`; two uniform draws
+/// per sample is fine at the scale of this workspace.
+fn normal(rng: &mut StdRng) -> f32 {
+    loop {
+        let u1: f32 = rng.gen::<f32>();
+        if u1 <= f32::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f32 = rng.gen::<f32>();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+    }
+}
+
+/// Tensor filled with `N(0, std^2)` samples from a seeded RNG.
+pub fn normal_tensor(shape: Shape, std: f32, rng: &mut StdRng) -> Tensor {
+    let len = shape.len();
+    let data = (0..len).map(|_| normal(rng) * std).collect();
+    Tensor::from_vec(shape, data)
+}
+
+/// He (Kaiming) normal initialization for a convolution weight of shape
+/// `[out_c, in_c * k * k]`: `std = sqrt(2 / fan_in)`.
+///
+/// This is the initializer used by the ResNet family the paper evaluates.
+pub fn he_normal(out_c: usize, fan_in: usize, rng: &mut StdRng) -> Tensor {
+    let std = (2.0 / fan_in as f32).sqrt();
+    normal_tensor(Shape::mat(out_c, fan_in), std, rng)
+}
+
+/// Xavier/Glorot normal initialization: `std = sqrt(2 / (fan_in + fan_out))`.
+pub fn xavier_normal(fan_out: usize, fan_in: usize, rng: &mut StdRng) -> Tensor {
+    let std = (2.0 / (fan_in + fan_out) as f32).sqrt();
+    normal_tensor(Shape::mat(fan_out, fan_in), std, rng)
+}
+
+/// Uniform tensor over `[lo, hi)` from a seeded RNG.
+pub fn uniform_tensor(shape: Shape, lo: f32, hi: f32, rng: &mut StdRng) -> Tensor {
+    assert!(hi > lo, "uniform range must be non-empty");
+    let len = shape.len();
+    let data = (0..len).map(|_| rng.gen_range(lo..hi)).collect();
+    Tensor::from_vec(shape, data)
+}
+
+/// Creates a seeded RNG; the single entry point for workspace randomness.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = seeded_rng(42);
+        let mut b = seeded_rng(42);
+        let ta = normal_tensor(Shape::vec(64), 1.0, &mut a);
+        let tb = normal_tensor(Shape::vec(64), 1.0, &mut b);
+        assert_eq!(ta.as_slice(), tb.as_slice());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = seeded_rng(1);
+        let mut b = seeded_rng(2);
+        let ta = normal_tensor(Shape::vec(64), 1.0, &mut a);
+        let tb = normal_tensor(Shape::vec(64), 1.0, &mut b);
+        assert_ne!(ta.as_slice(), tb.as_slice());
+    }
+
+    #[test]
+    fn he_normal_scale_roughly_correct() {
+        let mut rng = seeded_rng(7);
+        let t = he_normal(64, 3 * 3 * 64, &mut rng);
+        let var: f32 =
+            t.iter().map(|&v| v * v).sum::<f32>() / t.len() as f32;
+        let expect = 2.0 / (3.0 * 3.0 * 64.0);
+        assert!(
+            (var - expect).abs() < expect * 0.25,
+            "var={var} expect={expect}"
+        );
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = seeded_rng(9);
+        let t = uniform_tensor(Shape::vec(1000), -0.5, 0.5, &mut rng);
+        assert!(t.iter().all(|&v| (-0.5..0.5).contains(&v)));
+    }
+
+    #[test]
+    fn normal_mean_near_zero() {
+        let mut rng = seeded_rng(3);
+        let t = normal_tensor(Shape::vec(10_000), 1.0, &mut rng);
+        assert!(t.mean().abs() < 0.05, "mean={}", t.mean());
+    }
+}

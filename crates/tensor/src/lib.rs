@@ -1,0 +1,37 @@
+//! # jact-tensor
+//!
+//! A small, dependency-light NCHW `f32` tensor library that serves as the
+//! compute substrate for the JPEG-ACT reproduction.
+//!
+//! The paper (Evans, Liu, Aamodt, *JPEG-ACT*, ISCA 2020) compresses CNN
+//! activation tensors laid out in NCHW order (batch, channel, height,
+//! width).  Everything in this workspace — the compression codecs, the CNN
+//! training substrate, and the experiment harnesses — operates on the
+//! [`Tensor`] type defined here.
+//!
+//! The library provides:
+//!
+//! * [`Shape`] — a rank-checked dimension descriptor with NCHW helpers,
+//! * [`Tensor`] — a contiguous row-major `f32` tensor,
+//! * [`ops`] — elementwise ops, reductions, matrix multiply, and the
+//!   `im2col`/`col2im` lowering used by the convolution layers,
+//! * [`init`] — deterministic weight initializers (He / Xavier).
+//!
+//! ## Example
+//!
+//! ```
+//! use jact_tensor::{Tensor, Shape};
+//!
+//! let x = Tensor::zeros(Shape::nchw(2, 3, 8, 8));
+//! assert_eq!(x.len(), 2 * 3 * 8 * 8);
+//! let y = x.map(|v| v + 1.0);
+//! assert_eq!(y.get4(1, 2, 7, 7), 1.0);
+//! ```
+
+pub mod init;
+pub mod ops;
+pub mod shape;
+pub mod tensor;
+
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,321 @@
+//! Tensor kernels: matrix multiply and the im2col/col2im convolution
+//! lowering.
+//!
+//! Convolution forward and backward passes in `jact-dnn` are expressed as
+//! matrix multiplications over im2col-unrolled patches — the same lowering
+//! cuDNN's `IMPLICIT_GEMM` algorithm performs on the GPU in the paper's
+//! experimental setup (Sec. VI-D).
+
+use crate::{Shape, Tensor};
+
+/// Dense row-major matrix multiply: `C[m x n] = A[m x k] * B[k x n]`.
+///
+/// A simple blocked triple loop with the `k` loop innermost hoisted —
+/// adequate for the scaled-down networks in this reproduction.
+///
+/// # Panics
+///
+/// Panics if the shapes are not rank 2 or the inner dimensions disagree.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul lhs must be rank 2");
+    assert_eq!(b.shape().rank(), 2, "matmul rhs must be rank 2");
+    let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+    let (k2, n) = (b.shape().dim(0), b.shape().dim(1));
+    assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
+
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let arow = &av[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (kk, &aik) in arow.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &bv[kk * n..(kk + 1) * n];
+            for (o, &bkn) in orow.iter_mut().zip(brow) {
+                *o += aik * bkn;
+            }
+        }
+    }
+    Tensor::from_vec(Shape::mat(m, n), out)
+}
+
+/// Transposes a rank-2 tensor.
+///
+/// # Panics
+///
+/// Panics if `a` is not rank 2.
+pub fn transpose(a: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "transpose requires rank 2");
+    let (m, n) = (a.shape().dim(0), a.shape().dim(1));
+    let av = a.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = av[i * n + j];
+        }
+    }
+    Tensor::from_vec(Shape::mat(n, m), out)
+}
+
+/// Spatial geometry of a convolution / pooling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvGeom {
+    /// Kernel height and width (square kernels only).
+    pub kernel: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Zero padding in both spatial dimensions.
+    pub pad: usize,
+}
+
+impl ConvGeom {
+    /// Creates a geometry descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(kernel: usize, stride: usize, pad: usize) -> Self {
+        assert!(kernel > 0 && stride > 0, "kernel and stride must be > 0");
+        ConvGeom {
+            kernel,
+            stride,
+            pad,
+        }
+    }
+
+    /// Output spatial extent for an input extent `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window does not fit (`i + 2*pad < kernel`).
+    pub fn out_extent(&self, i: usize) -> usize {
+        assert!(
+            i + 2 * self.pad >= self.kernel,
+            "input extent {i} too small for kernel {} with pad {}",
+            self.kernel,
+            self.pad
+        );
+        (i + 2 * self.pad - self.kernel) / self.stride + 1
+    }
+}
+
+/// Unrolls an NCHW input into the im2col matrix of shape
+/// `[C*K*K, N*OH*OW]`, where each column is one receptive field.
+///
+/// # Panics
+///
+/// Panics if `x` is not rank 4 or the geometry does not fit.
+pub fn im2col(x: &Tensor, g: ConvGeom) -> Tensor {
+    let (n, c, h, w) = (x.shape().n(), x.shape().c(), x.shape().h(), x.shape().w());
+    let oh = g.out_extent(h);
+    let ow = g.out_extent(w);
+    let rows = c * g.kernel * g.kernel;
+    let cols = n * oh * ow;
+    let xv = x.as_slice();
+    let mut out = vec![0.0f32; rows * cols];
+
+    for ci in 0..c {
+        for kh in 0..g.kernel {
+            for kw in 0..g.kernel {
+                let row = (ci * g.kernel + kh) * g.kernel + kw;
+                let orow = &mut out[row * cols..(row + 1) * cols];
+                for ni in 0..n {
+                    for oy in 0..oh {
+                        let iy = (oy * g.stride + kh) as isize - g.pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let ibase = ((ni * c + ci) * h + iy as usize) * w;
+                        let obase = (ni * oh + oy) * ow;
+                        for ox in 0..ow {
+                            let ix = (ox * g.stride + kw) as isize - g.pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            orow[obase + ox] = xv[ibase + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(Shape::mat(rows, cols), out)
+}
+
+/// Folds an im2col matrix of shape `[C*K*K, N*OH*OW]` back onto an NCHW
+/// tensor of shape `x_shape`, summing where receptive fields overlap.
+/// This is the adjoint of [`im2col`], used in the convolution backward
+/// pass to accumulate input gradients.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent with the geometry.
+pub fn col2im(cols_t: &Tensor, x_shape: &Shape, g: ConvGeom) -> Tensor {
+    let (n, c, h, w) = (x_shape.n(), x_shape.c(), x_shape.h(), x_shape.w());
+    let oh = g.out_extent(h);
+    let ow = g.out_extent(w);
+    let rows = c * g.kernel * g.kernel;
+    let cols = n * oh * ow;
+    assert_eq!(
+        cols_t.shape().dims(),
+        &[rows, cols],
+        "col matrix shape mismatch"
+    );
+    let cv = cols_t.as_slice();
+    let mut out = vec![0.0f32; x_shape.len()];
+
+    for ci in 0..c {
+        for kh in 0..g.kernel {
+            for kw in 0..g.kernel {
+                let row = (ci * g.kernel + kh) * g.kernel + kw;
+                let crow = &cv[row * cols..(row + 1) * cols];
+                for ni in 0..n {
+                    for oy in 0..oh {
+                        let iy = (oy * g.stride + kh) as isize - g.pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let ibase = ((ni * c + ci) * h + iy as usize) * w;
+                        let obase = (ni * oh + oy) * ow;
+                        for ox in 0..ow {
+                            let ix = (ox * g.stride + kw) as isize - g.pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            out[ibase + ix as usize] += crow[obase + ox];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(x_shape.clone(), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(Shape::mat(2, 2), vec![1.0, 2.0, 3.0, 4.0]);
+        let i = Tensor::from_vec(Shape::mat(2, 2), vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(matmul(&a, &i).as_slice(), a.as_slice());
+        assert_eq!(matmul(&i, &a).as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+        let a = Tensor::from_vec(Shape::mat(2, 2), vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::from_vec(Shape::mat(2, 2), vec![5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(matmul(&a, &b).as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = Tensor::from_vec(Shape::mat(1, 3), vec![1.0, 2.0, 3.0]);
+        let b = Tensor::from_vec(Shape::mat(3, 2), vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        assert_eq!(matmul(&a, &b).as_slice(), &[4.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_dim_mismatch_panics() {
+        let a = Tensor::zeros(Shape::mat(2, 3));
+        let b = Tensor::zeros(Shape::mat(2, 3));
+        let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::from_vec(Shape::mat(2, 3), (0..6).map(|i| i as f32).collect());
+        let t = transpose(&a);
+        assert_eq!(t.shape().dims(), &[3, 2]);
+        assert_eq!(t.as_slice(), &[0.0, 3.0, 1.0, 4.0, 2.0, 5.0]);
+        assert_eq!(transpose(&t).as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn conv_geom_extents() {
+        assert_eq!(ConvGeom::new(3, 1, 1).out_extent(8), 8); // same conv
+        assert_eq!(ConvGeom::new(3, 2, 1).out_extent(8), 4); // strided
+        assert_eq!(ConvGeom::new(1, 1, 0).out_extent(8), 8); // pointwise
+        assert_eq!(ConvGeom::new(2, 2, 0).out_extent(8), 4); // pool-like
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1, no pad: im2col is a [C, N*H*W] gather.
+        let x = Tensor::from_vec(
+            Shape::nchw(1, 2, 2, 2),
+            (0..8).map(|i| i as f32).collect(),
+        );
+        let cols = im2col(&x, ConvGeom::new(1, 1, 0));
+        assert_eq!(cols.shape().dims(), &[2, 4]);
+        assert_eq!(cols.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn im2col_3x3_center_tap_matches_input() {
+        let x = Tensor::from_vec(
+            Shape::nchw(1, 1, 3, 3),
+            (1..=9).map(|i| i as f32).collect(),
+        );
+        let cols = im2col(&x, ConvGeom::new(3, 1, 1));
+        // Row 4 (kh=1, kw=1) is the center tap: equals the input itself.
+        let row4 = &cols.as_slice()[4 * 9..5 * 9];
+        assert_eq!(row4, x.as_slice());
+        // Corner tap (kh=0, kw=0) sees zero padding in first row/col.
+        let row0 = &cols.as_slice()[0..9];
+        assert_eq!(row0, &[0.0, 0.0, 0.0, 0.0, 1.0, 2.0, 0.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn conv_via_im2col_matches_direct() {
+        // 1x1x3x3 input, single 3x3 averaging-ish kernel, pad 1.
+        let x = Tensor::from_vec(
+            Shape::nchw(1, 1, 3, 3),
+            (1..=9).map(|i| i as f32).collect(),
+        );
+        let wt = Tensor::from_vec(Shape::mat(1, 9), vec![1.0; 9]);
+        let cols = im2col(&x, ConvGeom::new(3, 1, 1));
+        let y = matmul(&wt, &cols);
+        // Center output = sum of all 9 elements = 45.
+        assert_eq!(y.as_slice()[4], 45.0);
+        // Top-left output = sum of the 2x2 corner = 1+2+4+5 = 12.
+        assert_eq!(y.as_slice()[0], 12.0);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random-ish data.
+        let g = ConvGeom::new(3, 1, 1);
+        let xs = Shape::nchw(2, 2, 4, 4);
+        let x = Tensor::from_vec(
+            xs.clone(),
+            (0..xs.len()).map(|i| ((i * 37 % 11) as f32) - 5.0).collect(),
+        );
+        let cols = im2col(&x, g);
+        let ys = cols.shape().clone();
+        let y = Tensor::from_vec(
+            ys.clone(),
+            (0..ys.len()).map(|i| ((i * 17 % 7) as f32) - 3.0).collect(),
+        );
+        let lhs: f64 = cols
+            .iter()
+            .zip(y.iter())
+            .map(|(&a, &b)| (a * b) as f64)
+            .sum();
+        let back = col2im(&y, &xs, g);
+        let rhs: f64 = x
+            .iter()
+            .zip(back.iter())
+            .map(|(&a, &b)| (a * b) as f64)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-6, "lhs={lhs} rhs={rhs}");
+    }
+}

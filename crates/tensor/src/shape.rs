@@ -1,0 +1,232 @@
+//! Dimension descriptors for tensors.
+//!
+//! JPEG-ACT operates almost exclusively on 4-D NCHW activation tensors, but
+//! the training substrate also needs 2-D matrices (fully-connected layers,
+//! im2col buffers) and 1-D vectors (biases, batch-norm parameters).
+//! [`Shape`] is a small rank-flexible descriptor with convenience
+//! constructors for the common ranks.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A tensor shape: an ordered list of dimension extents.
+///
+/// Shapes are value types — cheap to clone and compare.  The element layout
+/// implied by a shape is always contiguous row-major (the last dimension is
+/// the fastest-varying), which for rank 4 is exactly the NCHW layout the
+/// paper assumes (Sec. III-C).
+///
+/// # Example
+///
+/// ```
+/// use jact_tensor::Shape;
+/// let s = Shape::nchw(8, 64, 32, 32);
+/// assert_eq!(s.len(), 8 * 64 * 32 * 32);
+/// assert_eq!(s.rank(), 4);
+/// assert_eq!(s.dim(1), 64);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from an arbitrary list of dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty or any dimension is zero; zero-sized
+    /// tensors are never meaningful in this workspace and allowing them
+    /// would push degenerate-case handling into every kernel.
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(!dims.is_empty(), "shape must have at least one dimension");
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "zero-sized dimension in shape {dims:?}"
+        );
+        Shape {
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// A rank-4 NCHW shape (batch, channels, height, width).
+    pub fn nchw(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Shape::new(&[n, c, h, w])
+    }
+
+    /// A rank-2 matrix shape (rows, cols).
+    pub fn mat(rows: usize, cols: usize) -> Self {
+        Shape::new(&[rows, cols])
+    }
+
+    /// A rank-1 vector shape.
+    pub fn vec(len: usize) -> Self {
+        Shape::new(&[len])
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Extent of dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rank()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.dims[i]
+    }
+
+    /// All dimensions as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Shapes are never empty (see [`Shape::new`]); provided for
+    /// `len`/`is_empty` symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Batch dimension of an NCHW shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is not rank 4.
+    pub fn n(&self) -> usize {
+        self.expect_rank4();
+        self.dims[0]
+    }
+
+    /// Channel dimension of an NCHW shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is not rank 4.
+    pub fn c(&self) -> usize {
+        self.expect_rank4();
+        self.dims[1]
+    }
+
+    /// Height dimension of an NCHW shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is not rank 4.
+    pub fn h(&self) -> usize {
+        self.expect_rank4();
+        self.dims[2]
+    }
+
+    /// Width dimension of an NCHW shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is not rank 4.
+    pub fn w(&self) -> usize {
+        self.expect_rank4();
+        self.dims[3]
+    }
+
+    /// Linear offset of NCHW index `(n, c, h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is not rank 4 or the index is out of bounds
+    /// (debug builds check each coordinate).
+    #[inline]
+    pub fn offset4(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        debug_assert!(self.rank() == 4);
+        debug_assert!(n < self.dims[0] && c < self.dims[1] && h < self.dims[2] && w < self.dims[3]);
+        ((n * self.dims[1] + c) * self.dims[2] + h) * self.dims[3] + w
+    }
+
+    fn expect_rank4(&self) {
+        assert!(
+            self.rank() == 4,
+            "expected NCHW (rank-4) shape, got {self}"
+        );
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let strs: Vec<String> = self.dims.iter().map(|d| d.to_string()).collect();
+        write!(f, "[{}]", strs.join("x"))
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nchw_accessors() {
+        let s = Shape::nchw(2, 3, 4, 5);
+        assert_eq!((s.n(), s.c(), s.h(), s.w()), (2, 3, 4, 5));
+        assert_eq!(s.len(), 120);
+        assert_eq!(s.rank(), 4);
+    }
+
+    #[test]
+    fn offset4_is_row_major() {
+        let s = Shape::nchw(2, 3, 4, 5);
+        assert_eq!(s.offset4(0, 0, 0, 0), 0);
+        assert_eq!(s.offset4(0, 0, 0, 1), 1);
+        assert_eq!(s.offset4(0, 0, 1, 0), 5);
+        assert_eq!(s.offset4(0, 1, 0, 0), 20);
+        assert_eq!(s.offset4(1, 0, 0, 0), 60);
+        assert_eq!(s.offset4(1, 2, 3, 4), 119);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sized")]
+    fn zero_dim_rejected() {
+        let _ = Shape::new(&[4, 0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_shape_rejected() {
+        let _ = Shape::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected NCHW")]
+    fn rank_mismatch_panics() {
+        let s = Shape::mat(3, 4);
+        let _ = s.n();
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let s = Shape::nchw(1, 2, 3, 4);
+        assert_eq!(format!("{s}"), "[1x2x3x4]");
+        assert_eq!(format!("{s:?}"), "Shape[1, 2, 3, 4]");
+    }
+
+    #[test]
+    fn equality_and_from() {
+        let a = Shape::from(&[2usize, 2][..]);
+        let b = Shape::mat(2, 2);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests of the tensor kernels.
+
+use jact_tensor::ops::{col2im, im2col, matmul, transpose, ConvGeom};
+use jact_tensor::{Shape, Tensor};
+use proptest::prelude::*;
+
+fn arb_matrix(max: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max, 1..=max).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |v| Tensor::from_vec(Shape::mat(r, c), v))
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(m in arb_matrix(8)) {
+        prop_assert_eq!(transpose(&transpose(&m)), m);
+    }
+
+    #[test]
+    fn matmul_transpose_identity(
+        (m, k, n) in (1usize..6, 1usize..6, 1usize..6),
+        seed in 0u64..1000,
+    ) {
+        // (A·B)ᵀ == Bᵀ·Aᵀ.
+        let gen = |r: usize, c: usize, s: u64| {
+            Tensor::from_vec(
+                Shape::mat(r, c),
+                (0..r * c)
+                    .map(|i| ((((i as u64 + s).wrapping_mul(0x9E37_79B9)) % 200) as f32 / 10.0) - 10.0)
+                    .collect(),
+            )
+        };
+        let a = gen(m, k, seed);
+        let b = gen(k, n, seed + 7);
+        let lhs = transpose(&matmul(&a, &b));
+        let rhs = matmul(&transpose(&b), &transpose(&a));
+        prop_assert_eq!(lhs.shape(), rhs.shape());
+        for (x, y) in lhs.iter().zip(rhs.iter()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        (m, k, n) in (1usize..5, 1usize..5, 1usize..5),
+        seed in 0u64..1000,
+    ) {
+        let gen = |r: usize, c: usize, s: u64| {
+            Tensor::from_vec(
+                Shape::mat(r, c),
+                (0..r * c)
+                    .map(|i| ((((i as u64 + s).wrapping_mul(0x1234_5677)) % 100) as f32 / 10.0) - 5.0)
+                    .collect(),
+            )
+        };
+        let a = gen(m, k, seed);
+        let b = gen(k, n, seed + 3);
+        let c = gen(k, n, seed + 9);
+        let sum = b.zip(&c, |x, y| x + y);
+        let lhs = matmul(&a, &sum);
+        let rhs = matmul(&a, &b).zip(&matmul(&a, &c), |x, y| x + y);
+        for (x, y) in lhs.iter().zip(rhs.iter()) {
+            prop_assert!((x - y).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(
+        n in 1usize..3, c in 1usize..3, hw in 3usize..8,
+        k in 1usize..=3, pad in 0usize..=1,
+    ) {
+        prop_assume!(hw + 2 * pad >= k);
+        let g = ConvGeom::new(k, 1, pad);
+        let xs = Shape::nchw(n, c, hw, hw);
+        let x = Tensor::from_vec(
+            xs.clone(),
+            (0..xs.len()).map(|i| ((i * 31 % 17) as f32) - 8.0).collect(),
+        );
+        let cols = im2col(&x, g);
+        let ys = cols.shape().clone();
+        let y = Tensor::from_vec(
+            ys.clone(),
+            (0..ys.len()).map(|i| ((i * 13 % 9) as f32) - 4.0).collect(),
+        );
+        // <im2col(x), y> == <x, col2im(y)>
+        let lhs: f64 = cols.iter().zip(y.iter()).map(|(&a, &b)| (a * b) as f64).sum();
+        let back = col2im(&y, &xs, g);
+        let rhs: f64 = x.iter().zip(back.iter()).map(|(&a, &b)| (a * b) as f64).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-4 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn channel_max_abs_bounds_all_values(
+        n in 1usize..3, c in 1usize..4, hw in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let shape = Shape::nchw(n, c, hw, hw);
+        let vals: Vec<f32> = (0..shape.len())
+            .map(|i| (((i as u64 ^ seed).wrapping_mul(0x9E37_79B9) % 2000) as f32 / 100.0) - 10.0)
+            .collect();
+        let x = Tensor::from_vec(shape, vals);
+        let maxes = x.channel_max_abs();
+        for ni in 0..n {
+            for ci in 0..c {
+                for hi in 0..hw {
+                    for wi in 0..hw {
+                        prop_assert!(x.get4(ni, ci, hi, wi).abs() <= maxes[ci] + 1e-6);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reshape_preserves_all_elements(vals in prop::collection::vec(-5.0f32..5.0, 24)) {
+        let t = Tensor::from_vec(Shape::nchw(2, 3, 2, 2), vals.clone());
+        let r = t.reshape(Shape::mat(6, 4));
+        prop_assert_eq!(r.as_slice(), &vals[..]);
+        prop_assert_eq!(r.reshape(Shape::nchw(2, 3, 2, 2)), t);
+    }
+}

@@ -1,0 +1,59 @@
+//! Run the Sec. IV DQT optimization on activations harvested from a
+//! briefly-trained network, and compare the optimized table against the
+//! standard image table it started from.
+//!
+//! ```sh
+//! cargo run --release -p jact-bench --example dqt_optimize
+//! ```
+
+use jact_bench::harness::{harvest_dense, TrainCfg};
+use jact_codec::dqt::Dqt;
+use jact_codec::quant::QuantKind;
+use jact_core::dqt_opt::{optimize, DqtOptConfig};
+use jact_core::metrics::rate_distortion;
+
+fn main() {
+    let cfg = TrainCfg {
+        epochs: 1,
+        train_batches: 2,
+        val_batches: 1,
+        batch_size: 4,
+        classes: 4,
+        seed: 5,
+    };
+    println!("harvesting dense activations from mini-resnet (warmup 2 steps)...");
+    let acts: Vec<_> = harvest_dense("mini-resnet", 2, &cfg)
+        .into_iter()
+        .take(4)
+        .collect();
+    println!("harvested {} dense activations", acts.len());
+
+    let init = Dqt::jpeg_quality(80);
+    let opt_cfg = DqtOptConfig {
+        iters: 4,
+        // A handful of sample tensors gives a much shallower objective
+        // than the paper's 240, so scale the step accordingly.
+        lr: 60.0,
+        ..DqtOptConfig::opt_h()
+    };
+    println!("optimizing DQT (alpha={}, {} iters)...", opt_cfg.alpha, opt_cfg.iters);
+    let result = optimize(&acts, &init, &opt_cfg);
+    println!("objective trajectory: {:?}", result.trajectory);
+
+    println!("\n{:<14} {:>12} {:>14}", "table", "entropy (b)", "L2 error");
+    for dqt in [&init, &result.dqt, &Dqt::opt_l(), &Dqt::opt_h()] {
+        let (mut h, mut e) = (0.0, 0.0);
+        for a in &acts {
+            // DIV back end: the continuous domain the optimizer works in.
+            let (hh, ee) = rate_distortion(a, dqt, QuantKind::Div);
+            h += hh;
+            e += ee;
+        }
+        let n = acts.len() as f64;
+        println!("{:<14} {:>12.3} {:>14.6}", dqt.name(), h / n, e / n);
+    }
+
+    println!("\noptimized first row of the DQT (DC pinned to 8):");
+    let e = result.dqt.entries();
+    println!("{:?}", &e[0..8]);
+}

@@ -1,0 +1,50 @@
+//! Simulate training performance of every offload method on every
+//! network — a condensed Fig. 20.
+//!
+//! ```sh
+//! cargo run --release -p jact-bench --example offload_sim
+//! ```
+
+use jact_gpusim::config::GpuConfig;
+use jact_gpusim::netspec::all_networks;
+use jact_gpusim::offload::MethodModel;
+use jact_gpusim::sim::{relative_performance, simulate_training_pass};
+
+fn main() {
+    let gpu = GpuConfig::titan_v();
+    let methods = [
+        MethodModel::vdnn(),
+        MethodModel::cdma_plus(),
+        MethodModel::gist(),
+        MethodModel::sfpr(),
+        MethodModel::jpeg_base(),
+        MethodModel::jpeg_act(),
+    ];
+
+    print!("{:<22}", "network");
+    for m in &methods {
+        print!("{:>11}", m.name);
+    }
+    println!();
+
+    for net in all_networks() {
+        print!("{:<22}", net.name);
+        let vdnn = &methods[0];
+        for m in &methods {
+            let rel = relative_performance(&net, m, vdnn, &gpu);
+            print!("{:>10.2}x", rel);
+        }
+        println!();
+    }
+
+    println!("\n(values are speedups relative to vDNN uncompressed offload)");
+    let net = &all_networks()[1];
+    let t = simulate_training_pass(net, &MethodModel::jpeg_act(), &gpu);
+    println!(
+        "JPEG-ACT on {}: fwd {:.0}us bwd {:.0}us, overhead over pure compute {:.2}x",
+        net.name,
+        t.forward_us,
+        t.backward_us,
+        t.overhead()
+    );
+}

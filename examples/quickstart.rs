@@ -1,0 +1,59 @@
+//! Quickstart: compress and recover one activation tensor with every
+//! scheme the paper evaluates.
+//!
+//! ```sh
+//! cargo run --release -p jact-bench --example quickstart
+//! ```
+
+use jact_codec::dqt::Dqt;
+use jact_codec::pipeline::{
+    Codec, GistCsrCodec, JpegActCodec, JpegBaseCodec, RawCodec, SfprCodec, ZvcF32Codec,
+};
+use jact_tensor::{Shape, Tensor};
+
+fn main() {
+    // A spatially-correlated activation, as a convolution of an image
+    // would produce (the property JPEG-ACT exploits).
+    let shape = Shape::nchw(2, 8, 32, 32);
+    let data: Vec<f32> = (0..shape.len())
+        .map(|i| {
+            let x = (i % 32) as f32;
+            let y = ((i / 32) % 32) as f32;
+            ((x * 0.2).sin() + (y * 0.15).cos()) * 0.8
+        })
+        .collect();
+    let activation = Tensor::from_vec(shape, data);
+
+    let codecs: Vec<Box<dyn Codec>> = vec![
+        Box::new(RawCodec),
+        Box::new(ZvcF32Codec),
+        Box::new(GistCsrCodec),
+        Box::new(SfprCodec::new()),
+        Box::new(JpegBaseCodec::new(Dqt::jpeg_quality(80))),
+        Box::new(JpegActCodec::new(Dqt::opt_l())),
+        Box::new(JpegActCodec::new(Dqt::opt_h())),
+    ];
+
+    println!(
+        "{:<24} {:>10} {:>10} {:>8} {:>12}",
+        "codec", "orig (B)", "compr (B)", "ratio", "rms error"
+    );
+    for codec in &codecs {
+        let compressed = codec.compress(&activation);
+        let recovered = codec.decompress(&compressed);
+        let rms = activation.mse(&recovered).sqrt();
+        println!(
+            "{:<24} {:>10} {:>10} {:>7.2}x {:>12.5}",
+            codec.name(),
+            compressed.uncompressed_bytes(),
+            compressed.compressed_bytes(),
+            compressed.ratio(),
+            rms
+        );
+    }
+
+    println!(
+        "\nJPEG-ACT discards redundant *spatial* information: the smoother\n\
+         the activation, the higher the ratio at the same error."
+    );
+}

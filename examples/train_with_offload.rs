@@ -1,0 +1,51 @@
+//! Train a small ResNet with JPEG-ACT compressed activation offload and
+//! compare against exact (uncompressed) training.
+//!
+//! ```sh
+//! cargo run --release -p jact-bench --example train_with_offload
+//! ```
+
+use jact_bench::harness::{train_classifier, TrainCfg};
+use jact_core::Scheme;
+
+fn main() {
+    let cfg = TrainCfg {
+        epochs: 4,
+        train_batches: 8,
+        val_batches: 3,
+        batch_size: 8,
+        classes: 4,
+        seed: 7,
+    };
+    let model = "mini-resnet";
+
+    println!("training {model} ({} epochs x {} batches)...", cfg.epochs, cfg.train_batches);
+
+    let baseline = train_classifier(model, None, &cfg);
+    println!(
+        "baseline (exact storage):     val acc {:.1}%",
+        baseline.best_score * 100.0
+    );
+
+    let jact = train_classifier(model, Some(Scheme::jpeg_act_opt_l5h()), &cfg);
+    println!(
+        "JPEG-ACT(optL5H) offload:     val acc {:.1}%  compression {:.1}x",
+        jact.best_score * 100.0,
+        jact.ratio
+    );
+
+    let gist = train_classifier(model, Some(Scheme::gist()), &cfg);
+    println!(
+        "GIST (DPR/BRC/CSR):           val acc {:.1}%  compression {:.1}x",
+        gist.best_score * 100.0,
+        gist.ratio
+    );
+
+    println!(
+        "\naccuracy change vs baseline: JPEG-ACT {:+.2} pts at {:.1}x, GIST {:+.2} pts at {:.1}x",
+        (jact.best_score - baseline.best_score) * 100.0,
+        jact.ratio,
+        (gist.best_score - baseline.best_score) * 100.0,
+        gist.ratio
+    );
+}

@@ -1,0 +1,162 @@
+//! Integration across codec / core / gpusim / hwmodel seams.
+
+use jact_bench::harness::{harvest_activations, harvest_dense, TrainCfg};
+use jact_core::metrics::{rate_distortion, spatial_frequency_entropy};
+use jact_core::{OffloadStore, Scheme};
+use jact_codec::dqt::Dqt;
+use jact_codec::quant::QuantKind;
+use jact_dnn::act::{ActKind, ActivationStore};
+use jact_gpusim::config::GpuConfig;
+use jact_gpusim::netspec::resnet50_cifar;
+use jact_gpusim::offload::MethodModel;
+use jact_gpusim::sim::relative_performance;
+use jact_hwmodel::Design;
+
+fn cfg() -> TrainCfg {
+    TrainCfg {
+        epochs: 1,
+        train_batches: 2,
+        val_batches: 1,
+        batch_size: 4,
+        classes: 4,
+        seed: 3,
+    }
+}
+
+#[test]
+fn harvested_activations_cover_table2_kinds() {
+    let acts = harvest_activations("mini-vgg", 1, &cfg());
+    let kinds: std::collections::HashSet<String> =
+        acts.iter().map(|(k, _)| k.to_string()).collect();
+    for expected in ["conv", "relu(to conv)", "relu(to other)", "pool", "dropout", "linear"] {
+        assert!(kinds.contains(expected), "missing {expected}: {kinds:?}");
+    }
+    // Bottleneck networks also produce dense sum activations.
+    let acts = harvest_activations("mini-resnet-bottleneck", 1, &cfg());
+    assert!(
+        acts.iter().any(|(k, _)| *k == ActKind::Sum),
+        "pre-activation bottlenecks must save sum activations"
+    );
+}
+
+#[test]
+fn real_activations_are_frequency_compressible() {
+    // The Fig. 2/6 claim on *real* (trained-network) activations, not
+    // synthetic fields.
+    let dense = harvest_dense("mini-resnet", 2, &cfg());
+    assert!(!dense.is_empty());
+    let mut wins = 0usize;
+    for a in &dense {
+        let (hs, hf) = spatial_frequency_entropy(a);
+        if hf < hs {
+            wins += 1;
+        }
+    }
+    assert!(
+        wins * 2 > dense.len(),
+        "frequency domain should be more compact for most conv activations ({wins}/{})",
+        dense.len()
+    );
+}
+
+#[test]
+fn measured_ratios_flow_into_performance_model() {
+    // Functional sim -> ratios -> timing sim, the cross-crate pipeline
+    // behind Fig. 18.
+    let dense = harvest_dense("mini-resnet", 1, &cfg());
+    let mut store = OffloadStore::new(Scheme::jpeg_act(Dqt::opt_h()));
+    for (i, a) in dense.iter().enumerate() {
+        store.save(i as u64, ActKind::Conv, a);
+    }
+    let measured = store.stats().overall_ratio();
+    assert!(measured > 1.5, "measured dense ratio {measured}");
+
+    let gpu = GpuConfig::titan_v();
+    let m = MethodModel::jpeg_act().with_ratios(measured, measured * 0.8, 32.0);
+    let speedup = relative_performance(&resnet50_cifar(), &m, &MethodModel::vdnn(), &gpu);
+    assert!(speedup > 1.2, "speedup {speedup}");
+}
+
+#[test]
+fn rate_distortion_consistent_between_backends() {
+    let dense = harvest_dense("mini-resnet", 1, &cfg());
+    let a = &dense[0];
+    let (h_div, e_div) = rate_distortion(a, &Dqt::opt_h(), QuantKind::Div);
+    let (h_sh, e_sh) = rate_distortion(a, &Dqt::opt_h(), QuantKind::Shift);
+    // SH on a power-of-two table behaves like DIV within tolerance.
+    assert!((h_div - h_sh).abs() < 0.6, "H: div={h_div} sh={h_sh}");
+    assert!(
+        (e_div - e_sh).abs() < 0.05 * e_div.max(e_sh).max(1e-9) + 1e-4,
+        "L2: div={e_div} sh={e_sh}"
+    );
+}
+
+#[test]
+fn hwmodel_ratio_can_come_from_functional_sim() {
+    let dense = harvest_dense("mini-resnet", 1, &cfg());
+    let mut store = OffloadStore::new(Scheme::jpeg_act_opt_l5h());
+    for (i, a) in dense.iter().enumerate() {
+        store.save(i as u64, ActKind::Conv, a);
+    }
+    let ratio = store.stats().overall_ratio();
+    let cost = Design::jpeg_act().with_ratio(ratio).cost();
+    assert!((cost.offload_gbps - ratio * 12.8).abs() < 1e-9);
+    assert!(cost.gpu_area_fraction < 0.01);
+}
+
+#[test]
+fn weight_gradient_error_scales_with_activation_error() {
+    // Eqn. 9: ∇w* − ∇w = ∇y ∘ (x* − x) — the weight-gradient error is
+    // linear in the recovered-activation error, which is what lets the
+    // DQT optimizer minimize ‖x − x*‖ as a proxy for convergence.
+    use jact_dnn::act::{Context, PassthroughStore};
+    use jact_dnn::layers::{Conv2d, Layer};
+    use jact_tensor::init::seeded_rng;
+    use jact_tensor::{Shape, Tensor};
+    use rand::SeedableRng;
+
+    let shape = Shape::nchw(1, 2, 8, 8);
+    let x = Tensor::from_vec(
+        shape.clone(),
+        (0..shape.len()).map(|i| ((i as f32) * 0.37).sin()).collect(),
+    );
+    let gy = Tensor::from_vec(
+        Shape::nchw(1, 3, 8, 8),
+        (0..192).map(|i| ((i as f32) * 0.11).cos() * 0.1).collect(),
+    );
+
+    // Gradient under an activation perturbation of magnitude eps.
+    let grad_with_eps = |eps: f32| -> Tensor {
+        let mut rng = seeded_rng(7);
+        let mut conv = Conv2d::new("c", 2, 3, 3, 1, 1, false, 0, &mut rng);
+        let mut store = PassthroughStore::new();
+        let mut trng = rand::rngs::StdRng::seed_from_u64(0);
+        {
+            let mut ctx = Context::new(true, &mut trng, &mut store);
+            let _ = conv.forward(&x, &mut ctx);
+        }
+        // Overwrite the stored activation with a perturbed copy, as a
+        // lossy store would.
+        use jact_dnn::act::{ActKind, ActivationStore};
+        let perturbed = x.map(|v| v + eps * (v * 13.0).sin());
+        store.save(0, ActKind::Conv, &perturbed);
+        {
+            let mut ctx = Context::new(true, &mut trng, &mut store);
+            let _ = conv.backward(&gy, &mut ctx);
+        }
+        conv.params()[0].grad.clone()
+    };
+
+    let g0 = grad_with_eps(0.0);
+    let g1 = grad_with_eps(0.01);
+    let g2 = grad_with_eps(0.02);
+    let e1 = g0.l2_distance(&g1);
+    let e2 = g0.l2_distance(&g2);
+    assert!(e1 > 0.0);
+    // Doubling the activation error doubles the gradient error.
+    let ratio = e2 / e1;
+    assert!(
+        (ratio - 2.0).abs() < 0.05,
+        "gradient error should be linear in activation error: ratio {ratio}"
+    );
+}

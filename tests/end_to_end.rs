@@ -1,0 +1,98 @@
+//! Cross-crate integration: training under lossy compression end to end.
+//!
+//! These tests exercise the whole stack — data generation, the CNN
+//! substrate, the Table II policy, the compressing offload store, and the
+//! codecs — the way Table I does, at smoke-test scale.
+
+use jact_bench::harness::{train_classifier, train_vdsr, TrainCfg};
+use jact_core::Scheme;
+
+fn cfg() -> TrainCfg {
+    TrainCfg {
+        epochs: 3,
+        train_batches: 5,
+        val_batches: 2,
+        batch_size: 8,
+        classes: 4,
+        seed: 11,
+    }
+}
+
+#[test]
+fn lossless_schemes_match_baseline_exactly_in_score_shape() {
+    // vDNN and cDMA+ are lossless: training trajectories must be
+    // *identical* to the exact baseline (same seeds, same arithmetic).
+    let base = train_classifier("mini-resnet", None, &cfg());
+    let vdnn = train_classifier("mini-resnet", Some(Scheme::vdnn()), &cfg());
+    let cdma = train_classifier("mini-resnet", Some(Scheme::cdma_plus()), &cfg());
+    assert_eq!(base.epoch_scores, vdnn.epoch_scores);
+    assert_eq!(base.epoch_scores, cdma.epoch_scores);
+    assert!((vdnn.ratio - 1.0).abs() < 1e-9);
+    assert!(cdma.ratio >= 1.0);
+}
+
+#[test]
+fn jpeg_act_trains_close_to_baseline_with_high_compression() {
+    let base = train_classifier("mini-resnet", None, &cfg());
+    let jact = train_classifier("mini-resnet", Some(Scheme::jpeg_act_opt_l5h()), &cfg());
+    assert!(!jact.diverged, "JPEG-ACT(optL5H) must not diverge");
+    assert!(
+        jact.ratio > 3.0,
+        "JPEG-ACT ratio only {:.2}x",
+        jact.ratio
+    );
+    // Within a loose band of the baseline at smoke scale.
+    assert!(
+        jact.best_score > base.best_score - 0.25,
+        "jact {:.3} vs base {:.3}",
+        jact.best_score,
+        base.best_score
+    );
+}
+
+#[test]
+fn compression_ratio_ordering_matches_table1() {
+    let schemes = [
+        Scheme::cdma_plus(),
+        Scheme::sfpr(),
+        Scheme::jpeg_act_opt_l5h(),
+    ];
+    let mut ratios = Vec::new();
+    for s in schemes {
+        let r = train_classifier("mini-resnet-bottleneck", Some(s), &cfg());
+        ratios.push(r.ratio);
+    }
+    assert!(
+        ratios[0] < ratios[1] && ratios[1] < ratios[2],
+        "expected cDMA+ < SFPR < JPEG-ACT, got {ratios:?}"
+    );
+}
+
+#[test]
+fn vgg_with_dropout_compresses_better_under_gist_than_resnet() {
+    // Table I / Fig. 19: GIST's CSR wins on dropout networks, loses on
+    // dense ResNets.
+    let vgg = train_classifier("mini-vgg", Some(Scheme::gist()), &cfg());
+    let rn = train_classifier("mini-resnet-bottleneck", Some(Scheme::gist()), &cfg());
+    assert!(
+        vgg.ratio > rn.ratio,
+        "GIST on VGG ({:.2}x) should beat ResNet ({:.2}x)",
+        vgg.ratio,
+        rn.ratio
+    );
+}
+
+#[test]
+fn vdsr_trains_under_jpeg_act() {
+    let base = train_vdsr(None, &cfg());
+    let jact = train_vdsr(Some(Scheme::jpeg_act(jact_codec::dqt::Dqt::opt_l())), &cfg());
+    assert!(!jact.diverged);
+    assert!(jact.ratio > 2.0, "ratio {:.2}", jact.ratio);
+    // PSNR within a few dB of baseline at smoke scale.
+    assert!(
+        jact.best_score > base.best_score - 6.0,
+        "jact {:.2} dB vs base {:.2} dB",
+        jact.best_score,
+        base.best_score
+    );
+}

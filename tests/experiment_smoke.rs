@@ -1,0 +1,77 @@
+//! Smoke checks that the experiment machinery used by the figure/table
+//! binaries produces sane output shapes at quick scale.
+
+use jact_bench::harness::{harvest_dense, train_classifier, TrainCfg};
+use jact_bench::tables;
+use jact_core::dqt_opt::{optimize, DqtOptConfig};
+use jact_core::Scheme;
+use jact_codec::dqt::Dqt;
+use jact_gpusim::config::GpuConfig;
+use jact_gpusim::layout::cdu_sweep;
+use jact_gpusim::netspec::resnet50_cifar;
+use jact_hwmodel::component::TABLE_IV;
+use jact_hwmodel::Design;
+
+#[test]
+fn table_printer_handles_experiment_shapes() {
+    tables::print_header("smoke");
+    tables::print_table(
+        &["network", "acc", "ratio"],
+        &[
+            vec!["mini-resnet".into(), tables::pct(0.91), tables::ratio(7.5)],
+            vec!["mini-vgg".into(), tables::pct(0.88), tables::ratio(9.4)],
+        ],
+    );
+}
+
+#[test]
+fn fig21_sweep_produces_full_grid() {
+    let pts = cdu_sweep(
+        &resnet50_cifar(),
+        &GpuConfig::titan_v(),
+        &[2.0, 8.0],
+        &[1, 4],
+    );
+    // 2 ratios x 2 counts x 2 placements.
+    assert_eq!(pts.len(), 8);
+    assert!(pts.iter().all(|p| p.total_us > 0.0));
+}
+
+#[test]
+fn table4_and_5_have_all_rows() {
+    assert_eq!(TABLE_IV.len(), 8);
+    let designs = Design::table_v();
+    assert_eq!(designs.len(), 4);
+    for d in designs {
+        let c = d.cost();
+        assert!(c.area_mm2 > 0.0 && c.power_w > 0.0);
+    }
+}
+
+#[test]
+fn epoch_scores_length_matches_epochs() {
+    let cfg = TrainCfg::quick();
+    let r = train_classifier("mini-resnet", Some(Scheme::sfpr()), &cfg);
+    assert_eq!(r.epoch_scores.len(), cfg.epochs);
+    assert!(r.ratio > 3.0);
+}
+
+#[test]
+fn dqt_optimizer_runs_on_harvested_activations() {
+    let cfg = TrainCfg::quick();
+    let acts: Vec<_> = harvest_dense("mini-resnet", 1, &cfg)
+        .into_iter()
+        .take(2)
+        .collect();
+    assert!(!acts.is_empty());
+    let res = optimize(
+        &acts,
+        &Dqt::jpeg_quality(80),
+        &DqtOptConfig {
+            iters: 1,
+            ..DqtOptConfig::opt_l()
+        },
+    );
+    assert_eq!(res.trajectory.len(), 2);
+    assert_eq!(res.dqt.entry(0), 8);
+}
