@@ -1,7 +1,8 @@
-//! Criterion throughput benchmarks for the compression primitives —
-//! the per-stage costs behind the CDU pipeline design (Sec. III).
+//! Throughput benchmarks for the compression primitives — the per-stage
+//! costs behind the CDU pipeline design (Sec. III).  Runs on the in-repo
+//! [`jact_bench::timing`] harness (hermetic-build policy: no criterion).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use jact_bench::timing::{black_box, Harness};
 use jact_codec::block::BlockLayout;
 use jact_codec::brc::BrcMask;
 use jact_codec::csr::Csr;
@@ -31,83 +32,72 @@ fn quantized_blocks(x: &Tensor) -> Vec<[i8; 64]> {
         .collect()
 }
 
-fn bench_stages(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new("codec_throughput").sample_size(20);
+
     let x = activation(4, 16, 32);
     let bytes = (x.len() * 4) as u64;
 
-    let mut g = c.benchmark_group("codec_stages");
-    g.throughput(Throughput::Bytes(bytes));
+    let mut g = h.group("codec_stages");
+    g.throughput_bytes(bytes);
 
-    g.bench_function("sfpr_compress", |b| {
-        b.iter(|| sfpr::compress(black_box(&x), SfprParams::paper_default()))
+    g.bench_function("sfpr_compress", || {
+        sfpr::compress(black_box(&x), SfprParams::paper_default())
     });
 
     let enc = sfpr::compress(&x, SfprParams::paper_default());
     let layout = BlockLayout::new(x.shape());
-    g.bench_function("block_gather", |b| {
-        b.iter(|| layout.to_blocks(black_box(enc.values())))
-    });
+    g.bench_function("block_gather", || layout.to_blocks(black_box(enc.values())));
 
     let blocks = layout.to_blocks(enc.values());
-    g.bench_function("dct2d_fixed_point", |b| {
-        b.iter(|| {
-            blocks
-                .iter()
-                .map(|blk| dct2d_i8(black_box(blk)))
-                .collect::<Vec<_>>()
-        })
+    g.bench_function("dct2d_fixed_point", || {
+        blocks
+            .iter()
+            .map(|blk| dct2d_i8(black_box(blk)))
+            .collect::<Vec<_>>()
     });
 
     let coefs: Vec<[i16; 64]> = blocks.iter().map(dct2d_i8).collect();
-    g.bench_function("quantize_div", |b| {
-        let dqt = Dqt::jpeg_quality(80);
-        b.iter(|| {
-            coefs
-                .iter()
-                .map(|cf| quantize_div(black_box(cf), &dqt))
-                .collect::<Vec<_>>()
-        })
+    let dqt_div = Dqt::jpeg_quality(80);
+    g.bench_function("quantize_div", || {
+        coefs
+            .iter()
+            .map(|cf| quantize_div(black_box(cf), &dqt_div))
+            .collect::<Vec<_>>()
     });
-    g.bench_function("quantize_shift", |b| {
-        let dqt = Dqt::opt_h();
-        b.iter(|| {
-            coefs
-                .iter()
-                .map(|cf| quantize_shift(black_box(cf), &dqt))
-                .collect::<Vec<_>>()
-        })
+    let dqt_sh = Dqt::opt_h();
+    g.bench_function("quantize_shift", || {
+        coefs
+            .iter()
+            .map(|cf| quantize_shift(black_box(cf), &dqt_sh))
+            .collect::<Vec<_>>()
     });
 
     let q = quantized_blocks(&x);
-    g.bench_function("rle_encode", |b| b.iter(|| rle::encode_blocks(black_box(&q))));
+    g.bench_function("rle_encode", || rle::encode_blocks(black_box(&q)));
     let flat: Vec<i8> = q.iter().flatten().copied().collect();
-    g.bench_function("zvc_encode", |b| b.iter(|| Zvc::compress_i8(black_box(&flat))));
+    g.bench_function("zvc_encode", || Zvc::compress_i8(black_box(&flat)));
 
     let rle_bytes = rle::encode_blocks(&q);
-    g.bench_function("rle_decode", |b| {
-        b.iter(|| rle::decode_blocks(black_box(&rle_bytes), q.len()).expect("valid stream"))
+    g.bench_function("rle_decode", || {
+        rle::decode_blocks(black_box(&rle_bytes), q.len()).expect("valid stream")
     });
     let zvc_stream = Zvc::compress_i8(&flat);
-    g.bench_function("zvc_decode", |b| b.iter(|| black_box(&zvc_stream).decompress_i8()));
+    g.bench_function("zvc_decode", || black_box(&zvc_stream).decompress_i8());
 
-    g.bench_function("idct2d_fixed_point", |b| {
-        b.iter(|| {
-            coefs
-                .iter()
-                .map(|cf| idct2d_to_i8(black_box(cf)))
-                .collect::<Vec<_>>()
-        })
+    g.bench_function("idct2d_fixed_point", || {
+        coefs
+            .iter()
+            .map(|cf| idct2d_to_i8(black_box(cf)))
+            .collect::<Vec<_>>()
     });
 
-    g.bench_function("brc_mask", |b| b.iter(|| BrcMask::compress(black_box(&x))));
-    g.bench_function("csr_compress", |b| {
-        b.iter(|| Csr::compress_default(black_box(enc.values())))
-    });
+    g.bench_function("brc_mask", || BrcMask::compress(black_box(&x)));
+    g.bench_function("csr_compress", || Csr::compress_default(black_box(enc.values())));
     g.finish();
 
     // Ablation: matrix-form 8-point DCT vs the factored fast DCT (the
     // hardware's LLM-style butterfly structure).
-    let mut a = c.benchmark_group("dct_ablation");
     let rows: Vec<[f32; 8]> = (0..512)
         .map(|r| {
             let mut row = [0.0f32; 8];
@@ -117,26 +107,18 @@ fn bench_stages(c: &mut Criterion) {
             row
         })
         .collect();
-    a.bench_function("dct8_matrix", |b| {
-        b.iter(|| {
-            rows.iter()
-                .map(|r| jact_codec::dct::dct8(black_box(r)))
-                .collect::<Vec<_>>()
-        })
+    let mut a = h.group("dct_ablation");
+    a.bench_function("dct8_matrix", || {
+        rows.iter()
+            .map(|r| jact_codec::dct::dct8(black_box(r)))
+            .collect::<Vec<_>>()
     });
-    a.bench_function("dct8_fast", |b| {
-        b.iter(|| {
-            rows.iter()
-                .map(|r| jact_codec::fast_dct::fast_dct8(black_box(r)))
-                .collect::<Vec<_>>()
-        })
+    a.bench_function("dct8_fast", || {
+        rows.iter()
+            .map(|r| jact_codec::fast_dct::fast_dct8(black_box(r)))
+            .collect::<Vec<_>>()
     });
     a.finish();
-}
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_stages
-);
-criterion_main!(benches);
+    h.finish();
+}

@@ -1,7 +1,8 @@
-//! Criterion benchmarks of the complete compression pipelines — the
-//! software-side cost of each Table I method on one dense activation.
+//! Benchmarks of the complete compression pipelines — the software-side
+//! cost of each Table I method on one dense activation.  Runs on the
+//! in-repo [`jact_bench::timing`] harness (hermetic-build policy).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use jact_bench::timing::{black_box, Harness};
 use jact_codec::dqt::Dqt;
 use jact_codec::pipeline::{
     Codec, GistCsrCodec, JpegActCodec, JpegBaseCodec, RawCodec, SfprCodec, ZvcF32Codec,
@@ -22,24 +23,25 @@ fn sparse_activation() -> Tensor {
     x
 }
 
-fn bench_pipelines(c: &mut Criterion) {
+fn main() {
     let dense = dense_activation();
     let sparse = sparse_activation();
     let bytes = (dense.len() * 4) as u64;
 
-    let mut g = c.benchmark_group("pipelines");
-    g.throughput(Throughput::Bytes(bytes));
+    let mut h = Harness::new("pipeline_throughput").sample_size(15);
+    let mut g = h.group("pipelines");
+    g.throughput_bytes(bytes);
 
     macro_rules! roundtrip {
         ($name:literal, $codec:expr, $input:expr) => {
             let codec = $codec;
             let input = $input;
-            g.bench_function(concat!($name, "/compress"), |b| {
-                b.iter(|| codec.compress(black_box(input)))
+            g.bench_function(concat!($name, "/compress"), || {
+                codec.compress(black_box(input))
             });
             let compressed = codec.compress(input);
-            g.bench_function(concat!($name, "/decompress"), |b| {
-                b.iter(|| codec.decompress(black_box(&compressed)))
+            g.bench_function(concat!($name, "/decompress"), || {
+                codec.decompress(black_box(&compressed))
             });
         };
     }
@@ -51,11 +53,6 @@ fn bench_pipelines(c: &mut Criterion) {
     roundtrip!("jpeg_base_q80", JpegBaseCodec::new(Dqt::jpeg_quality(80)), &dense);
     roundtrip!("jpeg_act_optH", JpegActCodec::new(Dqt::opt_h()), &dense);
     g.finish();
-}
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(15);
-    targets = bench_pipelines
-);
-criterion_main!(benches);
+    h.finish();
+}

@@ -1,58 +1,49 @@
-//! Criterion benchmarks of the GPU offload timing simulator itself —
-//! cheap enough to sweep thousands of configurations (Fig. 21).
+//! Benchmarks of the GPU offload timing simulator itself — cheap enough
+//! to sweep thousands of configurations (Fig. 21).  Runs on the in-repo
+//! [`jact_bench::timing`] harness (hermetic-build policy).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use jact_bench::timing::{black_box, Harness};
 use jact_gpusim::config::GpuConfig;
 use jact_gpusim::layout::cdu_sweep;
 use jact_gpusim::netspec::{all_networks, resnet50_imagenet};
 use jact_gpusim::offload::MethodModel;
 use jact_gpusim::sim::simulate_training_pass;
 
-fn bench_sim(c: &mut Criterion) {
+fn main() {
     let gpu = GpuConfig::titan_v();
     let net = resnet50_imagenet();
     let method = MethodModel::jpeg_act();
 
-    c.bench_function("simulate_one_pass", |b| {
-        b.iter(|| simulate_training_pass(black_box(&net), black_box(&method), &gpu))
+    let mut h = Harness::new("simulator").sample_size(30);
+    let mut g = h.group("simulator");
+
+    g.bench_function("simulate_one_pass", || {
+        simulate_training_pass(black_box(&net), black_box(&method), &gpu)
     });
 
-    c.bench_function("simulate_all_networks_all_methods", |b| {
-        let nets = all_networks();
-        let methods = [
-            MethodModel::vdnn(),
-            MethodModel::cdma_plus(),
-            MethodModel::gist(),
-            MethodModel::sfpr(),
-            MethodModel::jpeg_base(),
-            MethodModel::jpeg_act(),
-        ];
-        b.iter(|| {
-            let mut acc = 0.0f64;
-            for n in &nets {
-                for m in &methods {
-                    acc += simulate_training_pass(black_box(n), m, &gpu).total_us();
-                }
+    let nets = all_networks();
+    let methods = [
+        MethodModel::vdnn(),
+        MethodModel::cdma_plus(),
+        MethodModel::gist(),
+        MethodModel::sfpr(),
+        MethodModel::jpeg_base(),
+        MethodModel::jpeg_act(),
+    ];
+    g.bench_function("simulate_all_networks_all_methods", || {
+        let mut acc = 0.0f64;
+        for n in &nets {
+            for m in &methods {
+                acc += simulate_training_pass(black_box(n), m, &gpu).total_us();
             }
-            acc
-        })
+        }
+        acc
     });
 
-    c.bench_function("cdu_sweep_fig21", |b| {
-        b.iter(|| {
-            cdu_sweep(
-                black_box(&net),
-                &gpu,
-                &[2.0, 4.0, 8.0, 12.0],
-                &[1, 2, 4, 8],
-            )
-        })
+    g.bench_function("cdu_sweep_fig21", || {
+        cdu_sweep(black_box(&net), &gpu, &[2.0, 4.0, 8.0, 12.0], &[1, 2, 4, 8])
     });
+    g.finish();
+
+    h.finish();
 }
-
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_sim
-);
-criterion_main!(benches);

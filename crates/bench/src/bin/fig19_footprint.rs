@@ -7,7 +7,7 @@ use jact_core::{OffloadStore, Scheme};
 use jact_dnn::act::Context;
 use jact_dnn::models;
 use jact_tensor::init::seeded_rng;
-use rand::SeedableRng;
+use jact_rng::SeedableRng;
 
 /// Runs one forward pass of `model` through an offload store and returns
 /// it with the per-kind statistics filled in.
@@ -20,7 +20,7 @@ fn footprint(model: &str, scheme: Scheme, cfg: &TrainCfg) -> OffloadStore {
     let mut mrng = seeded_rng(cfg.seed);
     let mut net = models::build_by_name(model, 3, cfg.classes, &mut mrng);
     let mut store = OffloadStore::new(scheme);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+    let mut rng = jact_rng::rngs::StdRng::seed_from_u64(cfg.seed);
     {
         let mut ctx = Context::new(true, &mut rng, &mut store);
         let _ = net.forward(&batch.images, &mut ctx);

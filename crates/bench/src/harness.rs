@@ -12,7 +12,7 @@ use jact_dnn::optim::{Sgd, SgdConfig};
 use jact_dnn::train::Trainer;
 use jact_tensor::init::seeded_rng;
 use jact_tensor::Tensor;
-use rand::SeedableRng;
+use jact_rng::SeedableRng;
 
 /// Training configuration for one experiment cell.
 #[derive(Debug, Clone, Copy)]
@@ -113,7 +113,7 @@ pub fn train_classifier(model: &str, scheme: Option<Scheme>, cfg: &TrainCfg) -> 
         None => &mut exact,
     };
 
-    let mut trainer = Trainer::new(net, opt, rand::rngs::StdRng::seed_from_u64(cfg.seed), store);
+    let mut trainer = Trainer::new(net, opt, jact_rng::rngs::StdRng::seed_from_u64(cfg.seed), store);
     let mut best = 0.0f64;
     let mut diverged = false;
     let mut epoch_scores = Vec::new();
@@ -168,7 +168,7 @@ pub fn train_vdsr(scheme: Option<Scheme>, cfg: &TrainCfg) -> TrainResult {
         Some(s) => s,
         None => &mut exact,
     };
-    let mut trainer = Trainer::new(net, opt, rand::rngs::StdRng::seed_from_u64(cfg.seed), store);
+    let mut trainer = Trainer::new(net, opt, jact_rng::rngs::StdRng::seed_from_u64(cfg.seed), store);
 
     let mut best = 0.0f64;
     let mut diverged = false;
@@ -226,7 +226,7 @@ pub fn harvest_activations(
         weight_decay: 5e-4,
     });
     let mut store = RecordingStore::new();
-    let mut trainer = Trainer::new(net, opt, rand::rngs::StdRng::seed_from_u64(cfg.seed), &mut store);
+    let mut trainer = Trainer::new(net, opt, jact_rng::rngs::StdRng::seed_from_u64(cfg.seed), &mut store);
     for b in &batches[..warmup_steps] {
         let _ = trainer.step_classify(b);
     }

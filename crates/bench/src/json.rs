@@ -1,0 +1,231 @@
+//! A minimal hand-rolled JSON writer.
+//!
+//! The hermetic-build policy (README §Hermetic build) forbids registry
+//! dependencies, so the bench result stores serialize through this tiny
+//! value tree instead of `serde`.  Output is deterministic: object keys
+//! keep insertion order and numbers use a fixed shortest-form rendering.
+
+use std::fmt::Write as _;
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// All numbers are carried as `f64` (integers up to 2^53 are exact —
+    /// far beyond any counter this workspace emits).
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Insertion-ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for an object builder.
+    pub fn obj() -> Self {
+        Json::Obj(Vec::new())
+    }
+
+    /// Adds a field to an object (panics on non-objects — builder misuse).
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Self {
+        match &mut self {
+            Json::Obj(fields) => fields.push((key.to_string(), value.into())),
+            _ => panic!("Json::field on non-object"),
+        }
+        self
+    }
+
+    /// Serializes the tree to a compact JSON string.
+    pub fn to_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Serializes with two-space indentation (for human-diffable files).
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_number(*n, out),
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(xs) => {
+                out.push('[');
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    x.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Arr(xs) if !xs.is_empty() => {
+                out.push_str("[\n");
+                for (i, x) in xs.iter().enumerate() {
+                    indent(out, depth + 1);
+                    x.write_pretty(out, depth + 1);
+                    out.push_str(if i + 1 < xs.len() { ",\n" } else { "\n" });
+                }
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(fields) if !fields.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    indent(out, depth + 1);
+                    write_escaped(k, out);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                indent(out, depth);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_number(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        // JSON has no Inf/NaN; null is the conventional stand-in.
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 9.0e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Self {
+        Json::Bool(b)
+    }
+}
+impl From<f64> for Json {
+    fn from(n: f64) -> Self {
+        Json::Num(n)
+    }
+}
+impl From<f32> for Json {
+    fn from(n: f32) -> Self {
+        Json::Num(n as f64)
+    }
+}
+impl From<u64> for Json {
+    fn from(n: u64) -> Self {
+        Json::Num(n as f64)
+    }
+}
+impl From<usize> for Json {
+    fn from(n: usize) -> Self {
+        Json::Num(n as f64)
+    }
+}
+impl From<i64> for Json {
+    fn from(n: i64) -> Self {
+        Json::Num(n as f64)
+    }
+}
+impl From<&str> for Json {
+    fn from(s: &str) -> Self {
+        Json::Str(s.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Self {
+        Json::Str(s)
+    }
+}
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(xs: Vec<T>) -> Self {
+        Json::Arr(xs.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_object() {
+        let j = Json::obj()
+            .field("name", "sfpr_compress")
+            .field("median_ns", 12_345u64)
+            .field("ok", true)
+            .field("samples", vec![1.5f64, 2.0]);
+        assert_eq!(
+            j.to_string(),
+            r#"{"name":"sfpr_compress","median_ns":12345,"ok":true,"samples":[1.5,2]}"#
+        );
+    }
+
+    #[test]
+    fn escaping() {
+        let j = Json::Str("a\"b\\c\nd\u{1}".into());
+        assert_eq!(j.to_string(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn pretty_round_structure() {
+        let j = Json::obj().field("xs", vec![1u64]).field("e", Json::Arr(vec![]));
+        let s = j.to_pretty_string();
+        assert!(s.contains("\"xs\": [\n"), "{s}");
+        assert!(s.contains("\"e\": []"), "{s}");
+    }
+}

@@ -10,14 +10,21 @@
 //! * [`harness`] — end-to-end "train under scheme X" runners used by
 //!   Table I, Figs. 1b, 17, 18, 19;
 //! * [`tables`] — fixed-width table printing so every binary emits the
-//!   same row/series format the paper reports.
+//!   same row/series format the paper reports;
+//! * [`timing`] — the in-repo benchmark harness (warmup + calibrated
+//!   samples + median/p95) behind the `benches/` targets, kept
+//!   dependency-free by the hermetic-build policy;
+//! * [`json`] — a hand-rolled JSON writer for `BENCH_*.json` result
+//!   stores (set `JACT_BENCH_JSON=<dir>` when running a bench target).
 //!
 //! Set `JACT_QUICK=1` to shrink the training workloads (used by the smoke
 //! tests; the full defaults are already scaled for CPU training).
 
 pub mod harness;
+pub mod json;
 pub mod store;
 pub mod tables;
+pub mod timing;
 
 /// `true` when `JACT_QUICK=1`: experiments shrink to smoke-test size.
 pub fn quick_mode() -> bool {

@@ -15,10 +15,9 @@
 //! reproduced.
 
 use jact_tensor::Shape;
-use serde::{Deserialize, Serialize};
 
 /// How the activation is padded to 8×8 block granularity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PadStrategy {
     /// Pad each channel's `H` and `W` to multiples of 8 independently.
     Hw,
@@ -28,7 +27,7 @@ pub enum PadStrategy {
 }
 
 /// The block tiling of one activation tensor.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlockLayout {
     shape: Shape,
     strategy: PadStrategy,

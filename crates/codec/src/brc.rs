@@ -10,10 +10,9 @@
 //! the per-layer policy lives in `jact-core`'s method selection (Table II).
 
 use jact_tensor::{Shape, Tensor};
-use serde::{Deserialize, Serialize};
 
 /// A 1-bit-per-element positivity mask of an activation tensor.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BrcMask {
     bits: Vec<u8>,
     len: usize,

@@ -11,13 +11,12 @@
 //! Rows are segments of up to 256 elements so the column index fits in a
 //! byte; a `u32` row-pointer per segment completes the layout.
 
-use serde::{Deserialize, Serialize};
 
 /// Maximum row segment length with an 8-bit column index.
 pub const MAX_ROW: usize = 256;
 
 /// A CSR-compressed buffer of 8-bit values.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Csr {
     /// Row pointer per segment (start offset into `cols`/`vals`).
     row_ptr: Vec<u32>,

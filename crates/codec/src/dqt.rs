@@ -6,7 +6,6 @@
 //! profiles with the DC entry fixed to 8.  The SH quantizer additionally
 //! restricts entries to powers of two (3-bit shift amounts; Sec. III-F).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Zigzag scan order: `ZIGZAG[k]` is the row-major index of the `k`-th
@@ -43,27 +42,10 @@ const JPEG_BASE_TABLE: [u16; 64] = [
 /// let q80 = Dqt::jpeg_quality(80);
 /// assert!(q80.entry(0) < Dqt::jpeg_quality(40).entry(0));
 /// ```
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct Dqt {
-    #[serde(with = "serde_entries")]
     entries: [u16; 64],
     name: String,
-}
-
-/// Serde support for the fixed 64-entry table (serde's derive only covers
-/// arrays up to length 32).
-mod serde_entries {
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-    pub fn serialize<S: Serializer>(v: &[u16; 64], s: S) -> Result<S::Ok, S::Error> {
-        v.as_slice().serialize(s)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<[u16; 64], D::Error> {
-        let v = Vec::<u16>::deserialize(d)?;
-        v.try_into()
-            .map_err(|_| serde::de::Error::custom("DQT must have exactly 64 entries"))
-    }
 }
 
 impl Dqt {

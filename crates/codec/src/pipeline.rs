@@ -26,7 +26,6 @@ use crate::rle;
 use crate::sfpr::{self, SfprEncoded, SfprParams};
 use crate::zvc::Zvc;
 use jact_tensor::{Shape, Tensor};
-use serde::{Deserialize, Serialize};
 
 /// Which lossless coder terminates a JPEG pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -48,7 +47,7 @@ impl std::fmt::Display for CoderKind {
 
 /// The compressed form of one activation tensor, together with size
 /// accounting.  Produced by a [`Codec`]; opaque to everything else.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CompressedActivation {
     payload: Payload,
     uncompressed_bytes: usize,
@@ -56,7 +55,7 @@ pub struct CompressedActivation {
     codec_name: String,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 enum Payload {
     Raw(Tensor),
     ZvcF32 { z: Zvc, shape: Shape },
@@ -68,7 +67,7 @@ enum Payload {
     Brc(BrcMask),
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct JpegPayload {
     /// SFPR metadata (scales, shape, params) with an *empty* value plane;
     /// the values travel through the coded blocks instead.
@@ -80,7 +79,7 @@ struct JpegPayload {
 
 // Local serializable mirrors of the codec enums (kept private so the
 // public enums stay dependency-free).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 enum QuantKind2 {
     Div,
     Shift,
@@ -104,7 +103,7 @@ impl From<QuantKind2> for QuantKind {
     }
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 enum CodedBlocks {
     Rle { bytes: Vec<u8>, count: usize },
     Zvc(Zvc),

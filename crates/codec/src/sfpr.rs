@@ -17,13 +17,12 @@
 //! of JPEG-BASE and JPEG-ACT, whose integer DCT needs `i8` inputs.
 
 use jact_tensor::{Shape, Tensor};
-use serde::{Deserialize, Serialize};
 
 /// The paper's selected global scaling factor (Sec. III-B, Fig. 10).
 pub const DEFAULT_S: f32 = 1.125;
 
 /// SFPR configuration: global scale and integer bit width.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SfprParams {
     /// Global scaling factor `S` (how much of the range may clip).
     pub s: f32,
@@ -66,7 +65,7 @@ impl Default for SfprParams {
 }
 
 /// An SFPR-compressed activation: per-channel scales plus `i8` values.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SfprEncoded {
     values: Vec<i8>,
     /// `s_c` per channel; `0.0` marks an all-zero channel.

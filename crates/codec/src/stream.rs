@@ -12,13 +12,12 @@
 //! the splitter recomputes the interleave exactly.  This module is the
 //! functional model; `jact-gpusim` layers timing on top of it.
 
-use serde::{Deserialize, Serialize};
 
 /// DMA packet size in bytes (two 64 B flits on the PCIe DMA path).
 pub const PACKET_BYTES: usize = 128;
 
 /// One CDU output block: the ZVC form of a quantized 8×8 block.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlockPayload {
     /// 64-bit non-zero mask (one bit per coefficient, LSB-first).
     pub mask: [u8; 8],

@@ -13,10 +13,9 @@
 //! * 4-byte words over raw `f32` activations (cDMA-style compression of
 //!   sparse ReLU/dropout outputs; max ratio 32×).
 
-use serde::{Deserialize, Serialize};
 
 /// A ZVC-compressed buffer: non-zero bit mask plus packed non-zero words.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Zvc {
     /// One bit per source word, LSB-first within each mask byte.
     mask: Vec<u8>,

@@ -175,8 +175,8 @@ mod tests {
     #[test]
     fn noise_has_no_frequency_advantage() {
         // White noise: the DCT cannot compact it.
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        use jact_rng::{Rng, SeedableRng};
+        let mut rng = jact_rng::rngs::StdRng::seed_from_u64(99);
         let shape = Shape::nchw(1, 4, 16, 16);
         let data = (0..shape.len())
             .map(|_| rng.gen_range(-0.5f32..0.5))

@@ -8,8 +8,8 @@
 //! frequency-entropy comparison (Fig. 2) to reproduce.
 
 use jact_tensor::{Shape, Tensor};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use jact_rng::rngs::StdRng;
+use jact_rng::{Rng, SeedableRng};
 
 /// Parameters of one plane-wave component.
 #[derive(Debug, Clone, Copy)]

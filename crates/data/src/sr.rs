@@ -8,8 +8,8 @@
 use crate::image;
 use jact_dnn::train::SrBatch;
 use jact_tensor::{Shape, Tensor};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use jact_rng::rngs::StdRng;
+use jact_rng::{Rng, SeedableRng};
 
 /// 2× box-downsample then nearest-upsample — the low-resolution proxy.
 ///

@@ -9,8 +9,8 @@
 use crate::image;
 use jact_dnn::train::Batch;
 use jact_tensor::{Shape, Tensor};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use jact_rng::rngs::StdRng;
+use jact_rng::{Rng, SeedableRng};
 
 /// Dataset parameters.
 #[derive(Debug, Clone, Copy)]

@@ -13,7 +13,6 @@
 //! the paper's per-type method selection (Table II).
 
 use jact_tensor::Tensor;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Unique key of one saved activation tensor.
@@ -25,7 +24,7 @@ pub type ActivationId = u64;
 
 /// What kind of activation a saved tensor is — the classification driving
 /// the paper's compression method selection (Table II).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ActKind {
     /// Dense convolution input (output of a norm/ReLU chain head).
     Conv,
@@ -139,7 +138,7 @@ pub struct Context<'a> {
     /// `true` during training (dropout active, BN batch statistics).
     pub training: bool,
     /// Seeded RNG for stochastic layers.
-    pub rng: &'a mut rand::rngs::StdRng,
+    pub rng: &'a mut jact_rng::rngs::StdRng,
     /// Activation storage (exact or compressing).
     pub store: &'a mut dyn ActivationStore,
 }
@@ -148,7 +147,7 @@ impl<'a> Context<'a> {
     /// Creates a context.
     pub fn new(
         training: bool,
-        rng: &'a mut rand::rngs::StdRng,
+        rng: &'a mut jact_rng::rngs::StdRng,
         store: &'a mut dyn ActivationStore,
     ) -> Self {
         Context {
@@ -183,7 +182,7 @@ impl IdAlloc {
 mod tests {
     use super::*;
     use jact_tensor::Shape;
-    use rand::SeedableRng;
+    use jact_rng::SeedableRng;
 
     #[test]
     fn passthrough_roundtrip() {
@@ -220,7 +219,7 @@ mod tests {
 
     #[test]
     fn context_construction() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = jact_rng::rngs::StdRng::seed_from_u64(0);
         let mut store = PassthroughStore::new();
         let ctx = Context::new(true, &mut rng, &mut store);
         assert!(ctx.training);

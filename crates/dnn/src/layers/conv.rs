@@ -6,7 +6,7 @@ use crate::param::Param;
 use jact_tensor::init;
 use jact_tensor::ops::{col2im, im2col, matmul, transpose, ConvGeom};
 use jact_tensor::{Shape, Tensor};
-use rand::rngs::StdRng;
+use jact_rng::rngs::StdRng;
 
 /// A 2-D convolution layer (square kernels, NCHW activations).
 ///
@@ -314,8 +314,8 @@ mod tests {
     #[test]
     fn saves_input_in_training_mode_only() {
         use crate::act::{ActivationStore, Context, PassthroughStore};
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        use jact_rng::SeedableRng;
+        let mut rng = jact_rng::rngs::StdRng::seed_from_u64(0);
         let mut store = PassthroughStore::new();
         let mut conv = {
             let mut r = seeded_rng(1);
@@ -337,8 +337,8 @@ mod tests {
     #[test]
     fn aliased_conv_does_not_save() {
         use crate::act::{Context, PassthroughStore};
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        use jact_rng::SeedableRng;
+        let mut rng = jact_rng::rngs::StdRng::seed_from_u64(0);
         let mut store = PassthroughStore::new();
         let mut conv = {
             let mut r = seeded_rng(1);

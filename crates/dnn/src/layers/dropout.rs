@@ -3,7 +3,7 @@
 use crate::act::{ActKind, ActivationId, Context};
 use crate::layers::Layer;
 use jact_tensor::Tensor;
-use rand::Rng;
+use jact_rng::Rng;
 
 /// Inverted dropout: in training, zeroes each element with probability
 /// `p` and scales survivors by `1/(1-p)`.
@@ -85,13 +85,13 @@ mod tests {
     use crate::act::{Context, PassthroughStore};
     use crate::layers::testutil::fwd_bwd;
     use jact_tensor::Shape;
-    use rand::SeedableRng;
+    use jact_rng::SeedableRng;
 
     #[test]
     fn eval_mode_is_identity() {
         let x = Tensor::from_slice(&[1.0, -2.0, 3.0]);
         let mut d = Dropout::new("d", 0.5, 0);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = jact_rng::rngs::StdRng::seed_from_u64(1);
         let mut store = PassthroughStore::new();
         let mut ctx = Context::new(false, &mut rng, &mut store);
         let y = d.forward(&x, &mut ctx);

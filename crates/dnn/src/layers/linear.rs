@@ -6,7 +6,7 @@ use crate::param::Param;
 use jact_tensor::init;
 use jact_tensor::ops::{matmul, transpose};
 use jact_tensor::{Shape, Tensor};
-use rand::rngs::StdRng;
+use jact_rng::rngs::StdRng;
 
 /// Flattens NCHW activations to `[N, C·H·W]` (no parameters, no saved
 /// activations — reshape is free, Sec. III-C).

@@ -56,8 +56,8 @@ pub(crate) mod testutil {
     use crate::act::{Context, PassthroughStore};
     use crate::layers::Layer;
     use jact_tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use jact_rng::rngs::StdRng;
+    use jact_rng::SeedableRng;
 
     /// Runs forward then backward through `layer` with a passthrough
     /// store, returning `(output, input_gradient)`.

@@ -199,7 +199,7 @@ mod tests {
     use super::*;
     use crate::act::{Context, PassthroughStore};
     use crate::layers::testutil::{fwd_bwd, gradcheck_input};
-    use rand::SeedableRng;
+    use jact_rng::SeedableRng;
 
     fn input() -> Tensor {
         let shape = Shape::nchw(2, 3, 4, 4);
@@ -241,7 +241,7 @@ mod tests {
         for _ in 0..20 {
             let _ = fwd_bwd(&mut bn, &x, &Tensor::zeros(x.shape().clone()));
         }
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = jact_rng::rngs::StdRng::seed_from_u64(0);
         let mut store = PassthroughStore::new();
         let mut ctx = Context::new(false, &mut rng, &mut store);
         let y = bn.forward(&x, &mut ctx);

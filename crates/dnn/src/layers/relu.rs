@@ -63,7 +63,7 @@ mod tests {
     use crate::act::{ActivationStore, Context, PassthroughStore};
     use crate::layers::testutil::fwd_bwd;
     use jact_tensor::Shape;
-    use rand::SeedableRng;
+    use jact_rng::SeedableRng;
 
     #[test]
     fn forward_clamps_negatives() {
@@ -89,7 +89,7 @@ mod tests {
         let x = Tensor::from_slice(&[-1.0, 0.5, 2.0, -0.5]);
         let g = Tensor::from_slice(&[10.0, 20.0, 30.0, 40.0]);
         let mut relu = Relu::new("r", 5, ActKind::ReluToOther);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = jact_rng::rngs::StdRng::seed_from_u64(0);
         let mut store = PassthroughStore::new();
         {
             let mut ctx = Context::new(true, &mut rng, &mut store);
@@ -108,7 +108,7 @@ mod tests {
     #[test]
     fn eval_mode_saves_nothing() {
         let mut relu = Relu::new("r", 0, ActKind::ReluToConv);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = jact_rng::rngs::StdRng::seed_from_u64(0);
         let mut store = PassthroughStore::new();
         let mut ctx = Context::new(false, &mut rng, &mut store);
         let _ = relu.forward(&Tensor::zeros(Shape::vec(4)), &mut ctx);

@@ -20,7 +20,7 @@ use crate::layers::{
     BatchNorm2d, Conv2d, Dropout, Flatten, GlobalAvgPool, Linear, MaxPool2d, Relu,
 };
 use crate::net::{Network, Node};
-use rand::rngs::StdRng;
+use jact_rng::rngs::StdRng;
 
 /// Tracking state for the tensor currently flowing through the builder.
 #[derive(Debug, Clone, Copy)]
@@ -415,7 +415,7 @@ mod tests {
     use crate::act::{Context, PassthroughStore};
     use jact_tensor::init::seeded_rng;
     use jact_tensor::{Shape, Tensor};
-    use rand::SeedableRng;
+    use jact_rng::SeedableRng;
 
     fn smoke(net: &mut Network, in_c: usize, out_dim: usize) {
         let x = Tensor::from_vec(
@@ -424,7 +424,7 @@ mod tests {
                 .map(|i| ((i as f32) * 0.01).sin())
                 .collect(),
         );
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = jact_rng::rngs::StdRng::seed_from_u64(0);
         let mut store = PassthroughStore::new();
         let y = {
             let mut ctx = Context::new(true, &mut rng, &mut store);
@@ -485,7 +485,7 @@ mod tests {
             Shape::nchw(1, 3, 16, 16),
             (0..3 * 256).map(|i| ((i as f32) * 0.02).cos() * 0.3).collect(),
         );
-        let mut r = rand::rngs::StdRng::seed_from_u64(0);
+        let mut r = jact_rng::rngs::StdRng::seed_from_u64(0);
         let mut store = PassthroughStore::new();
         let y = {
             let mut ctx = Context::new(true, &mut r, &mut store);

@@ -208,10 +208,10 @@ mod tests {
     use crate::layers::{Conv2d, Relu};
     use jact_tensor::init::seeded_rng;
     use jact_tensor::Shape;
-    use rand::SeedableRng;
+    use jact_rng::SeedableRng;
 
     fn run(net: &mut Network, x: &Tensor, gy: &Tensor) -> (Tensor, Tensor) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = jact_rng::rngs::StdRng::seed_from_u64(0);
         let mut store = PassthroughStore::new();
         let y = {
             let mut ctx = Context::new(true, &mut rng, &mut store);

@@ -6,7 +6,7 @@ use crate::metrics::{psnr, top1_accuracy, Average};
 use crate::net::Network;
 use crate::optim::Sgd;
 use jact_tensor::Tensor;
-use rand::rngs::StdRng;
+use jact_rng::rngs::StdRng;
 
 /// One labelled classification batch.
 #[derive(Debug, Clone)]
@@ -163,7 +163,7 @@ mod tests {
     use crate::optim::{Sgd, SgdConfig};
     use jact_tensor::init::seeded_rng;
     use jact_tensor::{Shape, Tensor};
-    use rand::SeedableRng;
+    use jact_rng::SeedableRng;
 
     /// A trivially separable two-class problem: class = sign of channel
     /// mean.

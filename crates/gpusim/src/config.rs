@@ -1,11 +1,10 @@
 //! Machine configuration: the simulated GPU and interconnect.
 
-use serde::{Deserialize, Serialize};
 
 /// Titan V-like GPU and system parameters (Sec. V: 40 SMs at 1455 MHz
 /// boost, 850 MHz HBM, 32 B/cycle crossbar links, PCIe 3.0 at an
 /// effective 12.8 GB/s).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct GpuConfig {
     /// Streaming multiprocessor count.
     pub sm_count: u32,

@@ -6,11 +6,10 @@
 //! Sec. VI-D), and elementwise/norm/pool kernels are HBM-bandwidth-bound.
 
 use crate::config::GpuConfig;
-use serde::{Deserialize, Serialize};
 
 /// Classification of a saved activation for the offload model —
 /// decoupled from `jact-dnn`'s richer `ActKind`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ActClass {
     /// Dense spatial activation (conv input / sum / norm input).
     Dense,
@@ -22,7 +21,7 @@ pub enum ActClass {
 }
 
 /// What a layer memoizes for the backward pass.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct SavedAct {
     /// Activation class (drives the per-method compression ratio).
     pub class: ActClass,
@@ -31,7 +30,7 @@ pub struct SavedAct {
 }
 
 /// The computational kind of one layer.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum LayerKind {
     /// Convolution with square `k`×`k` kernels.
     Conv {
@@ -56,7 +55,7 @@ pub enum LayerKind {
 
 /// One layer of a microbenchmarked block, with input geometry at the
 /// benchmark batch size.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct LayerSpec {
     /// Layer kind and parameters.
     pub kind: LayerKind,

@@ -4,10 +4,9 @@ use crate::config::GpuConfig;
 use crate::netspec::NetworkSpec;
 use crate::offload::{MethodModel, Placement};
 use crate::sim::simulate_training_pass;
-use serde::{Deserialize, Serialize};
 
 /// One point of the Fig. 21 sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SweepPoint {
     /// Fixed compression ratio of the synthetic method.
     pub ratio: f64,

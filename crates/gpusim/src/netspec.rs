@@ -3,11 +3,10 @@
 //! last — at batch 16).
 
 use crate::kernels::{saved_dense, saved_relu_other, saved_sparse, LayerKind, LayerSpec};
-use serde::{Deserialize, Serialize};
 
 /// One conv/norm/ReLU block (optionally with pool or dropout), the unit
 /// the paper microbenchmarks.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CnrBlock {
     /// Block label (e.g. `first`, `middle`, `last`).
     pub name: String,
@@ -19,7 +18,7 @@ pub struct CnrBlock {
 }
 
 /// A network's microbenchmark sample.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NetworkSpec {
     /// Network/dataset label (e.g. `ResNet50/ImageNet`).
     pub name: String,

@@ -16,10 +16,9 @@
 
 use crate::config::GpuConfig;
 use crate::kernels::ActClass;
-use serde::{Deserialize, Serialize};
 
 /// Where compression happens and what it costs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Placement {
     /// CDUs at the DMA engine (Fig. 7b).
     DmaSide {
@@ -48,7 +47,7 @@ pub enum Placement {
 }
 
 /// A compression method's performance model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MethodModel {
     /// Display name.
     pub name: String,

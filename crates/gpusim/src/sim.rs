@@ -14,14 +14,13 @@
 use crate::config::GpuConfig;
 use crate::netspec::{CnrBlock, NetworkSpec};
 use crate::offload::MethodModel;
-use serde::{Deserialize, Serialize};
 
 /// How many blocks of saved activations fit in the staging buffer before
 /// compute must wait for offload to drain.
 pub const STAGING_BLOCKS: usize = 2;
 
 /// Simulated timing of one forward+backward pass over a block sequence.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct PassTiming {
     /// Forward wall-clock in µs.
     pub forward_us: f64,

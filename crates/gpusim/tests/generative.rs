@@ -1,0 +1,117 @@
+//! Deterministic generative tests of the timing simulator's monotonicity
+//! invariants: more compression or more CDUs must never make a DMA-side
+//! design slower, and total time never drops below pure compute.
+//!
+//! The former `proptest` suite, re-expressed over seeded [`jact_rng`]
+//! streams (hermetic-build policy): each test runs ≥256 cases where case
+//! `i` is fully determined by `(TEST_SEED, i)`.
+
+use jact_gpusim::config::GpuConfig;
+use jact_gpusim::netspec::{cnr_block, Extra, NetworkSpec};
+use jact_gpusim::offload::{MethodModel, Placement};
+use jact_gpusim::sim::simulate_training_pass;
+use jact_rng::{rngs::StdRng, Rng, SeedableRng};
+
+const CASES: usize = 256;
+
+fn cases(seed: u64, mut f: impl FnMut(&mut StdRng, usize)) {
+    for i in 0..CASES {
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        f(&mut rng, i);
+    }
+}
+
+fn gen_network(rng: &mut StdRng) -> NetworkSpec {
+    let n_blocks = rng.gen_range(1..4usize);
+    NetworkSpec {
+        name: "gen".into(),
+        blocks: (0..n_blocks)
+            .map(|i| {
+                let cin = rng.gen_range(1..513u32);
+                let cout = rng.gen_range(1..513u32);
+                let k = if rng.gen_bool(0.5) { 1u32 } else { 3 };
+                let hw = 1u32 << rng.gen_range(3..7u32);
+                cnr_block(&format!("b{i}"), 16, cin, cout, k, 1, hw, Extra::None)
+            })
+            .collect(),
+        compute_derate: 1.0,
+    }
+}
+
+#[test]
+fn total_time_at_least_compute_only() {
+    cases(0x6510, |rng, _| {
+        let gpu = GpuConfig::titan_v();
+        let net = gen_network(rng);
+        let ratio = rng.gen_range(1.0f64..16.0);
+        let m = MethodModel::fixed_ratio(ratio, Placement::DmaSide { cdus: 4 });
+        let t = simulate_training_pass(&net, &m, &gpu);
+        assert!(t.total_us() + 1e-9 >= t.compute_only_us);
+        assert!(t.forward_us > 0.0 && t.backward_us > 0.0);
+    });
+}
+
+#[test]
+fn more_compression_never_slower() {
+    cases(0x6511, |rng, _| {
+        let gpu = GpuConfig::titan_v();
+        let net = gen_network(rng);
+        let r1 = rng.gen_range(1.0f64..8.0);
+        let dr = rng.gen_range(0.1f64..8.0);
+        let lo = MethodModel::fixed_ratio(r1, Placement::DmaSide { cdus: 4 });
+        let hi = MethodModel::fixed_ratio(r1 + dr, Placement::DmaSide { cdus: 4 });
+        let t_lo = simulate_training_pass(&net, &lo, &gpu).total_us();
+        let t_hi = simulate_training_pass(&net, &hi, &gpu).total_us();
+        assert!(t_hi <= t_lo + 1e-6, "ratio {r1} -> {} slower: {t_lo} -> {t_hi}", r1 + dr);
+    });
+}
+
+#[test]
+fn more_cdus_never_slower() {
+    cases(0x6512, |rng, _| {
+        let gpu = GpuConfig::titan_v();
+        let net = gen_network(rng);
+        let ratio = rng.gen_range(1.0f64..16.0);
+        let c1 = rng.gen_range(1..8u32);
+        let few = MethodModel::fixed_ratio(ratio, Placement::DmaSide { cdus: c1 });
+        let many = MethodModel::fixed_ratio(ratio, Placement::DmaSide { cdus: c1 * 2 });
+        let t_few = simulate_training_pass(&net, &few, &gpu).total_us();
+        let t_many = simulate_training_pass(&net, &many, &gpu).total_us();
+        assert!(t_many <= t_few + 1e-6);
+    });
+}
+
+#[test]
+fn cache_side_at_least_as_fast_as_dma_side() {
+    cases(0x6513, |rng, _| {
+        let gpu = GpuConfig::titan_v();
+        let net = gen_network(rng);
+        let ratio = rng.gen_range(1.0f64..16.0);
+        let cdus = rng.gen_range(1..8u32);
+        let dma = MethodModel::fixed_ratio(ratio, Placement::DmaSide { cdus });
+        let cache = MethodModel::fixed_ratio(ratio, Placement::CacheSide);
+        let t_dma = simulate_training_pass(&net, &dma, &gpu).total_us();
+        let t_cache = simulate_training_pass(&net, &cache, &gpu).total_us();
+        assert!(t_cache <= t_dma + 1e-6);
+    });
+}
+
+#[test]
+fn derate_scales_compute_linearly() {
+    cases(0x6514, |rng, _| {
+        let gpu = GpuConfig::titan_v();
+        let net = gen_network(rng);
+        let derate = rng.gen_range(1.0f64..4.0);
+        let m = MethodModel::vdnn();
+        let base = simulate_training_pass(&net, &m, &gpu);
+        let mut slow_net = net.clone();
+        slow_net.compute_derate = derate;
+        let slow = simulate_training_pass(&slow_net, &m, &gpu);
+        assert!(
+            (slow.compute_only_us - base.compute_only_us * derate).abs()
+                < 1e-6 * slow.compute_only_us.max(1.0)
+        );
+        assert!(slow.total_us() + 1e-6 >= base.total_us());
+    });
+}

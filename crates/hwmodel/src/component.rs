@@ -1,10 +1,9 @@
 //! Per-component synthesis costs (Table IV) and the gate-count rationale
 //! behind them.
 
-use serde::{Deserialize, Serialize};
 
 /// A hardware component of the JPEG-ACT accelerator family.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Component {
     /// Scaled fix-point precision reduction unit (8 SPEs, Fig. 11).
     Sfpr,

@@ -1,7 +1,6 @@
 //! Design composition and the Table V aggregation.
 
 use crate::component::Component;
-use serde::{Deserialize, Serialize};
 
 /// NVIDIA Titan V reference die area in mm² (for the "<1 % of a modern
 /// GPU" claim).
@@ -13,7 +12,7 @@ pub const PCIE_GBPS: f64 = 12.8;
 
 /// An accelerator design: which components each CDU instantiates, how
 /// many CDUs, and its average compression ratio.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Design {
     /// Display name.
     pub name: String,
@@ -28,7 +27,7 @@ pub struct Design {
 }
 
 /// Aggregated cost of a design.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct DesignCost {
     /// Total area in mm².
     pub area_mm2: f64,

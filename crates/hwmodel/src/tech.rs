@@ -2,10 +2,9 @@
 //! with 50 % wire overhead, following Rhu et al. and the 15 nm open cell
 //! library methodology).
 
-use serde::{Deserialize, Serialize};
 
 /// A CMOS technology node.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TechNode {
     /// Feature size in nanometres.
     pub nm: f64,

@@ -1,0 +1,158 @@
+//! Golden-value and statistical tests pinning the jact-rng streams.
+//!
+//! Every seeded experiment in the workspace depends on these exact
+//! sequences; a failure here means determinism has silently regressed and
+//! all harvested-activation / sweep results would change.
+
+use jact_rng::{rngs::StdRng, Rng, SampleRange, SeedableRng, SplitMix64};
+
+/// The canonical SplitMix64 test vectors (state = 0), as published with
+/// the xoshiro reference code.
+#[test]
+fn splitmix64_matches_reference_vectors() {
+    let mut sm = SplitMix64::new(0);
+    assert_eq!(sm.next_u64(), 0xE220_A839_7B1D_CDAF);
+    assert_eq!(sm.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+    assert_eq!(sm.next_u64(), 0x06C4_5D18_8009_454F);
+}
+
+/// First eight raw words of the workspace's standard stream for seed 42.
+#[test]
+fn stdrng_seed42_golden_u64() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let got: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+    assert_eq!(
+        got,
+        vec![
+            0xD076_4D4F_4476_689F,
+            0x519E_4174_576F_3791,
+            0xFBE0_7CFB_0C24_ED8C,
+            0xB37D_9F60_0CD8_35B8,
+            0xCB23_1C38_7484_6A73,
+            0x968D_9F00_4E50_DE7D,
+            0x2017_18FF_221A_3556,
+            0x9AE9_4E07_0ED8_CB46,
+        ]
+    );
+}
+
+/// First four `gen::<f32>()` draws for seed 0 (24-bit mantissa path).
+#[test]
+fn stdrng_seed0_golden_f32() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let got: Vec<f32> = (0..4).map(|_| rng.gen::<f32>()).collect();
+    assert_eq!(got, vec![0.32457525, 0.38223928, 0.35961717, 0.011455476]);
+}
+
+/// First eight `gen_range(0..10)` draws for seed 7 (Lemire reduction path).
+#[test]
+fn stdrng_seed7_golden_usize_range() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let got: Vec<usize> = (0..8).map(|_| rng.gen_range(0..10usize)).collect();
+    assert_eq!(got, vec![0, 1, 7, 4, 9, 4, 7, 3]);
+}
+
+#[test]
+fn equal_seeds_equal_streams() {
+    let mut a = StdRng::seed_from_u64(1234);
+    let mut b = StdRng::seed_from_u64(1234);
+    for _ in 0..1000 {
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let mut a = StdRng::seed_from_u64(1);
+    let mut b = StdRng::seed_from_u64(2);
+    let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+    assert_eq!(same, 0);
+}
+
+#[test]
+fn gen_range_respects_bounds() {
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..10_000 {
+        let u = rng.gen_range(3usize..17);
+        assert!((3..17).contains(&u));
+        let i = rng.gen_range(-13i64..-2);
+        assert!((-13..-2).contains(&i));
+        let f = rng.gen_range(-0.5f32..0.25);
+        assert!((-0.5..0.25).contains(&f));
+        let d = rng.gen_range(1.0f64..2.0);
+        assert!((1.0..2.0).contains(&d));
+    }
+}
+
+#[test]
+fn gen_range_covers_every_bucket() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut counts = [0usize; 8];
+    for _ in 0..8000 {
+        counts[rng.gen_range(0..8usize)] += 1;
+    }
+    // Uniform expectation is 1000 per bucket; allow wide slack.
+    for (i, &c) in counts.iter().enumerate() {
+        assert!((600..1400).contains(&c), "bucket {i} count {c}");
+    }
+}
+
+#[test]
+#[should_panic(expected = "empty range")]
+fn gen_range_empty_panics() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let _ = rng.gen_range(5usize..5);
+}
+
+#[test]
+fn unit_floats_in_half_open_interval() {
+    let mut rng = StdRng::seed_from_u64(11);
+    for _ in 0..100_000 {
+        let f: f32 = rng.gen();
+        assert!((0.0..1.0).contains(&f), "f32 {f} out of [0,1)");
+        let d: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&d), "f64 {d} out of [0,1)");
+    }
+}
+
+/// Box–Muller sanity: sample mean and variance of N(0,1) draws.
+#[test]
+fn normal_mean_and_variance_sane() {
+    let mut rng = StdRng::seed_from_u64(2020);
+    let n = 100_000;
+    let xs: Vec<f32> = (0..n).map(|_| rng.sample_normal_f32()).collect();
+    let mean = xs.iter().sum::<f32>() / n as f32;
+    let var = xs.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+    assert!(mean.abs() < 0.02, "mean = {mean}");
+    assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    // Tails exist but are not absurd.
+    assert!(xs.iter().any(|&x| x > 2.5) && xs.iter().any(|&x| x < -2.5));
+    assert!(xs.iter().all(|&x| x.abs() < 8.0));
+}
+
+#[test]
+fn gen_bool_tracks_probability() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+    assert!((2200..2800).contains(&hits), "hits = {hits}");
+}
+
+#[test]
+fn shuffle_is_a_permutation() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let mut xs: Vec<u32> = (0..100).collect();
+    rng.shuffle(&mut xs);
+    let mut sorted = xs.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    assert_ne!(xs, (0..100).collect::<Vec<_>>());
+}
+
+/// `SampleRange` is usable directly (the trait the `Rng::gen_range`
+/// sugar delegates to).
+#[test]
+fn sample_range_direct_call() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let v = (10u64..20).sample_from(&mut rng);
+    assert!((10..20).contains(&v));
+}

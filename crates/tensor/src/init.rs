@@ -1,25 +1,17 @@
 //! Deterministic weight initializers.
 //!
-//! All randomness in this workspace flows through seeded [`rand::rngs::StdRng`]
+//! All randomness in this workspace flows through seeded [`jact_rng::rngs::StdRng`]
 //! instances so every experiment is reproducible run-to-run.
 
 use crate::{Shape, Tensor};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use jact_rng::rngs::StdRng;
+use jact_rng::{Rng, SeedableRng};
 
-/// Samples a standard normal value via Box–Muller.
-///
-/// Implemented locally to avoid pulling in `rand_distr`; two uniform draws
-/// per sample is fine at the scale of this workspace.
+/// Samples a standard normal value via Box–Muller
+/// ([`jact_rng::Rng::sample_normal_f32`]); two uniform draws per sample is
+/// fine at the scale of this workspace.
 fn normal(rng: &mut StdRng) -> f32 {
-    loop {
-        let u1: f32 = rng.gen::<f32>();
-        if u1 <= f32::MIN_POSITIVE {
-            continue;
-        }
-        let u2: f32 = rng.gen::<f32>();
-        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
-    }
+    rng.sample_normal_f32()
 }
 
 /// Tensor filled with `N(0, std^2)` samples from a seeded RNG.

@@ -6,7 +6,6 @@
 //! [`Shape`] is a small rank-flexible descriptor with convenience
 //! constructors for the common ranks.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A tensor shape: an ordered list of dimension extents.
@@ -25,7 +24,7 @@ use std::fmt;
 /// assert_eq!(s.rank(), 4);
 /// assert_eq!(s.dim(1), 64);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Shape {
     dims: Vec<usize>,
 }

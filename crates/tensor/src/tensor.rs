@@ -1,7 +1,6 @@
 //! The contiguous row-major `f32` tensor type.
 
 use crate::Shape;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A dense, contiguous, row-major `f32` tensor.
@@ -23,7 +22,7 @@ use std::fmt;
 /// assert_eq!(t.get4(0, 0, 1, 1), 3.5);
 /// assert_eq!(t.iter().sum::<f32>(), 3.5);
 /// ```
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq)]
 pub struct Tensor {
     shape: Shape,
     data: Vec<f32>,

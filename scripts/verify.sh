@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate, run fully offline.
+#
+# The workspace follows a hermetic-build policy (README "Hermetic build"):
+# zero registry/git dependencies, so a clean checkout with an empty cargo
+# registry cache must build and test without network access.  This script
+# is the command CI and reviewers run; `tests/hermetic.rs` enforces the
+# policy from inside the test suite as well.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== cargo build --release --offline =="
+cargo build --release --offline
+
+echo "== cargo build --release --offline --benches (bench targets) =="
+cargo build --release --offline --benches
+
+echo "== cargo test -q --offline =="
+cargo test -q --offline
+
+echo "verify: OK"

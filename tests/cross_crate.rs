@@ -113,7 +113,7 @@ fn weight_gradient_error_scales_with_activation_error() {
     use jact_dnn::layers::{Conv2d, Layer};
     use jact_tensor::init::seeded_rng;
     use jact_tensor::{Shape, Tensor};
-    use rand::SeedableRng;
+    use jact_rng::SeedableRng;
 
     let shape = Shape::nchw(1, 2, 8, 8);
     let x = Tensor::from_vec(
@@ -130,7 +130,7 @@ fn weight_gradient_error_scales_with_activation_error() {
         let mut rng = seeded_rng(7);
         let mut conv = Conv2d::new("c", 2, 3, 3, 1, 1, false, 0, &mut rng);
         let mut store = PassthroughStore::new();
-        let mut trng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut trng = jact_rng::rngs::StdRng::seed_from_u64(0);
         {
             let mut ctx = Context::new(true, &mut trng, &mut store);
             let _ = conv.forward(&x, &mut ctx);
