@@ -1,0 +1,167 @@
+//! Diagnostics: stable codes, file:line spans, and inline suppressions.
+
+use std::fmt;
+
+/// Stable diagnostic codes, one per lint pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// Crate layering: low-layer crates must not depend on high layers.
+    Ja01,
+    /// Hermeticity: every dependency is an in-workspace path dependency.
+    Ja02,
+    /// Panic-freedom: no `unwrap`/`expect`/`panic!` in hot-path crates.
+    Ja03,
+    /// Determinism: no wall clocks, hash containers, or ambient RNG.
+    Ja04,
+    /// `#![forbid(unsafe_code)]` present in every lib crate root.
+    Ja05,
+    /// Doc-comment coverage for public items in `codec` and `core`.
+    Ja06,
+}
+
+impl Code {
+    /// All codes, in order.
+    pub const ALL: [Code; 6] = [
+        Code::Ja01,
+        Code::Ja02,
+        Code::Ja03,
+        Code::Ja04,
+        Code::Ja05,
+        Code::Ja06,
+    ];
+
+    /// The stable textual form (`JA01` ... `JA06`) used in reports and
+    /// `// jact-analyze: allow(...)` comments.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::Ja01 => "JA01",
+            Code::Ja02 => "JA02",
+            Code::Ja03 => "JA03",
+            Code::Ja04 => "JA04",
+            Code::Ja05 => "JA05",
+            Code::Ja06 => "JA06",
+        }
+    }
+
+    /// Parses the textual form, case-insensitively.
+    pub fn parse(s: &str) -> Option<Code> {
+        Code::ALL
+            .iter()
+            .copied()
+            .find(|c| c.as_str().eq_ignore_ascii_case(s.trim()))
+    }
+
+    /// One-line description of what the lint enforces.
+    pub fn title(self) -> &'static str {
+        match self {
+            Code::Ja01 => "crate layering (low layers must not depend on high layers)",
+            Code::Ja02 => "hermeticity (path-only dependencies, no registry/git sources)",
+            Code::Ja03 => "panic-freedom in hot-path crates (codec, tensor, rng)",
+            Code::Ja04 => "determinism (no wall clocks, hash containers, ambient RNG)",
+            Code::Ja05 => "#![forbid(unsafe_code)] in every lib crate root",
+            Code::Ja06 => "doc-comment coverage for pub items in codec and core",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which lint fired.
+    pub code: Code,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic.
+    pub fn new(code: Code, path: impl Into<String>, line: u32, col: u32, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            path: path.into(),
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {} {}",
+            self.path, self.line, self.col, self.code, self.message
+        )
+    }
+}
+
+/// An inline suppression parsed from a `// jact-analyze: allow(JA03)`
+/// comment.  It silences the listed codes on its own line and the line
+/// directly below (so it can sit above the offending statement).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// Codes the comment allows.
+    pub codes: Vec<Code>,
+    /// 1-based line the comment sits on.
+    pub line: u32,
+}
+
+/// Parses suppressions out of a comment's text.
+pub fn parse_suppression(comment: &str, line: u32) -> Option<Suppression> {
+    let marker = "jact-analyze:";
+    let rest = comment[comment.find(marker)? + marker.len()..].trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let inner = rest.strip_prefix('(')?;
+    let inner = &inner[..inner.find(')')?];
+    let codes: Vec<Code> = inner.split(',').filter_map(Code::parse).collect();
+    if codes.is_empty() {
+        None
+    } else {
+        Some(Suppression { codes, line })
+    }
+}
+
+/// `true` if a violation of `code` at `line` is silenced by any of the
+/// given suppressions.
+pub fn suppressed(sups: &[Suppression], code: Code, line: u32) -> bool {
+    sups.iter()
+        .any(|s| s.codes.contains(&code) && (s.line == line || s.line + 1 == line))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_roundtrip() {
+        for c in Code::ALL {
+            assert_eq!(Code::parse(c.as_str()), Some(c));
+        }
+        assert_eq!(Code::parse("ja03"), Some(Code::Ja03));
+        assert_eq!(Code::parse("JA99"), None);
+    }
+
+    #[test]
+    fn suppression_parsing() {
+        let s = parse_suppression("// jact-analyze: allow(JA03, JA04)", 7).expect("parses");
+        assert_eq!(s.codes, vec![Code::Ja03, Code::Ja04]);
+        assert!(suppressed(&[s.clone()], Code::Ja03, 7));
+        assert!(suppressed(&[s.clone()], Code::Ja04, 8));
+        assert!(!suppressed(&[s], Code::Ja03, 9));
+        assert!(parse_suppression("// ordinary comment", 1).is_none());
+        assert!(parse_suppression("// jact-analyze: allow()", 1).is_none());
+    }
+}

@@ -1,0 +1,517 @@
+//! A hand-rolled Rust lexer with line/column-tracking spans.
+//!
+//! The lint passes need to know *where* they are in a source file —
+//! inside a string literal, a comment, a `#[cfg(test)]` region — before
+//! they can judge an identifier.  This tokenizer understands exactly as
+//! much Rust as that requires: strings (plain, byte, raw with any number
+//! of `#` guards), char literals vs. lifetimes, nested block comments,
+//! doc comments, numbers, identifiers (including raw `r#ident`), and
+//! single-character punctuation.  It is loss-free: concatenating every
+//! token's text reproduces the input byte-for-byte, which the generative
+//! test suite checks on synthesized snippets.
+
+/// What a token is.  Lint passes mostly care about `Ident` and the
+/// comment kinds; everything else exists so identifiers inside strings
+/// and comments are never mistaken for code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A run of whitespace (spaces, tabs, newlines).
+    Whitespace,
+    /// `// ...` up to (not including) the newline.  `is_doc` marks
+    /// `///` and `//!` forms.
+    LineComment,
+    /// `/* ... */`, nesting tracked.  `is_doc` marks `/**` and `/*!`.
+    BlockComment,
+    /// An identifier or keyword, including raw `r#ident`.
+    Ident,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// A char literal such as `'x'` or `'\n'`.
+    Char,
+    /// A plain or byte string literal (`"..."`, `b"..."`).
+    Str,
+    /// A raw string literal (`r"..."`, `r#"..."#`, `br#"..."#`).
+    RawStr,
+    /// A numeric literal (integers, floats, radix prefixes, suffixes).
+    Num,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One token: kind, byte span into the source, and 1-based line/column
+/// of its first byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte in the source.
+    pub start: usize,
+    /// Byte length.
+    pub len: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based column (in bytes) of the first byte.
+    pub col: u32,
+    /// For comments: whether this is a doc comment.
+    pub is_doc: bool,
+}
+
+impl Token {
+    /// The token's text within `src` (the string it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.start + self.len]
+    }
+
+    /// Byte offset one past the last byte.
+    pub fn end(&self) -> usize {
+        self.start + self.len
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, maintaining line/col.  Multi-byte UTF-8
+    /// continuation bytes advance the column only on the leading byte,
+    /// so columns count characters' first bytes consistently.
+    fn bump(&mut self) {
+        if let Some(b) = self.peek() {
+            self.pos += 1;
+            if b == b'\n' {
+                self.line += 1;
+                self.col = 1;
+            } else if b & 0xC0 != 0x80 {
+                self.col += 1;
+            }
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into a complete, loss-free token stream.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(b) = cur.peek() {
+        let (start, line, col) = (cur.pos, cur.line, cur.col);
+        let (kind, is_doc) = scan_one(&mut cur, b);
+        out.push(Token {
+            kind,
+            start,
+            len: cur.pos - start,
+            line,
+            col,
+            is_doc,
+        });
+    }
+    out
+}
+
+fn scan_one(cur: &mut Cursor<'_>, first: u8) -> (TokenKind, bool) {
+    match first {
+        b if b.is_ascii_whitespace() => {
+            while cur.peek().is_some_and(|b| b.is_ascii_whitespace()) {
+                cur.bump();
+            }
+            (TokenKind::Whitespace, false)
+        }
+        b'/' if cur.peek_at(1) == Some(b'/') => {
+            let is_doc = matches!(cur.peek_at(2), Some(b'!'))
+                || (cur.peek_at(2) == Some(b'/') && cur.peek_at(3) != Some(b'/'));
+            while cur.peek().is_some_and(|b| b != b'\n') {
+                cur.bump();
+            }
+            (TokenKind::LineComment, is_doc)
+        }
+        b'/' if cur.peek_at(1) == Some(b'*') => {
+            let is_doc = matches!(cur.peek_at(2), Some(b'!'))
+                || (cur.peek_at(2) == Some(b'*') && cur.peek_at(3) != Some(b'*'));
+            cur.bump_n(2);
+            let mut depth = 1usize;
+            while depth > 0 {
+                match (cur.peek(), cur.peek_at(1)) {
+                    (Some(b'/'), Some(b'*')) => {
+                        depth += 1;
+                        cur.bump_n(2);
+                    }
+                    (Some(b'*'), Some(b'/')) => {
+                        depth -= 1;
+                        cur.bump_n(2);
+                    }
+                    (Some(_), _) => cur.bump(),
+                    (None, _) => break, // unterminated: swallow to EOF
+                }
+            }
+            (TokenKind::BlockComment, is_doc)
+        }
+        b'r' | b'b' => scan_maybe_prefixed(cur),
+        b'"' => {
+            scan_string(cur);
+            (TokenKind::Str, false)
+        }
+        b'\'' => scan_quote(cur),
+        b if b.is_ascii_digit() => {
+            scan_number(cur);
+            (TokenKind::Num, false)
+        }
+        b if is_ident_start(b) => {
+            scan_ident(cur);
+            (TokenKind::Ident, false)
+        }
+        _ => {
+            cur.bump();
+            (TokenKind::Punct, false)
+        }
+    }
+}
+
+/// Disambiguates `r"..."`, `r#"..."#`, `r#ident`, `b"..."`, `br"..."`,
+/// `b'x'`, and ordinary identifiers starting with `r`/`b`.
+fn scan_maybe_prefixed(cur: &mut Cursor<'_>) -> (TokenKind, bool) {
+    let first = cur.peek();
+    let second = cur.peek_at(1);
+    match (first, second) {
+        // b'x' byte char literal.
+        (Some(b'b'), Some(b'\'')) => {
+            cur.bump();
+            let (k, _) = scan_quote(cur);
+            (k, false)
+        }
+        // b"..." byte string.
+        (Some(b'b'), Some(b'"')) => {
+            cur.bump();
+            scan_string(cur);
+            (TokenKind::Str, false)
+        }
+        // br"..." / br#"..."#.
+        (Some(b'b'), Some(b'r')) if matches!(cur.peek_at(2), Some(b'"') | Some(b'#')) => {
+            cur.bump();
+            cur.bump();
+            if scan_raw_string(cur) {
+                (TokenKind::RawStr, false)
+            } else {
+                (TokenKind::Ident, false)
+            }
+        }
+        // r"..." / r#"..."# / r#ident.
+        (Some(b'r'), Some(b'"') | Some(b'#')) => {
+            cur.bump();
+            // r#ident: a single # followed by an identifier start.
+            if cur.peek() == Some(b'#')
+                && cur.peek_at(1).is_some_and(is_ident_start)
+                && cur.peek_at(1) != Some(b'"')
+            {
+                cur.bump(); // '#'
+                scan_ident(cur);
+                return (TokenKind::Ident, false);
+            }
+            if scan_raw_string(cur) {
+                (TokenKind::RawStr, false)
+            } else {
+                (TokenKind::Ident, false)
+            }
+        }
+        _ => {
+            scan_ident(cur);
+            (TokenKind::Ident, false)
+        }
+    }
+}
+
+fn scan_ident(cur: &mut Cursor<'_>) {
+    while cur.peek().is_some_and(is_ident_continue) {
+        cur.bump();
+    }
+}
+
+/// Scans `"..."` with escape handling; the opening quote is at the cursor.
+fn scan_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(b) = cur.peek() {
+        match b {
+            b'\\' => cur.bump_n(2),
+            b'"' => {
+                cur.bump();
+                return;
+            }
+            _ => cur.bump(),
+        }
+    }
+}
+
+/// Scans a raw string whose guards start at the cursor (`#`* then `"`).
+/// Returns `false` (consuming nothing more) if this is not actually a raw
+/// string head, in which case the caller treats the prefix as an ident.
+fn scan_raw_string(cur: &mut Cursor<'_>) -> bool {
+    let mut guards = 0usize;
+    while cur.peek_at(guards) == Some(b'#') {
+        guards += 1;
+    }
+    if cur.peek_at(guards) != Some(b'"') {
+        scan_ident(cur);
+        return false;
+    }
+    cur.bump_n(guards + 1); // guards + opening quote
+    loop {
+        match cur.peek() {
+            None => return true, // unterminated: swallow to EOF
+            Some(b'"') => {
+                let mut closing = 0usize;
+                while closing < guards && cur.peek_at(1 + closing) == Some(b'#') {
+                    closing += 1;
+                }
+                if closing == guards {
+                    cur.bump_n(1 + guards);
+                    return true;
+                }
+                cur.bump();
+            }
+            Some(_) => cur.bump(),
+        }
+    }
+}
+
+/// Scans a `'`-introduced token: char literal or lifetime.
+fn scan_quote(cur: &mut Cursor<'_>) -> (TokenKind, bool) {
+    cur.bump(); // opening quote
+    match cur.peek() {
+        // Escaped char: always a char literal.
+        Some(b'\\') => {
+            cur.bump_n(2);
+            while cur.peek().is_some_and(|b| b != b'\'') {
+                cur.bump();
+            }
+            cur.bump(); // closing quote
+            (TokenKind::Char, false)
+        }
+        Some(b) if is_ident_start(b) => {
+            // 'x' is a char; 'x.. / 'ident is a lifetime.
+            if cur.peek_at(1) == Some(b'\'') {
+                cur.bump_n(2);
+                (TokenKind::Char, false)
+            } else {
+                scan_ident(cur);
+                (TokenKind::Lifetime, false)
+            }
+        }
+        // Non-identifier char such as '+' or ' '.
+        Some(_) => {
+            cur.bump();
+            if cur.peek() == Some(b'\'') {
+                cur.bump();
+            }
+            (TokenKind::Char, false)
+        }
+        None => (TokenKind::Punct, false),
+    }
+}
+
+/// Scans a numeric literal.  Permissive about suffixes and radix digits;
+/// careful about `0..10` (the dots belong to the range, not the number)
+/// and `1e-5` exponents.
+fn scan_number(cur: &mut Cursor<'_>) {
+    // Radix prefix?
+    if cur.peek() == Some(b'0')
+        && matches!(cur.peek_at(1), Some(b'x') | Some(b'X') | Some(b'o') | Some(b'b'))
+        && cur.peek_at(2).is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+    {
+        cur.bump_n(2);
+        while cur
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            cur.bump();
+        }
+        return;
+    }
+    let mut seen_dot = false;
+    while let Some(b) = cur.peek() {
+        match b {
+            b'0'..=b'9' | b'_' => cur.bump(),
+            b'.' if !seen_dot && cur.peek_at(1).is_some_and(|c| c.is_ascii_digit()) => {
+                seen_dot = true;
+                cur.bump();
+            }
+            b'e' | b'E'
+                if cur.peek_at(1).is_some_and(|c| c.is_ascii_digit())
+                    || (matches!(cur.peek_at(1), Some(b'+') | Some(b'-'))
+                        && cur.peek_at(2).is_some_and(|c| c.is_ascii_digit())) =>
+            {
+                cur.bump(); // e
+                if matches!(cur.peek(), Some(b'+') | Some(b'-')) {
+                    cur.bump();
+                }
+                while cur.peek().is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+                    cur.bump();
+                }
+                // Suffix may still follow (rare); fall through below.
+            }
+            // Type suffix: i32, u8, f64, usize...
+            b if b.is_ascii_alphabetic() => {
+                while cur.peek().is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                return;
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Iterator adaptor: indices of "meaningful" tokens (not whitespace, not
+/// comments) — what the lint passes walk.
+pub fn meaningful_indices(tokens: &[Token]) -> Vec<usize> {
+    tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| {
+            !matches!(
+                t.kind,
+                TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+            )
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        let src = "pub fn f(x: u32) -> u32 { x + 1 }\n";
+        let toks = lex(src);
+        let joined: String = toks.iter().map(|t| t.text(src)).collect();
+        assert_eq!(joined, src);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let ks = kinds("'a 'x' '\\n' 'static");
+        let only: Vec<_> = ks
+            .iter()
+            .filter(|(k, _)| *k != TokenKind::Whitespace)
+            .collect();
+        assert_eq!(only[0].0, TokenKind::Lifetime);
+        assert_eq!(only[1].0, TokenKind::Char);
+        assert_eq!(only[2].0, TokenKind::Char);
+        assert_eq!(only[3].0, TokenKind::Lifetime);
+        assert_eq!(only[3].1, "'static");
+    }
+
+    #[test]
+    fn nested_block_comment_is_one_token() {
+        let src = "/* outer /* inner */ tail */ident";
+        let ks = kinds(src);
+        assert_eq!(ks[0].0, TokenKind::BlockComment);
+        assert_eq!(ks[0].1, "/* outer /* inner */ tail */");
+        assert_eq!(ks[1], (TokenKind::Ident, "ident".into()));
+    }
+
+    #[test]
+    fn raw_strings_with_guards() {
+        let src = r####"r#"has "quotes" inside"# r"plain" br##"bytes"##"####;
+        let ks: Vec<_> = kinds(src)
+            .into_iter()
+            .filter(|(k, _)| *k != TokenKind::Whitespace)
+            .collect();
+        assert_eq!(ks.len(), 3, "{ks:?}");
+        assert!(ks.iter().all(|(k, _)| *k == TokenKind::RawStr), "{ks:?}");
+    }
+
+    #[test]
+    fn raw_ident_is_ident() {
+        let ks = kinds("r#fn");
+        assert_eq!(ks[0], (TokenKind::Ident, "r#fn".into()));
+    }
+
+    #[test]
+    fn string_with_escapes() {
+        let src = r#""a\"b\\c" x"#;
+        let ks = kinds(src);
+        assert_eq!(ks[0].0, TokenKind::Str);
+        assert_eq!(ks[0].1, r#""a\"b\\c""#);
+    }
+
+    #[test]
+    fn range_dots_not_eaten_by_number() {
+        let ks: Vec<_> = kinds("0..10")
+            .into_iter()
+            .filter(|(k, _)| *k != TokenKind::Whitespace)
+            .collect();
+        assert_eq!(ks[0], (TokenKind::Num, "0".into()));
+        assert_eq!(ks[1], (TokenKind::Punct, ".".into()));
+        assert_eq!(ks[2], (TokenKind::Punct, ".".into()));
+        assert_eq!(ks[3], (TokenKind::Num, "10".into()));
+    }
+
+    #[test]
+    fn float_exponent_and_suffix() {
+        let ks = kinds("1.5e-3f32");
+        assert_eq!(ks[0], (TokenKind::Num, "1.5e-3f32".into()));
+    }
+
+    #[test]
+    fn doc_comment_flags() {
+        let toks = lex("/// doc\n//! inner\n// plain\n/** block doc */");
+        let comments: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .collect();
+        assert!(comments[0].is_doc);
+        assert!(comments[1].is_doc);
+        assert!(!comments[2].is_doc);
+        assert!(comments[3].is_doc);
+    }
+
+    #[test]
+    fn line_and_col_tracking() {
+        let src = "ab\n  cd";
+        let toks = lex(src);
+        let cd = toks.iter().find(|t| t.text(src) == "cd").expect("cd token");
+        assert_eq!((cd.line, cd.col), (2, 3));
+    }
+}

@@ -1,0 +1,38 @@
+//! `jact-analyze`: an in-repo static-analysis subsystem enforcing the
+//! workspace invariants the JPEG-ACT reproduction depends on.
+//!
+//! The workspace builds hermetically offline, so this tool is written
+//! against `std` only: a hand-rolled Rust lexer ([`lexer`]), a minimal
+//! manifest reader ([`manifest`]), and six lint passes ([`passes`])
+//! reporting stable diagnostic codes with `file:line:col` spans:
+//!
+//! | Code | Invariant |
+//! |------|-----------|
+//! | JA01 | Crate layering: rng/tensor/codec/hwmodel never depend on the high layers |
+//! | JA02 | Hermeticity: path-only dependencies, no registry/git sources |
+//! | JA03 | Panic-freedom in hot-path crates (codec, tensor, rng) |
+//! | JA04 | Determinism: no wall clocks, hash containers, or ambient RNG |
+//! | JA05 | `#![forbid(unsafe_code)]` in every lib crate root |
+//! | JA06 | Doc-comment coverage for `pub` items in codec and core |
+//!
+//! A finding can be silenced at the offending line with
+//! `// jact-analyze: allow(JA0x)` on the same line or the line above.
+//! The CLI (`cargo run -p jact-analyze --release --offline`) prints
+//! diagnostics, writes `target/analyze-report.json`, and exits nonzero
+//! when the workspace is not clean; `tests/static_analysis.rs` runs the
+//! same driver in-process so tier-1 `cargo test` enforces cleanliness.
+
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod driver;
+pub mod lexer;
+pub mod manifest;
+pub mod passes;
+pub mod report;
+pub mod source;
+
+pub use diag::{Code, Diagnostic, Suppression};
+pub use driver::{analyze_workspace, check_hermetic, find_workspace_root};
+pub use report::Analysis;
+pub use source::SourceFile;

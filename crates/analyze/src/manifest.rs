@@ -1,0 +1,118 @@
+//! Minimal `Cargo.toml` reading — just enough structure for the
+//! layering (JA01) and hermeticity (JA02) passes, with line numbers
+//! preserved for diagnostics.
+
+/// One dependency entry as written in a manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepEntry {
+    /// Dependency name (left-hand side of the `=`).
+    pub name: String,
+    /// The raw right-hand side, e.g. `{ workspace = true }`.
+    pub spec: String,
+    /// Section the entry appears in (e.g. `dependencies`,
+    /// `dev-dependencies`, `workspace.dependencies`).
+    pub section: String,
+    /// 1-based line number in the manifest.
+    pub line: u32,
+}
+
+impl DepEntry {
+    /// `true` if the spec is a pure path/workspace reference — the only
+    /// forms the hermetic-build policy allows.
+    pub fn is_path_or_workspace(&self) -> bool {
+        (self.spec.contains("path =") || self.spec.contains("workspace = true"))
+            && !self.spec.contains("git =")
+            && !self.spec.contains("version =")
+            && !self.spec.contains("registry =")
+    }
+}
+
+/// A parsed manifest: package name plus every dependency entry.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    /// Workspace-relative path (used in diagnostics).
+    pub rel_path: String,
+    /// `package.name`, empty for the virtual workspace root.
+    pub package_name: String,
+    /// Every dependency entry across all dependency sections.
+    pub deps: Vec<DepEntry>,
+    /// Raw text (JA02 needs the workspace table for cross-checks).
+    pub text: String,
+}
+
+/// `true` for section headers that declare dependencies.
+fn is_dep_section(header: &str) -> bool {
+    header == "workspace.dependencies"
+        || header == "dependencies"
+        || header == "dev-dependencies"
+        || header == "build-dependencies"
+        || (header.starts_with("target.") && header.ends_with("dependencies"))
+}
+
+/// Parses a manifest's text.  This is a line-oriented reader that
+/// understands exactly the subset of TOML the workspace uses: `[section]`
+/// headers, `key = value` pairs, and `#` comments.
+pub fn parse(rel_path: impl Into<String>, text: &str) -> Manifest {
+    let mut section = String::new();
+    let mut package_name = String::new();
+    let mut deps = Vec::new();
+    for (no, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            section = line
+                .trim_start_matches('[')
+                .trim_end_matches(']')
+                .to_string();
+            continue;
+        }
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let (key, value) = (key.trim(), value.trim());
+        if section == "package" && key == "name" {
+            package_name = value.trim_matches('"').to_string();
+        } else if is_dep_section(&section) {
+            deps.push(DepEntry {
+                name: key.to_string(),
+                spec: value.to_string(),
+                section: section.clone(),
+                line: no as u32 + 1,
+            });
+        }
+    }
+    Manifest {
+        rel_path: rel_path.into(),
+        package_name,
+        deps,
+        text: text.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_and_deps() {
+        let m = parse(
+            "crates/x/Cargo.toml",
+            "[package]\nname = \"jact-x\"\n\n[dependencies]\njact-tensor = { workspace = true }\n\n[dev-dependencies]\njact-rng = { path = \"../rng\" }\n",
+        );
+        assert_eq!(m.package_name, "jact-x");
+        assert_eq!(m.deps.len(), 2);
+        assert_eq!(m.deps[0].name, "jact-tensor");
+        assert_eq!(m.deps[0].section, "dependencies");
+        assert_eq!(m.deps[0].line, 5);
+        assert!(m.deps[0].is_path_or_workspace());
+        assert_eq!(m.deps[1].section, "dev-dependencies");
+    }
+
+    #[test]
+    fn registry_spec_detected() {
+        let m = parse("Cargo.toml", "[dependencies]\nserde = \"1.0\"\nrand = { version = \"0.8\" }\n");
+        assert!(m.deps.iter().all(|d| !d.is_path_or_workspace()));
+    }
+}

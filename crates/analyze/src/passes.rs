@@ -1,0 +1,508 @@
+//! The six lint passes.
+//!
+//! Per-file passes (JA03–JA06) take a lexed [`SourceFile`] and return
+//! diagnostics; workspace passes (JA01, JA02) take the parsed manifests
+//! (plus, for the lockfile check, the optional `Cargo.lock` text).  Every
+//! pass consults the file's inline suppressions, so a
+//! `// jact-analyze: allow(<code>)` comment on or directly above the
+//! offending line silences it.
+//!
+//! Banned names below are spelled as string literals on purpose: this
+//! crate is scanned by its own lints, and an *identifier* like a hash-map
+//! type would otherwise flag the analyzer itself.
+
+use crate::diag::{suppressed, Code, Diagnostic};
+use crate::lexer::TokenKind;
+use crate::manifest::Manifest;
+use crate::source::SourceFile;
+
+/// Crates whose hot paths must stay panic-free (JA03).
+pub const HOT_PATH_CRATES: [&str; 3] = ["jact-codec", "jact-tensor", "jact-rng"];
+
+/// Low-layer crates: the deterministic substrate golden-value tests rely
+/// on.  They must never depend on the high layers (JA01).
+pub const LOW_LAYER: [&str; 4] = ["jact-rng", "jact-tensor", "jact-codec", "jact-hwmodel"];
+
+/// High-layer crates: training, simulation, orchestration, tooling.
+pub const HIGH_LAYER: [&str; 6] = [
+    "jact-dnn",
+    "jact-gpusim",
+    "jact-core",
+    "jact-data",
+    "jact-bench",
+    "jact-analyze",
+];
+
+/// Crates exempt from the determinism lint (JA04): the bench harness
+/// legitimately reads wall clocks, and the analyzer names banned idents.
+pub const TIMING_EXEMPT_CRATES: [&str; 2] = ["jact-bench", "jact-analyze"];
+
+/// Crates whose public items must carry doc comments (JA06).
+pub const DOC_COVERED_CRATES: [&str; 2] = ["jact-codec", "jact-core"];
+
+// ---------------------------------------------------------------------
+// JA01: crate layering.
+// ---------------------------------------------------------------------
+
+/// Enforces the dependency DAG: no crate in [`LOW_LAYER`] may depend
+/// (normally or for tests/builds) on any crate in [`HIGH_LAYER`].
+pub fn ja01_layering(manifests: &[Manifest]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for m in manifests {
+        if !LOW_LAYER.contains(&m.package_name.as_str()) {
+            continue;
+        }
+        for d in &m.deps {
+            if HIGH_LAYER.contains(&d.name.as_str()) {
+                out.push(Diagnostic::new(
+                    Code::Ja01,
+                    &m.rel_path,
+                    d.line,
+                    1,
+                    format!(
+                        "low-layer crate `{}` depends on high-layer crate `{}` ({})",
+                        m.package_name, d.name, d.section
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// JA02: hermeticity.
+// ---------------------------------------------------------------------
+
+/// Enforces the hermetic-build policy: every dependency entry in every
+/// manifest is a pure path/workspace reference, every `workspace = true`
+/// reference resolves to a `path` entry in the root workspace table, and
+/// the lockfile (when given) pins no registry or git source.
+pub fn ja02_hermetic(
+    manifests: &[Manifest],
+    root_manifest_text: &str,
+    lockfile: Option<(&str, &str)>,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for m in manifests {
+        for d in &m.deps {
+            if !d.is_path_or_workspace() {
+                out.push(Diagnostic::new(
+                    Code::Ja02,
+                    &m.rel_path,
+                    d.line,
+                    1,
+                    format!(
+                        "`{}` is not a path/workspace dependency: {} = {}",
+                        d.name, d.name, d.spec
+                    ),
+                ));
+            } else if d.spec.contains("workspace = true")
+                && !root_manifest_text.contains(&format!("{} = {{ path =", d.name))
+            {
+                out.push(Diagnostic::new(
+                    Code::Ja02,
+                    &m.rel_path,
+                    d.line,
+                    1,
+                    format!(
+                        "`{}` references the workspace table but the root manifest has no path entry for it",
+                        d.name
+                    ),
+                ));
+            }
+        }
+    }
+    if let Some((lock_path, lock_text)) = lockfile {
+        for (no, line) in lock_text.lines().enumerate() {
+            if line.contains("registry+") || line.contains("git+") {
+                out.push(Diagnostic::new(
+                    Code::Ja02,
+                    lock_path,
+                    no as u32 + 1,
+                    1,
+                    format!("lockfile pins a non-path source: {}", line.trim()),
+                ));
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// JA03: panic-freedom in hot-path crates.
+// ---------------------------------------------------------------------
+
+/// Bans `.unwrap()`, `.expect(...)`, `panic!`, `unreachable!`, `todo!`,
+/// and `unimplemented!` in non-test code of the hot-path crates.  The
+/// codec/tensor/rng golden-value tests pin bit-exact outputs; a reachable
+/// panic in those paths is a correctness bug, and fallible operations
+/// must surface typed errors instead.
+pub fn ja03_no_panics(file: &SourceFile) -> Vec<Diagnostic> {
+    if !HOT_PATH_CRATES.contains(&file.crate_name.as_str()) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let toks = &file.tokens;
+    let text = &file.text;
+    for (mi, &ti) in file.meaningful.iter().enumerate() {
+        let t = &toks[ti];
+        if t.kind != TokenKind::Ident || file.in_test_region(t.start) {
+            continue;
+        }
+        let word = t.text(text);
+        let next = file
+            .meaningful
+            .get(mi + 1)
+            .map(|&n| toks[n].text(text))
+            .unwrap_or("");
+        let prev = mi
+            .checked_sub(1)
+            .and_then(|p| file.meaningful.get(p))
+            .map(|&p| toks[p].text(text))
+            .unwrap_or("");
+        let bad = match word {
+            "unwrap" | "expect" => prev == "." && next == "(",
+            "panic" | "unreachable" | "todo" | "unimplemented" => next == "!",
+            _ => false,
+        };
+        if bad && !suppressed(&file.suppressions, Code::Ja03, t.line) {
+            out.push(Diagnostic::new(
+                Code::Ja03,
+                &file.rel_path,
+                t.line,
+                t.col,
+                format!("`{word}` in non-test code of hot-path crate `{}`", file.crate_name),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// JA04: determinism.
+// ---------------------------------------------------------------------
+
+/// Names whose presence in non-test library code breaks bit-stable
+/// reproducibility: wall clocks, iteration-order-unstable containers,
+/// and ambient (unseeded) RNG.  Spelled as literals — see module docs.
+fn banned_nondeterminism(word: &str) -> Option<&'static str> {
+    match word {
+        "SystemTime" => Some("wall-clock time"),
+        "Instant" => Some("monotonic clock"),
+        "HashMap" => Some("iteration-order-unstable container (use BTreeMap)"),
+        "HashSet" => Some("iteration-order-unstable container (use BTreeSet)"),
+        "thread_rng" => Some("ambient RNG (only jact-rng may produce randomness)"),
+        _ => None,
+    }
+}
+
+/// Bans clocks, hash containers, and ambient RNG in non-test code of
+/// every crate except the timing-exempt ones ([`TIMING_EXEMPT_CRATES`]).
+pub fn ja04_determinism(file: &SourceFile) -> Vec<Diagnostic> {
+    if TIMING_EXEMPT_CRATES.contains(&file.crate_name.as_str()) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for &ti in &file.meaningful {
+        let t = &file.tokens[ti];
+        if t.kind != TokenKind::Ident || file.in_test_region(t.start) {
+            continue;
+        }
+        let word = t.text(&file.text);
+        if let Some(why) = banned_nondeterminism(word) {
+            if !suppressed(&file.suppressions, Code::Ja04, t.line) {
+                out.push(Diagnostic::new(
+                    Code::Ja04,
+                    &file.rel_path,
+                    t.line,
+                    t.col,
+                    format!("`{word}` in non-test code: {why}"),
+                ));
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// JA05: forbid(unsafe_code).
+// ---------------------------------------------------------------------
+
+/// Requires `#![forbid(unsafe_code)]` in a crate root.  Run only on
+/// `src/lib.rs` (and `src/main.rs` for binary-only crates) by the driver.
+pub fn ja05_forbid_unsafe(file: &SourceFile) -> Vec<Diagnostic> {
+    let text = &file.text;
+    let toks = &file.tokens;
+    for (mi, &ti) in file.meaningful.iter().enumerate() {
+        if toks[ti].text(text) == "forbid" {
+            let next = file
+                .meaningful
+                .get(mi + 1)
+                .map(|&n| toks[n].text(text))
+                .unwrap_or("");
+            let arg = file
+                .meaningful
+                .get(mi + 2)
+                .map(|&n| toks[n].text(text))
+                .unwrap_or("");
+            if next == "(" && arg == "unsafe_code" {
+                return Vec::new();
+            }
+        }
+    }
+    if suppressed(&file.suppressions, Code::Ja05, 1) {
+        return Vec::new();
+    }
+    vec![Diagnostic::new(
+        Code::Ja05,
+        &file.rel_path,
+        1,
+        1,
+        "crate root lacks #![forbid(unsafe_code)]",
+    )]
+}
+
+// ---------------------------------------------------------------------
+// JA06: doc coverage.
+// ---------------------------------------------------------------------
+
+/// Requires (a) a leading `//!` module doc in every file and (b) a doc
+/// comment on every fully-`pub` item (fn, struct, enum, trait, const,
+/// static, type, union) outside test code, for the crates in
+/// [`DOC_COVERED_CRATES`].  `pub use` re-exports, `pub mod` declarations,
+/// restricted visibility (`pub(crate)` etc.), and struct fields are
+/// exempt.
+pub fn ja06_doc_coverage(file: &SourceFile) -> Vec<Diagnostic> {
+    if !DOC_COVERED_CRATES.contains(&file.crate_name.as_str()) {
+        return Vec::new();
+    }
+    let text = &file.text;
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+
+    // (a) Module doc: first non-whitespace token is a `//!` or `/*!` doc.
+    let has_module_doc = toks
+        .iter()
+        .find(|t| t.kind != TokenKind::Whitespace)
+        .is_some_and(|t| {
+            t.is_doc
+                && matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment)
+                && (t.text(text).starts_with("//!") || t.text(text).starts_with("/*!"))
+        });
+    if !has_module_doc && !suppressed(&file.suppressions, Code::Ja06, 1) {
+        out.push(Diagnostic::new(
+            Code::Ja06,
+            &file.rel_path,
+            1,
+            1,
+            "file lacks a leading //! module doc comment",
+        ));
+    }
+
+    // (b) Item docs.
+    for (mi, &ti) in file.meaningful.iter().enumerate() {
+        let t = &toks[ti];
+        if t.kind != TokenKind::Ident
+            || t.text(text) != "pub"
+            || file.in_test_region(t.start)
+        {
+            continue;
+        }
+        // Restricted visibility `pub(...)` is not public API.
+        let next = file.meaningful.get(mi + 1).map(|&n| toks[n].text(text));
+        if next == Some("(") {
+            continue;
+        }
+        let Some(kw) = item_keyword(file, mi) else {
+            continue;
+        };
+        if !has_preceding_doc(file, ti) && !suppressed(&file.suppressions, Code::Ja06, t.line) {
+            out.push(Diagnostic::new(
+                Code::Ja06,
+                &file.rel_path,
+                t.line,
+                t.col,
+                format!("public {kw} lacks a doc comment"),
+            ));
+        }
+    }
+    out
+}
+
+/// Resolves the item keyword after `pub` at meaningful index `mi`,
+/// skipping qualifiers (`const fn`, `unsafe fn`, `async fn`, `extern`).
+/// Returns `None` for exempt forms (`pub use`, `pub mod`, fields).
+fn item_keyword(file: &SourceFile, mi: usize) -> Option<&'static str> {
+    let text = &file.text;
+    let mut j = mi + 1;
+    let mut pending_const = false;
+    for _ in 0..4 {
+        let &ti = file.meaningful.get(j)?;
+        let word = file.tokens[ti].text(text);
+        match word {
+            "fn" => return Some("fn"),
+            "struct" => return Some("struct"),
+            "enum" => return Some("enum"),
+            "trait" => return Some("trait"),
+            "type" => return Some("type"),
+            "static" => return Some("static"),
+            "union" => return Some("union"),
+            "use" | "mod" | "impl" | "macro_rules" | "macro" => return None,
+            "const" => {
+                // `pub const fn f` is a fn; `pub const X: T` is a const.
+                pending_const = true;
+                j += 1;
+            }
+            "unsafe" | "async" | "extern" => {
+                j += 1;
+            }
+            _ if pending_const => return Some("const"),
+            _ => return None, // a field (`pub name: T`) or other form
+        }
+    }
+    if pending_const {
+        Some("const")
+    } else {
+        None
+    }
+}
+
+/// `true` if the token at index `ti` is preceded (skipping whitespace and
+/// `#[...]` attributes) by a doc comment.
+fn has_preceding_doc(file: &SourceFile, ti: usize) -> bool {
+    let toks = &file.tokens;
+    let text = &file.text;
+    let mut i = ti;
+    while i > 0 {
+        i -= 1;
+        let t = &toks[i];
+        match t.kind {
+            TokenKind::Whitespace => continue,
+            TokenKind::LineComment | TokenKind::BlockComment => {
+                if t.is_doc {
+                    // Only *outer* docs (`///`, `/**`) attach to the item;
+                    // an inner `//!`/`/*!` is the enclosing module's doc.
+                    let s = t.text(text);
+                    return s.starts_with("///") || s.starts_with("/**");
+                }
+                // A plain comment between doc and item is fine; keep looking.
+                continue;
+            }
+            // Skip an attribute: `... # [ ... ]` scanning backwards from `]`.
+            TokenKind::Punct if t.text(text) == "]" => {
+                let mut depth = 1usize;
+                while i > 0 && depth > 0 {
+                    i -= 1;
+                    match toks[i].text(text) {
+                        "]" => depth += 1,
+                        "[" => depth -= 1,
+                        _ => {}
+                    }
+                }
+                // Skip the `#` (and `!` if present) before the bracket.
+                while i > 0
+                    && matches!(toks[i - 1].kind, TokenKind::Punct)
+                    && matches!(toks[i - 1].text(text), "#" | "!")
+                {
+                    i -= 1;
+                }
+                continue;
+            }
+            _ => return false,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest;
+
+    fn file(crate_name: &str, src: &str) -> SourceFile {
+        SourceFile::new("src/x.rs", crate_name, src.to_string())
+    }
+
+    #[test]
+    fn ja03_flags_unwrap_in_hot_path_only() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert_eq!(ja03_no_panics(&file("jact-codec", src)).len(), 1);
+        assert!(ja03_no_panics(&file("jact-dnn", src)).is_empty());
+    }
+
+    #[test]
+    fn ja03_allows_unwrap_or_and_tests() {
+        let ok = "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }\n#[cfg(test)]\nmod tests { fn t() { None::<u8>.unwrap(); } }\n";
+        assert!(ja03_no_panics(&file("jact-codec", ok)).is_empty());
+    }
+
+    #[test]
+    fn ja04_flags_clock_and_respects_suppression() {
+        let bad = "fn f() { let t = std::time::Instant::now(); }\n";
+        let d = ja04_determinism(&file("jact-gpusim", bad));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 1);
+        let ok = "// jact-analyze: allow(JA04)\nfn f() { let t = std::time::Instant::now(); }\n";
+        assert!(ja04_determinism(&file("jact-gpusim", ok)).is_empty());
+        assert!(ja04_determinism(&file("jact-bench", bad)).is_empty());
+    }
+
+    #[test]
+    fn ja05_requires_forbid() {
+        assert_eq!(ja05_forbid_unsafe(&file("jact-x", "//! doc\n")).len(), 1);
+        assert!(ja05_forbid_unsafe(&file("jact-x", "#![forbid(unsafe_code)]\n")).is_empty());
+    }
+
+    #[test]
+    fn ja06_requires_docs_on_pub_items() {
+        let bad = "//! mod doc\npub fn f() {}\n";
+        let d = ja06_doc_coverage(&file("jact-codec", bad));
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("fn"));
+        let ok = "//! mod doc\n/// Documented.\npub fn f() {}\npub use std::mem;\n";
+        assert!(ja06_doc_coverage(&file("jact-codec", ok)).is_empty());
+        assert!(ja06_doc_coverage(&file("jact-dnn", bad)).is_empty());
+    }
+
+    #[test]
+    fn ja06_handles_qualifiers_and_attributes() {
+        let src = "//! d\n/// Documented.\n#[inline]\npub const fn f() -> u8 { 1 }\n/// C.\npub const X: u8 = 1;\n";
+        assert!(ja06_doc_coverage(&file("jact-codec", src)).is_empty());
+        let undoc = "//! d\npub const X: u8 = 1;\n";
+        let d = ja06_doc_coverage(&file("jact-codec", undoc));
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("const"));
+    }
+
+    #[test]
+    fn ja01_flags_inverted_layering() {
+        let bad = manifest::parse(
+            "crates/tensor/Cargo.toml",
+            "[package]\nname = \"jact-tensor\"\n[dependencies]\njact-dnn = { workspace = true }\n",
+        );
+        let d = ja01_layering(&[bad]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 4);
+        let ok = manifest::parse(
+            "crates/tensor/Cargo.toml",
+            "[package]\nname = \"jact-tensor\"\n[dependencies]\njact-rng = { workspace = true }\n",
+        );
+        assert!(ja01_layering(&[ok]).is_empty());
+    }
+
+    #[test]
+    fn ja02_flags_registry_deps_and_lockfile_sources() {
+        let bad = manifest::parse(
+            "crates/x/Cargo.toml",
+            "[package]\nname = \"jact-x\"\n[dependencies]\nserde = \"1.0\"\n",
+        );
+        let root = "[workspace.dependencies]\njact-x = { path = \"crates/x\" }\n";
+        let d = ja02_hermetic(&[bad], root, None);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 4);
+        let lock = "source = \"registry+https://github.com/rust-lang/crates.io-index\"\n";
+        let d = ja02_hermetic(&[], root, Some(("Cargo.lock", lock)));
+        assert_eq!(d.len(), 1);
+    }
+}

@@ -1,0 +1,85 @@
+//! Machine-readable report: the analysis outcome as a JSON document
+//! (written to `target/analyze-report.json` by the CLI).
+
+use crate::diag::{Code, Diagnostic};
+use jact_bench::json::Json;
+
+/// Outcome of analyzing a workspace.
+pub struct Analysis {
+    /// Number of Rust source files scanned.
+    pub files_scanned: usize,
+    /// Number of manifests scanned.
+    pub manifests_scanned: usize,
+    /// Crates visited, in scan order.
+    pub crates: Vec<String>,
+    /// Every violation found, ordered by path then line.
+    pub violations: Vec<Diagnostic>,
+    /// Number of inline suppression comments honored.
+    pub suppressions_honored: usize,
+}
+
+impl Analysis {
+    /// Violation count for one code.
+    pub fn count(&self, code: Code) -> usize {
+        self.violations.iter().filter(|d| d.code == code).count()
+    }
+
+    /// `true` when the workspace is clean.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Renders the report as a JSON value tree.
+    pub fn to_json(&self) -> Json {
+        let mut counts = Json::obj();
+        for code in Code::ALL {
+            counts = counts.field(code.as_str(), self.count(code));
+        }
+        let violations: Vec<Json> = self
+            .violations
+            .iter()
+            .map(|d| {
+                Json::obj()
+                    .field("code", d.code.as_str())
+                    .field("path", d.path.as_str())
+                    .field("line", d.line as u64)
+                    .field("col", d.col as u64)
+                    .field("message", d.message.as_str())
+            })
+            .collect();
+        Json::obj()
+            .field("schema", "jact-analyze/v1")
+            .field("files_scanned", self.files_scanned)
+            .field("manifests_scanned", self.manifests_scanned)
+            .field("crates", self.crates.clone())
+            .field("suppressions_honored", self.suppressions_honored)
+            .field("counts", counts)
+            .field("total_violations", self.violations.len())
+            .field("clean", self.is_clean())
+            .field("violations", Json::Arr(violations))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_shape() {
+        let a = Analysis {
+            files_scanned: 3,
+            manifests_scanned: 2,
+            crates: vec!["jact-codec".into()],
+            violations: vec![Diagnostic::new(Code::Ja03, "src/x.rs", 7, 9, "unwrap")],
+            suppressions_honored: 1,
+        };
+        let s = a.to_json().to_string();
+        assert!(s.contains("\"schema\":\"jact-analyze/v1\""), "{s}");
+        assert!(s.contains("\"JA03\":1"), "{s}");
+        assert!(s.contains("\"total_violations\":1"), "{s}");
+        assert!(s.contains("\"clean\":false"), "{s}");
+        assert!(!a.is_clean());
+        assert_eq!(a.count(Code::Ja03), 1);
+        assert_eq!(a.count(Code::Ja01), 0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Generative tests for the analyzer's lexer, driven by the workspace's
+//! own deterministic RNG.  Two suites:
+//!
+//! * **structured** — 256 seeded random token streams assembled from a
+//!   vocabulary of self-delimiting fragments with known kinds; the lexed
+//!   stream must round-trip loss-free, carry contiguous spans, agree
+//!   with an independent line/column recount, and classify every
+//!   fragment with the expected [`TokenKind`].
+//! * **byte soup** — 256 seeded random printable-ASCII strings; the
+//!   lexer must still be loss-free and contiguous on arbitrary input
+//!   (including unterminated strings and comments).
+
+use jact_analyze::lexer::{lex, meaningful_indices, TokenKind};
+use jact_rng::rngs::StdRng;
+use jact_rng::{Rng, SeedableRng};
+
+/// Self-delimiting fragments: lexing `frag` surrounded by whitespace
+/// yields exactly one token of the given kind with `frag`'s exact text.
+const FRAGMENTS: &[(&str, TokenKind)] = &[
+    ("foo", TokenKind::Ident),
+    ("x_9", TokenKind::Ident),
+    ("_under", TokenKind::Ident),
+    ("r#match", TokenKind::Ident),
+    ("bread", TokenKind::Ident),
+    ("raw", TokenKind::Ident),
+    ("'static", TokenKind::Lifetime),
+    ("'a", TokenKind::Lifetime),
+    ("'x'", TokenKind::Char),
+    ("'\\n'", TokenKind::Char),
+    ("'+'", TokenKind::Char),
+    ("b'q'", TokenKind::Char),
+    ("\"hello world\"", TokenKind::Str),
+    ("\"esc \\\" quote\"", TokenKind::Str),
+    ("b\"bytes\"", TokenKind::Str),
+    ("r\"raw\"", TokenKind::RawStr),
+    ("r#\"has \" inside\"#", TokenKind::RawStr),
+    ("br#\"raw bytes\"#", TokenKind::RawStr),
+    ("42", TokenKind::Num),
+    ("0xff", TokenKind::Num),
+    ("3.25", TokenKind::Num),
+    ("1e-5", TokenKind::Num),
+    ("10_000u64", TokenKind::Num),
+    ("(", TokenKind::Punct),
+    (")", TokenKind::Punct),
+    ("{", TokenKind::Punct),
+    ("}", TokenKind::Punct),
+    (";", TokenKind::Punct),
+    (",", TokenKind::Punct),
+    ("+", TokenKind::Punct),
+    ("=", TokenKind::Punct),
+    ("#", TokenKind::Punct),
+    ("&", TokenKind::Punct),
+    ("// a line comment", TokenKind::LineComment),
+    ("/// outer doc", TokenKind::LineComment),
+    ("//! inner doc", TokenKind::LineComment),
+    ("/* block */", TokenKind::BlockComment),
+    ("/** doc block */", TokenKind::BlockComment),
+    ("/* nested /* inner */ outer */", TokenKind::BlockComment),
+];
+
+const SEPARATORS: &[&str] = &[" ", "\n", "\t", "  ", " \n "];
+
+fn needs_newline_after(frag: &str) -> bool {
+    frag.starts_with("//")
+}
+
+/// Invariants that must hold on ANY input: the token stream tiles the
+/// source exactly, and line/column match an independent byte recount.
+fn assert_loss_free(src: &str) {
+    let tokens = lex(src);
+    let mut pos = 0usize;
+    let mut rebuilt = String::new();
+    for t in &tokens {
+        assert_eq!(t.start, pos, "gap or overlap at byte {pos} in {src:?}");
+        assert!(t.len > 0, "empty token at byte {pos} in {src:?}");
+        pos = t.end();
+        rebuilt.push_str(t.text(src));
+    }
+    assert_eq!(pos, src.len(), "tokens do not cover the tail of {src:?}");
+    assert_eq!(rebuilt, src, "concatenated token texts differ from input");
+
+    // Independent line/col recount (sources here are ASCII).
+    for t in &tokens {
+        let before = &src[..t.start];
+        let line = 1 + before.bytes().filter(|&b| b == b'\n').count() as u32;
+        let col = 1 + before
+            .bytes()
+            .rev()
+            .take_while(|&b| b != b'\n')
+            .count() as u32;
+        assert_eq!((t.line, t.col), (line, col), "span mismatch in {src:?}");
+    }
+
+    // meaningful_indices is exactly the non-whitespace, non-comment set.
+    let expected: Vec<usize> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| {
+            !matches!(
+                t.kind,
+                TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+            )
+        })
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(meaningful_indices(&tokens), expected);
+}
+
+#[test]
+fn structured_streams_round_trip_with_correct_kinds() {
+    let mut rng = StdRng::seed_from_u64(0x4A41_4354);
+    for case in 0..256u32 {
+        let n = rng.gen_range(1..40usize);
+        let mut src = String::new();
+        let mut expected: Vec<(&str, TokenKind)> = Vec::new();
+        for _ in 0..n {
+            let (frag, kind) = FRAGMENTS[rng.gen_range(0..FRAGMENTS.len())];
+            src.push_str(frag);
+            expected.push((frag, kind));
+            if needs_newline_after(frag) {
+                src.push('\n');
+            } else {
+                src.push_str(SEPARATORS[rng.gen_range(0..SEPARATORS.len())]);
+            }
+        }
+
+        assert_loss_free(&src);
+
+        let tokens = lex(&src);
+        let lexed: Vec<(&str, TokenKind)> = tokens
+            .iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| (t.text(&src), t.kind))
+            .collect();
+        assert_eq!(lexed, expected, "case {case} mis-lexed: {src:?}");
+    }
+}
+
+#[test]
+fn byte_soup_is_lexed_loss_free() {
+    let mut rng = StdRng::seed_from_u64(0xC0FF_EE00);
+    for _ in 0..256u32 {
+        let n = rng.gen_range(0..120usize);
+        let src: String = (0..n)
+            .map(|_| {
+                // Printable ASCII plus newline/tab, biased toward the
+                // lexer's interesting bytes.
+                match rng.gen_range(0..10u32) {
+                    0 => '\n',
+                    1 => '\t',
+                    2 => '"',
+                    3 => '\'',
+                    4 => '/',
+                    5 => '#',
+                    6 => 'r',
+                    _ => (0x20 + rng.gen_range(0..95u8)) as char,
+                }
+            })
+            .collect();
+        assert_loss_free(&src);
+    }
+}
+
+#[test]
+fn doc_comment_flag_tracks_comment_shape() {
+    let src = "/// outer\n//! inner\n// plain\n//// four\n/** db */ /*! ib */ /* pb */";
+    let tokens = lex(src);
+    let flags: Vec<(&str, bool)> = tokens
+        .iter()
+        .filter(|t| t.kind != TokenKind::Whitespace)
+        .map(|t| (t.text(src), t.is_doc))
+        .collect();
+    assert_eq!(
+        flags,
+        vec![
+            ("/// outer", true),
+            ("//! inner", true),
+            ("// plain", false),
+            ("//// four", false),
+            ("/** db */", true),
+            ("/*! ib */", true),
+            ("/* pb */", false),
+        ]
+    );
+}

@@ -1,0 +1,248 @@
+//! Fixture tests: each lint pass must fire on a minimal bad input with
+//! the correct file:line span, stay quiet once the input is fixed, and
+//! (for the source-level lints JA03–JA06) stay quiet under an inline
+//! `// jact-analyze: allow(...)` suppression.  JA01/JA02 operate on
+//! manifests, where inline allow comments intentionally have no effect.
+
+use jact_analyze::diag::Code;
+use jact_analyze::manifest;
+use jact_analyze::passes;
+use jact_analyze::SourceFile;
+
+fn src(rel_path: &str, crate_name: &str, text: &str) -> SourceFile {
+    SourceFile::new(rel_path, crate_name, text.to_string())
+}
+
+// ---------------------------------------------------------------- JA01
+
+#[test]
+fn ja01_fires_on_inverted_layering() {
+    let bad = manifest::parse(
+        "crates/codec/Cargo.toml",
+        "[package]\nname = \"jact-codec\"\n\n[dependencies]\njact-dnn = { path = \"../dnn\" }\n",
+    );
+    let diags = passes::ja01_layering(&[bad]);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].code, Code::Ja01);
+    assert_eq!(diags[0].path, "crates/codec/Cargo.toml");
+    assert_eq!(diags[0].line, 5, "span must point at the dep entry");
+    assert!(diags[0].message.contains("jact-dnn"));
+}
+
+#[test]
+fn ja01_quiet_on_correct_layering() {
+    let ok = manifest::parse(
+        "crates/dnn/Cargo.toml",
+        "[package]\nname = \"jact-dnn\"\n\n[dependencies]\njact-codec = { path = \"../codec\" }\n",
+    );
+    assert!(passes::ja01_layering(&[ok]).is_empty());
+}
+
+// ---------------------------------------------------------------- JA02
+
+#[test]
+fn ja02_fires_on_registry_dependency() {
+    let bad = manifest::parse(
+        "crates/codec/Cargo.toml",
+        "[package]\nname = \"jact-codec\"\n\n[dependencies]\nserde = \"1.0\"\n",
+    );
+    let diags = passes::ja02_hermetic(&[bad], "", None);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].code, Code::Ja02);
+    assert_eq!(diags[0].path, "crates/codec/Cargo.toml");
+    assert_eq!(diags[0].line, 5);
+    assert!(diags[0].message.contains("serde"));
+}
+
+#[test]
+fn ja02_fires_on_dangling_workspace_ref_and_locked_registry_source() {
+    let m = manifest::parse(
+        "crates/codec/Cargo.toml",
+        "[package]\nname = \"jact-codec\"\n\n[dependencies]\njact-tensor = { workspace = true }\n",
+    );
+    // Root manifest has no path entry for jact-tensor: dangling ref.
+    let diags = passes::ja02_hermetic(std::slice::from_ref(&m), "[workspace]\n", None);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].line, 5);
+
+    // Same manifest against a root that does carry the entry: quiet,
+    // but a registry-pinned lockfile line still fires with its own span.
+    let root = "[workspace.dependencies]\njact-tensor = { path = \"crates/tensor\" }\n";
+    let lock = "[[package]]\nname = \"serde\"\nsource = \"registry+https://github.com/rust-lang/crates.io-index\"\n";
+    let diags = passes::ja02_hermetic(std::slice::from_ref(&m), root, Some(("Cargo.lock", lock)));
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].path, "Cargo.lock");
+    assert_eq!(diags[0].line, 3);
+}
+
+#[test]
+fn ja02_quiet_on_hermetic_manifest() {
+    let ok = manifest::parse(
+        "crates/codec/Cargo.toml",
+        "[package]\nname = \"jact-codec\"\n\n[dependencies]\njact-tensor = { path = \"../tensor\" }\n",
+    );
+    let lock = "[[package]]\nname = \"jact-tensor\"\nversion = \"0.1.0\"\n";
+    assert!(passes::ja02_hermetic(&[ok], "", Some(("Cargo.lock", lock))).is_empty());
+}
+
+// ---------------------------------------------------------------- JA03
+
+#[test]
+fn ja03_fires_on_unwrap_in_hot_path_crate() {
+    let f = src(
+        "crates/codec/src/x.rs",
+        "jact-codec",
+        "//! d\npub fn f(v: Option<u8>) -> u8 {\n    v.unwrap()\n}\n",
+    );
+    let diags = passes::ja03_no_panics(&f);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].code, Code::Ja03);
+    assert_eq!(diags[0].path, "crates/codec/src/x.rs");
+    assert_eq!(diags[0].line, 3, "span must point at the .unwrap() line");
+}
+
+#[test]
+fn ja03_quiet_on_fixed_allowed_and_test_code() {
+    // Fixed: the fallible call propagates instead of panicking.
+    let fixed = src(
+        "crates/codec/src/x.rs",
+        "jact-codec",
+        "//! d\npub fn f(v: Option<u8>) -> Option<u8> {\n    let x = v?;\n    Some(x)\n}\n",
+    );
+    assert!(passes::ja03_no_panics(&fixed).is_empty());
+
+    // Suppressed on the line above.
+    let allowed = src(
+        "crates/codec/src/x.rs",
+        "jact-codec",
+        "//! d\npub fn f(v: Option<u8>) -> u8 {\n    // jact-analyze: allow(JA03)\n    v.unwrap()\n}\n",
+    );
+    assert!(passes::ja03_no_panics(&allowed).is_empty());
+
+    // Test regions are exempt.
+    let test_only = src(
+        "crates/codec/src/x.rs",
+        "jact-codec",
+        "//! d\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        panic!(\"boom\");\n    }\n}\n",
+    );
+    assert!(passes::ja03_no_panics(&test_only).is_empty());
+
+    // Non-hot-path crates may panic.
+    let high = src(
+        "crates/bench/src/x.rs",
+        "jact-bench",
+        "//! d\npub fn f(v: Option<u8>) -> u8 {\n    v.unwrap()\n}\n",
+    );
+    assert!(passes::ja03_no_panics(&high).is_empty());
+}
+
+// ---------------------------------------------------------------- JA04
+
+#[test]
+fn ja04_fires_on_hashmap_outside_bench() {
+    let f = src(
+        "crates/dnn/src/x.rs",
+        "jact-dnn",
+        "//! d\nuse std::collections::HashMap;\npub fn f() -> HashMap<u8, u8> {\n    HashMap::new()\n}\n",
+    );
+    let diags = passes::ja04_determinism(&f);
+    assert_eq!(diags.len(), 3, "every HashMap mention is flagged");
+    assert_eq!(diags[0].code, Code::Ja04);
+    assert_eq!(diags[0].path, "crates/dnn/src/x.rs");
+    assert_eq!(diags[0].line, 2);
+}
+
+#[test]
+fn ja04_quiet_on_fixed_allowed_and_exempt_crates() {
+    let fixed = src(
+        "crates/dnn/src/x.rs",
+        "jact-dnn",
+        "//! d\nuse std::collections::BTreeMap;\npub fn f() -> BTreeMap<u8, u8> {\n    BTreeMap::new()\n}\n",
+    );
+    assert!(passes::ja04_determinism(&fixed).is_empty());
+
+    let allowed = src(
+        "crates/dnn/src/x.rs",
+        "jact-dnn",
+        "//! d\n// jact-analyze: allow(JA04)\nuse std::collections::HashMap as M;\npub type T = u8;\n",
+    );
+    assert!(passes::ja04_determinism(&allowed).is_empty());
+
+    // The timing/reporting crates may use clocks and hash collections.
+    let bench = src(
+        "crates/bench/src/x.rs",
+        "jact-bench",
+        "//! d\nuse std::time::Instant;\nuse std::collections::HashMap;\n",
+    );
+    assert!(passes::ja04_determinism(&bench).is_empty());
+}
+
+// ---------------------------------------------------------------- JA05
+
+#[test]
+fn ja05_fires_on_missing_forbid() {
+    let f = src(
+        "crates/codec/src/lib.rs",
+        "jact-codec",
+        "//! Crate docs.\npub mod x;\n",
+    );
+    let diags = passes::ja05_forbid_unsafe(&f);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].code, Code::Ja05);
+    assert_eq!(diags[0].path, "crates/codec/src/lib.rs");
+    assert_eq!((diags[0].line, diags[0].col), (1, 1));
+}
+
+#[test]
+fn ja05_quiet_on_fixed_and_allowed() {
+    let fixed = src(
+        "crates/codec/src/lib.rs",
+        "jact-codec",
+        "//! Crate docs.\n#![forbid(unsafe_code)]\npub mod x;\n",
+    );
+    assert!(passes::ja05_forbid_unsafe(&fixed).is_empty());
+
+    let allowed = src(
+        "crates/codec/src/lib.rs",
+        "jact-codec",
+        "// jact-analyze: allow(JA05)\n//! Crate docs.\npub mod x;\n",
+    );
+    assert!(passes::ja05_forbid_unsafe(&allowed).is_empty());
+}
+
+// ---------------------------------------------------------------- JA06
+
+#[test]
+fn ja06_fires_on_undocumented_pub_item_and_missing_module_doc() {
+    let f = src(
+        "crates/codec/src/x.rs",
+        "jact-codec",
+        "use std::mem;\n\npub fn f() {}\n",
+    );
+    let diags = passes::ja06_doc_coverage(&f);
+    assert_eq!(diags.len(), 2);
+    assert_eq!(diags[0].code, Code::Ja06);
+    assert_eq!(diags[0].line, 1, "missing //! module doc anchors at 1:1");
+    assert_eq!(diags[1].line, 3, "undocumented pub fn anchors at its line");
+}
+
+#[test]
+fn ja06_quiet_on_documented_allowed_and_uncovered_crates() {
+    let fixed = src(
+        "crates/codec/src/x.rs",
+        "jact-codec",
+        "//! Module doc.\n\n/// Does f things.\npub fn f() {}\npub use std::mem;\npub(crate) fn g() {}\n",
+    );
+    assert!(passes::ja06_doc_coverage(&fixed).is_empty());
+
+    let allowed = src(
+        "crates/codec/src/x.rs",
+        "jact-codec",
+        "//! Module doc.\n\n// jact-analyze: allow(JA06)\npub fn f() {}\n",
+    );
+    assert!(passes::ja06_doc_coverage(&allowed).is_empty());
+
+    // Crates outside DOC_COVERED_CRATES are not held to the rule.
+    let other = src("crates/gpusim/src/x.rs", "jact-gpusim", "pub fn f() {}\n");
+    assert!(passes::ja06_doc_coverage(&other).is_empty());
+}

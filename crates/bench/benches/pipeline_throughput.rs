@@ -41,7 +41,9 @@ fn main() {
             });
             let compressed = codec.compress(input);
             g.bench_function(concat!($name, "/decompress"), || {
-                codec.decompress(black_box(&compressed))
+                codec
+                    .decompress(black_box(&compressed))
+                    .expect("payload produced by the same codec")
             });
         };
     }

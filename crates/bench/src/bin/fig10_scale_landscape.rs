@@ -33,7 +33,9 @@ fn pipelines(s: f32) -> Vec<(String, Box<dyn Codec>)> {
 fn mean_error(codec: &dyn Codec, acts: &[Tensor]) -> f64 {
     let mut total = 0.0;
     for a in acts {
-        let rec = codec.decompress(&codec.compress(a));
+        let rec = codec
+            .decompress(&codec.compress(a))
+            .expect("payload produced by the same codec");
         total += recovered_l2(a, &rec);
     }
     total / acts.len() as f64

@@ -18,7 +18,9 @@ fn sfpr_point(bits: u32, acts: &[Tensor]) -> (f64, f64) {
     for a in acts {
         let enc = jact_codec::sfpr::compress(a, SfprParams::with_bits(bits));
         h += shannon_entropy_i8(enc.values().iter().copied());
-        let rec = codec.decompress(&codec.compress(a));
+        let rec = codec
+            .decompress(&codec.compress(a))
+            .expect("payload produced by the same codec");
         e += recovered_l2(a, &rec);
     }
     (h / acts.len() as f64, e / acts.len() as f64)

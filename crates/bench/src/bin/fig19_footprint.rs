@@ -18,7 +18,7 @@ fn footprint(model: &str, scheme: Scheme, cfg: &TrainCfg) -> OffloadStore {
     };
     let batch = &jact_data::synth::classification_batches(&data_cfg, 1, cfg.batch_size, cfg.seed)[0];
     let mut mrng = seeded_rng(cfg.seed);
-    let mut net = models::build_by_name(model, 3, cfg.classes, &mut mrng);
+    let mut net = models::build_by_name(model, 3, cfg.classes, &mut mrng).expect("registered model");
     let mut store = OffloadStore::new(scheme);
     let mut rng = jact_rng::rngs::StdRng::seed_from_u64(cfg.seed);
     {

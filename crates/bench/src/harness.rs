@@ -95,7 +95,7 @@ pub fn train_classifier(model: &str, scheme: Option<Scheme>, cfg: &TrainCfg) -> 
     let val = classification_batches(&data_cfg, cfg.val_batches, cfg.batch_size, cfg.seed + 999);
 
     let mut mrng = seeded_rng(cfg.seed);
-    let net = models::build_by_name(model, 3, cfg.classes, &mut mrng);
+    let net = models::build_by_name(model, 3, cfg.classes, &mut mrng).expect("registered model");
     // VGG has no batch norm: it needs the lower classic-VGG learning
     // rate or its ReLUs die (the real VGG-16 trained at 0.01 too).
     let lr = if model == "mini-vgg" { 0.01 } else { 0.03 };
@@ -121,7 +121,7 @@ pub fn train_classifier(model: &str, scheme: Option<Scheme>, cfg: &TrainCfg) -> 
         if let Some(s) = trainer.store.as_any_mut().downcast_mut::<OffloadStore>() {
             s.set_epoch(e);
         }
-        let stats = trainer.train_epoch_classify(e, &train);
+        let stats = trainer.train_epoch_classify(e, &train).expect("activations present");
         let v = trainer.evaluate_classify(&val);
         epoch_scores.push(v);
         best = best.max(v);
@@ -177,7 +177,7 @@ pub fn train_vdsr(scheme: Option<Scheme>, cfg: &TrainCfg) -> TrainResult {
         if let Some(s) = trainer.store.as_any_mut().downcast_mut::<OffloadStore>() {
             s.set_epoch(e);
         }
-        let stats = trainer.train_epoch_sr(e, &train);
+        let stats = trainer.train_epoch_sr(e, &train).expect("activations present");
         let v = trainer.evaluate_sr(&val);
         epoch_scores.push(v);
         best = best.max(v);
@@ -219,7 +219,7 @@ pub fn harvest_activations(
         cfg.seed,
     );
     let mut mrng = seeded_rng(cfg.seed);
-    let net = models::build_by_name(model, 3, cfg.classes, &mut mrng);
+    let net = models::build_by_name(model, 3, cfg.classes, &mut mrng).expect("registered model");
     let opt = Sgd::new(SgdConfig {
         lr: 0.03,
         momentum: 0.9,
@@ -228,7 +228,7 @@ pub fn harvest_activations(
     let mut store = RecordingStore::new();
     let mut trainer = Trainer::new(net, opt, jact_rng::rngs::StdRng::seed_from_u64(cfg.seed), &mut store);
     for b in &batches[..warmup_steps] {
-        let _ = trainer.step_classify(b);
+        let _ = trainer.step_classify(b).expect("activations present");
     }
     // The recording store's log accumulated every warmup step; keep only
     // the final step's worth.
@@ -238,7 +238,7 @@ pub fn harvest_activations(
         .downcast_mut::<RecordingStore>()
         .expect("harness installed a RecordingStore")
         .take_log();
-    let _ = trainer.step_classify(&batches[warmup_steps]);
+    let _ = trainer.step_classify(&batches[warmup_steps]).expect("activations present");
     trainer
         .store
         .as_any_mut()

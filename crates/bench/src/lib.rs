@@ -20,6 +20,8 @@
 //! Set `JACT_QUICK=1` to shrink the training workloads (used by the smoke
 //! tests; the full defaults are already scaled for CPU training).
 
+#![forbid(unsafe_code)]
+
 pub mod harness;
 pub mod json;
 pub mod store;

@@ -4,13 +4,14 @@
 //! example activations from a generator network", Sec. IV).
 
 use jact_dnn::act::{ActKind, ActivationId, ActivationStore};
+use jact_dnn::error::NetError;
 use jact_tensor::Tensor;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Exact store that logs `(kind, tensor)` for every save.
 #[derive(Debug, Default)]
 pub struct RecordingStore {
-    tensors: HashMap<ActivationId, Tensor>,
+    tensors: BTreeMap<ActivationId, Tensor>,
     log: Vec<(ActKind, Tensor)>,
     /// When set, only log tensors with at least this many elements
     /// (skips tiny FC activations when harvesting conv samples).
@@ -57,11 +58,11 @@ impl ActivationStore for RecordingStore {
         self.tensors.insert(id, x.clone());
     }
 
-    fn load(&mut self, id: ActivationId) -> Tensor {
+    fn load(&mut self, id: ActivationId) -> Result<Tensor, NetError> {
         self.tensors
             .get(&id)
-            .unwrap_or_else(|| panic!("activation {id} was never saved"))
-            .clone()
+            .cloned()
+            .ok_or(NetError::MissingActivation(id))
     }
 
     fn clear(&mut self) {
@@ -94,7 +95,7 @@ mod tests {
         let mut s = RecordingStore::new().with_min_len(10);
         s.save(0, ActKind::Conv, &Tensor::zeros(Shape::vec(4)));
         assert!(s.log().is_empty());
-        assert_eq!(s.load(0).len(), 4);
+        assert_eq!(s.load(0).expect("saved above").len(), 4);
     }
 
     #[test]

@@ -93,14 +93,14 @@ impl Dqt {
     /// optimizer (rerunnable via `jact-core`'s `dqt_opt`): much flatter than
     /// image DQTs, power-of-two friendly for the SH quantizer.
     pub fn opt_l() -> Self {
-        Dqt::from_entries("optL", radial_table(8, &[(1, 8), (3, 8), (5, 12), (u32::MAX, 16)]))
+        Dqt::from_entries("optL", radial_table(8, &[(1, 8), (3, 8), (5, 12)], 16))
     }
 
     /// The paper's high-compression optimized table (`optH`, α = 0.005).
     pub fn opt_h() -> Self {
         Dqt::from_entries(
             "optH",
-            radial_table(8, &[(1, 16), (3, 24), (5, 32), (u32::MAX, 48)]),
+            radial_table(8, &[(1, 16), (3, 24), (5, 32)], 48),
         )
     }
 
@@ -161,8 +161,9 @@ impl Dqt {
 }
 
 /// Builds a table from `(max_radius, value)` bands over `u + v` (frequency
-/// radius), with an explicit DC entry.
-fn radial_table(dc: u16, bands: &[(u32, u16)]) -> [u16; 64] {
+/// radius), with an explicit DC entry.  Radii beyond the last band take
+/// `beyond`, so every cell is covered without a fallible lookup.
+fn radial_table(dc: u16, bands: &[(u32, u16)], beyond: u16) -> [u16; 64] {
     let mut entries = [0u16; 64];
     for u in 0..8u32 {
         for v in 0..8u32 {
@@ -171,7 +172,7 @@ fn radial_table(dc: u16, bands: &[(u32, u16)]) -> [u16; 64] {
                 .iter()
                 .find(|&&(max_r, _)| r <= max_r)
                 .map(|&(_, q)| q)
-                .expect("bands must cover all radii");
+                .unwrap_or(beyond);
             entries[(u * 8 + v) as usize] = val;
         }
     }
@@ -244,8 +245,8 @@ mod tests {
     fn opt_tables_are_flatter_than_images() {
         // Flatness: ratio of max to min entry.
         let flat = |d: &Dqt| {
-            let mx = *d.entries().iter().max().unwrap() as f64;
-            let mn = *d.entries().iter().min().unwrap() as f64;
+            let mx = d.entries().iter().fold(u16::MIN, |m, &e| m.max(e)) as f64;
+            let mn = d.entries().iter().fold(u16::MAX, |m, &e| m.min(e)) as f64;
             mx / mn
         };
         assert!(flat(&Dqt::opt_l()) < flat(&Dqt::jpeg_quality(80)));

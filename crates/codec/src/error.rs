@@ -1,0 +1,59 @@
+//! Typed errors for the codec pipelines.
+//!
+//! Decompression is the only fallible codec operation: a payload can be
+//! handed to the wrong codec, or a coded byte stream can be corrupt.
+//! Both conditions surface as a [`CodecError`] instead of a panic so the
+//! offload layers above (`jact-core`, `jact-dnn`) can attach context and
+//! propagate.
+
+use std::fmt;
+
+/// Why a decompression failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The payload was produced by a different codec than the one asked
+    /// to decompress it.
+    WrongPayload {
+        /// Name of the codec that was asked to decompress.
+        expected: &'static str,
+        /// Name of the codec that produced the payload.
+        actual: String,
+    },
+    /// The coded byte stream is malformed (truncated or inconsistent).
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::WrongPayload { expected, actual } => write!(
+                f,
+                "codec {expected} cannot decompress payload from {actual}"
+            ),
+            CodecError::Corrupt(what) => write!(f, "corrupt payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = CodecError::WrongPayload {
+            expected: "sfpr",
+            actual: "raw".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "codec sfpr cannot decompress payload from raw"
+        );
+        assert_eq!(
+            CodecError::Corrupt("RLE stream truncated").to_string(),
+            "corrupt payload: RLE stream truncated"
+        );
+    }
+}

@@ -39,11 +39,13 @@
 //!
 //! let codec = JpegActCodec::new(Dqt::opt_h());
 //! let compressed = codec.compress(&x);
-//! let recovered = codec.decompress(&compressed);
+//! let recovered = codec.decompress(&compressed).expect("same codec");
 //!
 //! assert!(compressed.ratio() > 2.0);
 //! assert!(x.mse(&recovered) < 1e-2);
 //! ```
+
+#![forbid(unsafe_code)]
 
 pub mod bits;
 pub mod block;
@@ -53,6 +55,7 @@ pub mod csr;
 pub mod dct;
 pub mod dpr;
 pub mod dqt;
+pub mod error;
 pub mod fast_dct;
 pub mod pipeline;
 pub mod quant;
@@ -61,4 +64,5 @@ pub mod sfpr;
 pub mod stream;
 pub mod zvc;
 
+pub use error::CodecError;
 pub use pipeline::{Codec, CompressedActivation};

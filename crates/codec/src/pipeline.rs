@@ -21,6 +21,7 @@ use crate::csr::Csr;
 use crate::dct::{dct2d_i8, idct2d_to_i8};
 use crate::dpr::{self, DprWidth};
 use crate::dqt::Dqt;
+use crate::error::CodecError;
 use crate::quant::{dequantize, quantize, QuantKind};
 use crate::rle;
 use crate::sfpr::{self, SfprEncoded, SfprParams};
@@ -142,10 +143,12 @@ pub trait Codec: Send + Sync {
 
     /// Decompresses a payload produced by this codec.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `c` was produced by a different codec.
-    fn decompress(&self, c: &CompressedActivation) -> Tensor;
+    /// Returns [`CodecError::WrongPayload`] if `c` was produced by a
+    /// different codec, and [`CodecError::Corrupt`] if the coded byte
+    /// stream is malformed.
+    fn decompress(&self, c: &CompressedActivation) -> Result<Tensor, CodecError>;
 
     /// Short human-readable name (used in experiment tables).
     fn name(&self) -> String;
@@ -156,11 +159,11 @@ pub trait Codec: Send + Sync {
     }
 }
 
-fn wrong_payload(expected: &str, c: &CompressedActivation) -> ! {
-    panic!(
-        "codec {expected} cannot decompress payload from {}",
-        c.codec_name()
-    )
+fn wrong_payload(expected: &'static str, c: &CompressedActivation) -> CodecError {
+    CodecError::WrongPayload {
+        expected,
+        actual: c.codec_name().to_string(),
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -182,10 +185,10 @@ impl Codec for RawCodec {
         }
     }
 
-    fn decompress(&self, c: &CompressedActivation) -> Tensor {
+    fn decompress(&self, c: &CompressedActivation) -> Result<Tensor, CodecError> {
         match &c.payload {
-            Payload::Raw(t) => t.clone(),
-            _ => wrong_payload("raw", c),
+            Payload::Raw(t) => Ok(t.clone()),
+            _ => Err(wrong_payload("raw", c)),
         }
     }
 
@@ -222,10 +225,12 @@ impl Codec for ZvcF32Codec {
         }
     }
 
-    fn decompress(&self, c: &CompressedActivation) -> Tensor {
+    fn decompress(&self, c: &CompressedActivation) -> Result<Tensor, CodecError> {
         match &c.payload {
-            Payload::ZvcF32 { z, shape } => Tensor::from_vec(shape.clone(), z.decompress_f32()),
-            _ => wrong_payload("zvc-f32", c),
+            Payload::ZvcF32 { z, shape } => {
+                Ok(Tensor::from_vec(shape.clone(), z.decompress_f32()))
+            }
+            _ => Err(wrong_payload("zvc-f32", c)),
         }
     }
 
@@ -266,10 +271,10 @@ impl Codec for DprCodec {
         }
     }
 
-    fn decompress(&self, c: &CompressedActivation) -> Tensor {
+    fn decompress(&self, c: &CompressedActivation) -> Result<Tensor, CodecError> {
         match &c.payload {
-            Payload::Dpr { rounded } => rounded.clone(),
-            _ => wrong_payload("dpr", c),
+            Payload::Dpr { rounded } => Ok(rounded.clone()),
+            _ => Err(wrong_payload("dpr", c)),
         }
     }
 
@@ -305,7 +310,7 @@ impl Codec for GistCsrCodec {
         }
     }
 
-    fn decompress(&self, c: &CompressedActivation) -> Tensor {
+    fn decompress(&self, c: &CompressedActivation) -> Result<Tensor, CodecError> {
         match &c.payload {
             Payload::GistCsr { csr, shape } => {
                 let data = csr
@@ -313,9 +318,9 @@ impl Codec for GistCsrCodec {
                     .into_iter()
                     .map(|b| dpr::f8_bits_to_f32(b as u8))
                     .collect();
-                Tensor::from_vec(shape.clone(), data)
+                Ok(Tensor::from_vec(shape.clone(), data))
             }
-            _ => wrong_payload("gist-csr", c),
+            _ => Err(wrong_payload("gist-csr", c)),
         }
     }
 
@@ -358,10 +363,10 @@ impl Codec for SfprCodec {
         }
     }
 
-    fn decompress(&self, c: &CompressedActivation) -> Tensor {
+    fn decompress(&self, c: &CompressedActivation) -> Result<Tensor, CodecError> {
         match &c.payload {
-            Payload::Sfpr(enc) => sfpr::decompress(enc),
-            _ => wrong_payload("sfpr", c),
+            Payload::Sfpr(enc) => Ok(sfpr::decompress(enc)),
+            _ => Err(wrong_payload("sfpr", c)),
         }
     }
 
@@ -466,16 +471,15 @@ impl Codec for JpegCodec {
         }
     }
 
-    fn decompress(&self, c: &CompressedActivation) -> Tensor {
+    fn decompress(&self, c: &CompressedActivation) -> Result<Tensor, CodecError> {
         let p = match &c.payload {
             Payload::Jpeg(p) => p,
-            _ => wrong_payload("jpeg", c),
+            _ => return Err(wrong_payload("jpeg", c)),
         };
         let layout = BlockLayout::new(p.meta.shape());
         let quantized: Vec<[i8; 64]> = match &p.coded {
-            CodedBlocks::Rle { bytes, count } => {
-                rle::decode_blocks(bytes, *count).expect("corrupt RLE stream")
-            }
+            CodedBlocks::Rle { bytes, count } => rle::decode_blocks(bytes, *count)
+                .ok_or(CodecError::Corrupt("RLE stream truncated or inconsistent"))?,
             CodedBlocks::Zvc(z) => {
                 let flat = z.decompress_i8();
                 flat.chunks_exact(64)
@@ -492,7 +496,7 @@ impl Codec for JpegCodec {
             .map(|q| idct2d_to_i8(&dequantize(p.quant.into(), q, &p.dqt)))
             .collect();
         let values = layout.from_blocks(&spatial);
-        sfpr::decompress_values(&values, &p.meta)
+        Ok(sfpr::decompress_values(&values, &p.meta))
     }
 
     fn name(&self) -> String {
@@ -521,7 +525,7 @@ impl Codec for JpegBaseCodec {
     fn compress(&self, x: &Tensor) -> CompressedActivation {
         self.0.compress(x)
     }
-    fn decompress(&self, c: &CompressedActivation) -> Tensor {
+    fn decompress(&self, c: &CompressedActivation) -> Result<Tensor, CodecError> {
         self.0.decompress(c)
     }
     fn name(&self) -> String {
@@ -550,7 +554,7 @@ impl Codec for JpegActCodec {
     fn compress(&self, x: &Tensor) -> CompressedActivation {
         self.0.compress(x)
     }
-    fn decompress(&self, c: &CompressedActivation) -> Tensor {
+    fn decompress(&self, c: &CompressedActivation) -> Result<Tensor, CodecError> {
         self.0.decompress(c)
     }
     fn name(&self) -> String {
@@ -586,10 +590,12 @@ impl Codec for SfprZvcCodec {
         }
     }
 
-    fn decompress(&self, c: &CompressedActivation) -> Tensor {
+    fn decompress(&self, c: &CompressedActivation) -> Result<Tensor, CodecError> {
         match &c.payload {
-            Payload::SfprZvc { meta, z } => sfpr::decompress_values(&z.decompress_i8(), meta),
-            _ => wrong_payload("sfpr+zvc", c),
+            Payload::SfprZvc { meta, z } => {
+                Ok(sfpr::decompress_values(&z.decompress_i8(), meta))
+            }
+            _ => Err(wrong_payload("sfpr+zvc", c)),
         }
     }
 
@@ -616,10 +622,10 @@ impl Codec for BrcCodec {
         }
     }
 
-    fn decompress(&self, c: &CompressedActivation) -> Tensor {
+    fn decompress(&self, c: &CompressedActivation) -> Result<Tensor, CodecError> {
         match &c.payload {
-            Payload::Brc(m) => m.to_binary_tensor(),
-            _ => wrong_payload("brc", c),
+            Payload::Brc(m) => Ok(m.to_binary_tensor()),
+            _ => Err(wrong_payload("brc", c)),
         }
     }
 
@@ -666,7 +672,7 @@ mod tests {
         let x = smooth_tensor(1, 2, 8, 8);
         let c = RawCodec.compress(&x);
         assert_eq!(c.ratio(), 1.0);
-        assert_eq!(RawCodec.decompress(&c), x);
+        assert_eq!(RawCodec.decompress(&c).unwrap(), x);
         assert!(RawCodec.is_lossless());
     }
 
@@ -674,7 +680,7 @@ mod tests {
     fn zvc_f32_lossless_and_sparse_wins() {
         let x = sparse_tensor();
         let c = ZvcF32Codec.compress(&x);
-        assert_eq!(ZvcF32Codec.decompress(&c), x);
+        assert_eq!(ZvcF32Codec.decompress(&c).unwrap(), x);
         assert!(c.ratio() > 1.3, "ratio={}", c.ratio());
     }
 
@@ -684,7 +690,7 @@ mod tests {
         let codec = SfprCodec::new();
         let c = codec.compress(&x);
         assert!(c.ratio() > 3.5 && c.ratio() <= 4.0, "ratio={}", c.ratio());
-        let rec = codec.decompress(&c);
+        let rec = codec.decompress(&c).unwrap();
         // Quantization plus the deliberate S=1.125 clipping of the top of
         // the range: small relative to the signal power (~1.0).
         assert!(x.mse(&rec) < 5e-3, "mse={}", x.mse(&rec));
@@ -707,7 +713,7 @@ mod tests {
     fn jpeg_base_roundtrip_error_bounded() {
         let x = smooth_tensor(1, 2, 16, 16);
         let codec = JpegBaseCodec::new(Dqt::jpeg_quality(80));
-        let rec = codec.decompress(&codec.compress(&x));
+        let rec = codec.decompress(&codec.compress(&x)).unwrap();
         let rel = x.mse(&rec).sqrt() / x.max_abs() as f64;
         assert!(rel < 0.1, "relative rms error {rel}");
     }
@@ -716,7 +722,7 @@ mod tests {
     fn jpeg_act_roundtrip_error_bounded() {
         let x = smooth_tensor(1, 2, 16, 16);
         let codec = JpegActCodec::new(Dqt::opt_l());
-        let rec = codec.decompress(&codec.compress(&x));
+        let rec = codec.decompress(&codec.compress(&x)).unwrap();
         let rel = x.mse(&rec).sqrt() / x.max_abs() as f64;
         assert!(rel < 0.1, "relative rms error {rel}");
     }
@@ -729,8 +735,8 @@ mod tests {
         let cl = low.compress(&x);
         let ch = high.compress(&x);
         assert!(ch.ratio() > cl.ratio());
-        let el = x.mse(&low.decompress(&cl));
-        let eh = x.mse(&high.decompress(&ch));
+        let el = x.mse(&low.decompress(&cl).unwrap());
+        let eh = x.mse(&high.decompress(&ch).unwrap());
         assert!(eh >= el);
     }
 
@@ -741,7 +747,7 @@ mod tests {
             for coder in [CoderKind::Rle, CoderKind::Zvc] {
                 let codec = JpegCodec::new(Dqt::opt_l(), quant, coder);
                 let c = codec.compress(&x);
-                let rec = codec.decompress(&c);
+                let rec = codec.decompress(&c).unwrap();
                 let rel = x.mse(&rec).sqrt() / x.max_abs() as f64;
                 assert!(rel < 0.12, "{quant}+{coder}: rel={rel}");
                 assert!(c.ratio() > 1.0, "{quant}+{coder}: ratio={}", c.ratio());
@@ -758,7 +764,7 @@ mod tests {
         let c8 = f8.compress(&x);
         assert_eq!(c16.ratio(), 2.0);
         assert_eq!(c8.ratio(), 4.0);
-        assert!(x.mse(&f16.decompress(&c16)) < x.mse(&f8.decompress(&c8)));
+        assert!(x.mse(&f16.decompress(&c16).unwrap()) < x.mse(&f8.decompress(&c8).unwrap()));
     }
 
     #[test]
@@ -767,7 +773,7 @@ mod tests {
         let codec = GistCsrCodec;
         let c = codec.compress(&x);
         assert!(c.ratio() > 4.0, "ratio={}", c.ratio()); // 60% sparse
-        let rec = codec.decompress(&c);
+        let rec = codec.decompress(&c).unwrap();
         // Lossless on zeros; f8-lossy on values.
         for (a, b) in x.iter().zip(rec.iter()) {
             if *a == 0.0 {
@@ -783,18 +789,25 @@ mod tests {
         let x = sparse_tensor();
         let c = BrcCodec.compress(&x);
         assert!((c.ratio() - 32.0).abs() < 0.01);
-        let bin = BrcCodec.decompress(&c);
+        let bin = BrcCodec.decompress(&c).unwrap();
         for (a, b) in x.iter().zip(bin.iter()) {
             assert_eq!(*a > 0.0, *b == 1.0);
         }
     }
 
     #[test]
-    #[should_panic(expected = "cannot decompress")]
-    fn cross_codec_decompress_panics() {
+    fn cross_codec_decompress_is_a_typed_error() {
         let x = smooth_tensor(1, 1, 8, 8);
         let c = RawCodec.compress(&x);
-        let _ = SfprCodec::new().decompress(&c);
+        let err = SfprCodec::new().decompress(&c).unwrap_err();
+        assert_eq!(
+            err,
+            CodecError::WrongPayload {
+                expected: "sfpr",
+                actual: "raw".into()
+            }
+        );
+        assert!(err.to_string().contains("cannot decompress"));
     }
 
     #[test]

@@ -78,11 +78,14 @@ impl HuffmanTable {
                 idx: LEAF_BASE + s as u32,
             })
             .collect();
+        // Pop the two lightest nodes each round; the loop guard makes
+        // both pops infallible, expressed with let-else so no panic path
+        // survives in the hot-path crate.
         while heap.len() > 1 {
-            // Pop the two lightest nodes.
             heap.sort_by(|a, b| b.weight.cmp(&a.weight));
-            let a = heap.pop().expect("heap has >= 2 nodes");
-            let b = heap.pop().expect("heap has >= 2 nodes");
+            let (Some(a), Some(b)) = (heap.pop(), heap.pop()) else {
+                break;
+            };
             tree.push((a.idx, b.idx));
             heap.push(Node {
                 weight: a.weight + b.weight,

@@ -125,15 +125,18 @@ impl SfprEncoded {
         let plane = h * w;
         let mut total = 0.0f64;
         for ci in 0..c {
-            let mut used = std::collections::HashSet::new();
+            // Values are i8, so a 256-slot bitmap counts distinct codes
+            // without any iteration-order-sensitive container.
+            let mut used = [false; 256];
             for ni in 0..n {
                 let base = (ni * c + ci) * plane;
                 for &v in &self.values[base..base + plane] {
-                    used.insert(v);
+                    used[(v as u8) as usize] = true;
                 }
             }
+            let distinct = used.iter().filter(|&&u| u).count();
             let levels = 1usize << self.params.bits;
-            total += used.len() as f64 / levels as f64;
+            total += distinct as f64 / levels as f64;
         }
         total / c as f64
     }
@@ -260,8 +263,8 @@ mod tests {
         // 2^(m-1)-1 — only the single max value saturates.
         let x = ramp_tensor();
         let enc = compress(&x, SfprParams::with_scale(1.0));
-        let hi = *enc.values().iter().max().unwrap();
-        let lo = *enc.values().iter().min().unwrap();
+        let hi = enc.values().iter().fold(i8::MIN, |m, &v| m.max(v));
+        let lo = enc.values().iter().fold(i8::MAX, |m, &v| m.min(v));
         assert!(hi as i32 <= 127 && lo as i32 >= -128);
     }
 

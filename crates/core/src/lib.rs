@@ -35,10 +35,12 @@
 //!     (0..512).map(|i| ((i % 16) as f32 * 0.3).sin()).collect(),
 //! );
 //! store.save(0, ActKind::Conv, &x);
-//! let recovered = store.load(0);
+//! let recovered = store.load(0).expect("saved above");
 //! assert!(x.mse(&recovered) < 1e-2);
 //! assert!(store.stats().overall_ratio() > 2.0);
 //! ```
+
+#![forbid(unsafe_code)]
 
 pub mod convergence;
 pub mod dqt_opt;

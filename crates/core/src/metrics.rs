@@ -54,7 +54,9 @@ pub fn rate_distortion(x: &Tensor, dqt: &Dqt, quant: QuantKind) -> (f64, f64) {
     let codec = JpegCodec::new(dqt.clone(), quant, CoderKind::Zvc);
     let blocks = codec.quantized_blocks(x);
     let h = shannon_entropy_i8(blocks.iter().flatten().copied());
-    let rec = codec.decompress(&codec.compress(x));
+    let rec = codec
+        .decompress(&codec.compress(x))
+        .expect("payload produced by the same codec");
     (h, recovered_l2(x, &rec))
 }
 
@@ -62,7 +64,9 @@ pub fn rate_distortion(x: &Tensor, dqt: &Dqt, quant: QuantKind) -> (f64, f64) {
 /// fixed step size (unbounded alphabet).
 pub fn shannon_entropy_quantized(values: impl IntoIterator<Item = f32>, step: f32) -> f64 {
     assert!(step > 0.0, "quantization step must be positive");
-    let mut counts: std::collections::HashMap<i64, u64> = std::collections::HashMap::new();
+    // BTreeMap keeps bin iteration deterministic (entropy itself is
+    // order-independent, but the workspace bans hash containers outright).
+    let mut counts: std::collections::BTreeMap<i64, u64> = std::collections::BTreeMap::new();
     let mut total = 0u64;
     for v in values {
         let bin = (v / step).round() as i64;

@@ -15,8 +15,9 @@ use crate::method::Scheme;
 use crate::stats::CompressionStats;
 use jact_codec::pipeline::{Codec, CompressedActivation};
 use jact_dnn::act::{ActKind, ActivationId, ActivationStore};
+use jact_dnn::error::NetError;
 use jact_tensor::{Shape, Tensor};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 struct Entry {
     compressed: CompressedActivation,
@@ -32,7 +33,7 @@ struct Entry {
 pub struct OffloadStore {
     scheme: Scheme,
     epoch: usize,
-    entries: HashMap<ActivationId, Entry>,
+    entries: BTreeMap<ActivationId, Entry>,
     stats: CompressionStats,
     /// Per-step sizes for footprint analyses: (kind, unc, comp).
     step_log: Vec<(ActKind, usize, usize)>,
@@ -44,7 +45,7 @@ impl OffloadStore {
         OffloadStore {
             scheme,
             epoch: 0,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             stats: CompressionStats::new(),
             step_log: Vec::new(),
         }
@@ -113,16 +114,26 @@ impl ActivationStore for OffloadStore {
         );
     }
 
-    fn load(&mut self, id: ActivationId) -> Tensor {
+    fn load(&mut self, id: ActivationId) -> Result<Tensor, NetError> {
         let e = self
             .entries
             .get_mut(&id)
-            .unwrap_or_else(|| panic!("activation {id} was never saved"));
-        if e.cache.is_none() {
-            let t = e.codec.decompress(&e.compressed);
-            e.cache = Some(t.reshape(e.original_shape.clone()));
+            .ok_or(NetError::MissingActivation(id))?;
+        match &e.cache {
+            Some(t) => Ok(t.clone()),
+            None => {
+                let t = e
+                    .codec
+                    .decompress(&e.compressed)
+                    .map_err(|err| NetError::Store {
+                        id,
+                        reason: err.to_string(),
+                    })?
+                    .reshape(e.original_shape.clone());
+                e.cache = Some(t.clone());
+                Ok(t)
+            }
         }
-        e.cache.clone().expect("cache populated above")
     }
 
     fn clear(&mut self) {
@@ -158,7 +169,7 @@ mod tests {
         let mut s = OffloadStore::new(Scheme::vdnn());
         let x = smooth(Shape::nchw(2, 3, 8, 8));
         s.save(1, ActKind::Conv, &x);
-        assert_eq!(s.load(1), x);
+        assert_eq!(s.load(1).unwrap(), x);
         assert_eq!(s.stats().overall_ratio(), 1.0);
     }
 
@@ -167,7 +178,7 @@ mod tests {
         let mut s = OffloadStore::new(Scheme::jpeg_act_opt_l5h());
         let x = smooth(Shape::nchw(2, 4, 16, 16));
         s.save(1, ActKind::Conv, &x);
-        let rec = s.load(1);
+        let rec = s.load(1).unwrap();
         assert!(x.mse(&rec) < 1e-2, "mse={}", x.mse(&rec));
         assert!(s.stats().overall_ratio() > 2.0);
     }
@@ -177,7 +188,7 @@ mod tests {
         let mut s = OffloadStore::new(Scheme::sfpr());
         let x = smooth(Shape::mat(4, 64));
         s.save(2, ActKind::Linear, &x);
-        let rec = s.load(2);
+        let rec = s.load(2).unwrap();
         assert_eq!(rec.shape(), x.shape());
         // 8-bit quantization plus the intentional S=1.125 clipping of the
         // top of each channel's range.
@@ -189,8 +200,8 @@ mod tests {
         let mut s = OffloadStore::new(Scheme::jpeg_act_opt_l5h());
         let x = smooth(Shape::nchw(1, 8, 8, 8));
         s.save(3, ActKind::Sum, &x);
-        let a = s.load(3);
-        let b = s.load(3);
+        let a = s.load(3).unwrap();
+        let b = s.load(3).unwrap();
         assert_eq!(a, b);
     }
 
@@ -213,7 +224,7 @@ mod tests {
         let mut s = OffloadStore::new(Scheme::gist());
         let x = sparse(Shape::nchw(1, 2, 8, 8));
         s.save(4, ActKind::ReluToOther, &x);
-        let rec = s.load(4);
+        let rec = s.load(4).unwrap();
         for (a, b) in x.iter().zip(rec.iter()) {
             assert_eq!(*a > 0.0, *b == 1.0);
         }
@@ -232,9 +243,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "never saved")]
-    fn missing_id_panics() {
+    fn missing_id_is_a_typed_error() {
         let mut s = OffloadStore::new(Scheme::vdnn());
-        let _ = s.load(9);
+        assert_eq!(s.load(9).unwrap_err(), NetError::MissingActivation(9));
     }
 }

@@ -16,6 +16,8 @@
 //! * [`image`] — standalone natural-image-like fields for the entropy
 //!   analyses.
 
+#![forbid(unsafe_code)]
+
 pub mod image;
 pub mod sr;
 pub mod synth;

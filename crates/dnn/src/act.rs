@@ -12,8 +12,9 @@
 //! Saved activations are tagged with an [`ActKind`] so the store can apply
 //! the paper's per-type method selection (Table II).
 
+use crate::error::NetError;
 use jact_tensor::Tensor;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Unique key of one saved activation tensor.
 ///
@@ -75,10 +76,12 @@ pub trait ActivationStore {
 
     /// Loads the (possibly lossily recovered) activation saved under `id`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if nothing was saved under `id` this step.
-    fn load(&mut self, id: ActivationId) -> Tensor;
+    /// Returns [`NetError::MissingActivation`] if nothing was saved under
+    /// `id` this step, or [`NetError::Store`] if the backing store could
+    /// not recover the tensor.
+    fn load(&mut self, id: ActivationId) -> Result<Tensor, NetError>;
 
     /// Drops all saved activations (end of a training step).
     fn clear(&mut self);
@@ -92,7 +95,7 @@ pub trait ActivationStore {
 /// Exact in-memory storage — the uncompressed training baseline.
 #[derive(Debug, Default)]
 pub struct PassthroughStore {
-    tensors: HashMap<ActivationId, Tensor>,
+    tensors: BTreeMap<ActivationId, Tensor>,
 }
 
 impl PassthroughStore {
@@ -117,11 +120,11 @@ impl ActivationStore for PassthroughStore {
         self.tensors.insert(id, x.clone());
     }
 
-    fn load(&mut self, id: ActivationId) -> Tensor {
+    fn load(&mut self, id: ActivationId) -> Result<Tensor, NetError> {
         self.tensors
             .get(&id)
-            .unwrap_or_else(|| panic!("activation {id} was never saved"))
-            .clone()
+            .cloned()
+            .ok_or(NetError::MissingActivation(id))
     }
 
     fn clear(&mut self) {
@@ -189,17 +192,16 @@ mod tests {
         let mut s = PassthroughStore::new();
         let t = Tensor::full(Shape::vec(4), 2.0);
         s.save(7, ActKind::Conv, &t);
-        assert_eq!(s.load(7), t);
+        assert_eq!(s.load(7).unwrap(), t);
         assert_eq!(s.len(), 1);
         s.clear();
         assert!(s.is_empty());
     }
 
     #[test]
-    #[should_panic(expected = "never saved")]
-    fn missing_activation_panics() {
+    fn missing_activation_is_a_typed_error() {
         let mut s = PassthroughStore::new();
-        let _ = s.load(99);
+        assert_eq!(s.load(99).unwrap_err(), NetError::MissingActivation(99));
     }
 
     #[test]

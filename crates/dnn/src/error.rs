@@ -1,0 +1,87 @@
+//! Typed errors for network execution and checkpointing.
+//!
+//! The backward pass is fallible by design: it reloads activations from
+//! an [`ActivationStore`](crate::act::ActivationStore) that may be backed
+//! by a lossy offload pipeline, and a missing or corrupt entry must
+//! surface to the trainer rather than abort the process.  Checkpoint
+//! restore and model lookup report typed errors for the same reason.
+
+use crate::act::ActivationId;
+use std::fmt;
+
+/// Why a network operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// `load` was called for an activation id nothing saved this step.
+    MissingActivation(ActivationId),
+    /// The activation store failed to recover a saved tensor (e.g. the
+    /// offload codec reported a corrupt payload).
+    Store {
+        /// The activation id being loaded.
+        id: ActivationId,
+        /// The underlying store/codec failure.
+        reason: String,
+    },
+    /// A checkpoint state dict lacks a parameter the network has.
+    MissingParameter(String),
+    /// A checkpoint tensor's shape differs from the parameter's shape.
+    ShapeMismatch {
+        /// Parameter name.
+        name: String,
+        /// Shape the network expects (rendered).
+        expected: String,
+        /// Shape found in the state dict (rendered).
+        actual: String,
+    },
+    /// `build_by_name` was asked for a model it does not know.
+    UnknownModel(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::MissingActivation(id) => {
+                write!(f, "activation {id} was never saved this step")
+            }
+            NetError::Store { id, reason } => {
+                write!(f, "activation store failed to load {id}: {reason}")
+            }
+            NetError::MissingParameter(name) => {
+                write!(f, "missing parameter {name} in state dict")
+            }
+            NetError::ShapeMismatch {
+                name,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "shape mismatch for parameter {name}: expected {expected}, got {actual}"
+            ),
+            NetError::UnknownModel(name) => write!(f, "unknown model `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            NetError::MissingActivation(7).to_string(),
+            "activation 7 was never saved this step"
+        );
+        assert!(NetError::UnknownModel("resnet-9000".into())
+            .to_string()
+            .contains("resnet-9000"));
+        assert!(NetError::Store {
+            id: 3,
+            reason: "corrupt payload".into()
+        }
+        .to_string()
+        .contains("corrupt payload"));
+    }
+}

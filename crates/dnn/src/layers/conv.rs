@@ -1,6 +1,7 @@
 //! 2-D convolution via im2col + GEMM.
 
 use crate::act::{ActKind, ActivationId, Context};
+use crate::error::NetError;
 use crate::layers::Layer;
 use crate::param::Param;
 use jact_tensor::init;
@@ -161,12 +162,12 @@ impl Layer for Conv2d {
         self.mat_to_nchw(&y, n, oh, ow)
     }
 
-    fn backward(&mut self, grad: &Tensor, ctx: &mut Context<'_>) -> Tensor {
+    fn backward(&mut self, grad: &Tensor, ctx: &mut Context<'_>) -> Result<Tensor, NetError> {
         let in_shape = self
             .in_shape
             .clone()
             .expect("backward called before forward");
-        let x = ctx.store.load(self.input_key);
+        let x = ctx.store.load(self.input_key)?;
         assert_eq!(x.shape(), &in_shape, "{}: stored input shape mismatch", self.label);
 
         let gy = self.nchw_to_mat(grad);
@@ -188,7 +189,7 @@ impl Layer for Conv2d {
 
         // dX = col2im(Wᵀ · gy)
         let dcols = matmul(&transpose(&self.weight.value), &gy);
-        col2im(&dcols, &in_shape, self.geom)
+        Ok(col2im(&dcols, &in_shape, self.geom))
     }
 
     fn params(&mut self) -> Vec<&mut Param> {
@@ -331,7 +332,7 @@ mod tests {
             let mut ctx = Context::new(true, &mut rng, &mut store);
             let _ = conv.forward(&x, &mut ctx);
         }
-        assert_eq!(store.load(42), x);
+        assert_eq!(store.load(42).expect("saved in train mode"), x);
     }
 
     #[test]

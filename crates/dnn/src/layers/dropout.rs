@@ -1,6 +1,7 @@
 //! Inverted dropout.
 
 use crate::act::{ActKind, ActivationId, Context};
+use crate::error::NetError;
 use crate::layers::Layer;
 use jact_tensor::Tensor;
 use jact_rng::Rng;
@@ -68,10 +69,10 @@ impl Layer for Dropout {
         y
     }
 
-    fn backward(&mut self, grad: &Tensor, ctx: &mut Context<'_>) -> Tensor {
-        let saved = ctx.store.load(self.output_key);
+    fn backward(&mut self, grad: &Tensor, ctx: &mut Context<'_>) -> Result<Tensor, NetError> {
+        let saved = ctx.store.load(self.output_key)?;
         let scale = 1.0 / (1.0 - self.p);
-        grad.zip(&saved, |g, s| if s != 0.0 { g * scale } else { 0.0 })
+        Ok(grad.zip(&saved, |g, s| if s != 0.0 { g * scale } else { 0.0 }))
     }
 
     fn name(&self) -> String {

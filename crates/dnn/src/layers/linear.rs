@@ -1,6 +1,7 @@
 //! Fully-connected layer and the NCHW → matrix flatten.
 
 use crate::act::{ActKind, ActivationId, Context};
+use crate::error::NetError;
 use crate::layers::Layer;
 use crate::param::Param;
 use jact_tensor::init;
@@ -32,9 +33,9 @@ impl Layer for Flatten {
         x.reshape(Shape::mat(n, x.len() / n))
     }
 
-    fn backward(&mut self, grad: &Tensor, _ctx: &mut Context<'_>) -> Tensor {
+    fn backward(&mut self, grad: &Tensor, _ctx: &mut Context<'_>) -> Result<Tensor, NetError> {
         let shape = self.in_shape.clone().expect("backward before forward");
-        grad.reshape(shape)
+        Ok(grad.reshape(shape))
     }
 
     fn name(&self) -> String {
@@ -109,8 +110,8 @@ impl Layer for Linear {
         y
     }
 
-    fn backward(&mut self, grad: &Tensor, ctx: &mut Context<'_>) -> Tensor {
-        let x = ctx.store.load(self.input_key);
+    fn backward(&mut self, grad: &Tensor, ctx: &mut Context<'_>) -> Result<Tensor, NetError> {
+        let x = ctx.store.load(self.input_key)?;
         // dW = gyᵀ · x ; db = column sums of gy ; dx = gy · W.
         let dw = matmul(&transpose(grad), &x);
         self.weight.accumulate(&dw);
@@ -124,7 +125,7 @@ impl Layer for Linear {
         }
         self.bias
             .accumulate(&Tensor::from_vec(Shape::vec(self.out_dim), db));
-        matmul(grad, &self.weight.value)
+        Ok(matmul(grad, &self.weight.value))
     }
 
     fn params(&mut self) -> Vec<&mut Param> {

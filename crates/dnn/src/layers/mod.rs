@@ -27,6 +27,7 @@ pub use pool::{GlobalAvgPool, MaxPool2d};
 pub use relu::Relu;
 
 use crate::act::Context;
+use crate::error::NetError;
 use crate::param::Param;
 use jact_tensor::Tensor;
 
@@ -40,7 +41,12 @@ pub trait Layer: Send {
     ///
     /// Must be called after `forward` within the same step (activations
     /// must still be in the store).
-    fn backward(&mut self, grad: &Tensor, ctx: &mut Context<'_>) -> Tensor;
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetError`] when a needed activation cannot be loaded
+    /// from the store.
+    fn backward(&mut self, grad: &Tensor, ctx: &mut Context<'_>) -> Result<Tensor, NetError>;
 
     /// Mutable access to trainable parameters (empty for stateless layers).
     fn params(&mut self) -> Vec<&mut Param> {
@@ -70,7 +76,7 @@ pub(crate) mod testutil {
         };
         let gx = {
             let mut ctx = Context::new(true, &mut rng, &mut store);
-            layer.backward(gy, &mut ctx)
+            layer.backward(gy, &mut ctx).expect("activations present")
         };
         (y, gx)
     }
@@ -117,7 +123,7 @@ pub(crate) mod testutil {
         let gy = Tensor::from_vec(y.shape().clone(), gy_weights.clone());
         let gx = {
             let mut ctx = Context::new(true, &mut rng, &mut store);
-            l.backward(&gy, &mut ctx)
+            l.backward(&gy, &mut ctx).expect("activations present")
         };
 
         // Numeric gradient on a sample of coordinates.

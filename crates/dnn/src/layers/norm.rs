@@ -1,6 +1,7 @@
 //! Batch normalization over NCHW channels.
 
 use crate::act::{ActKind, ActivationId, Context};
+use crate::error::NetError;
 use crate::layers::Layer;
 use crate::param::Param;
 use jact_tensor::{Shape, Tensor};
@@ -137,8 +138,8 @@ impl Layer for BatchNorm2d {
         Tensor::from_vec(x.shape().clone(), out)
     }
 
-    fn backward(&mut self, grad: &Tensor, ctx: &mut Context<'_>) -> Tensor {
-        let x = ctx.store.load(self.input_key);
+    fn backward(&mut self, grad: &Tensor, ctx: &mut Context<'_>) -> Result<Tensor, NetError> {
+        let x = ctx.store.load(self.input_key)?;
         let (n, c, h, w) = (x.shape().n(), x.shape().c(), x.shape().h(), x.shape().w());
         let plane = h * w;
         let m = (n * plane) as f32;
@@ -182,7 +183,7 @@ impl Layer for BatchNorm2d {
             .accumulate(&Tensor::from_vec(Shape::vec(c), dgamma));
         self.beta
             .accumulate(&Tensor::from_vec(Shape::vec(c), dbeta));
-        Tensor::from_vec(x.shape().clone(), out)
+        Ok(Tensor::from_vec(x.shape().clone(), out))
     }
 
     fn params(&mut self) -> Vec<&mut Param> {

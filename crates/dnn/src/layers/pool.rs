@@ -1,6 +1,7 @@
 //! Pooling layers.
 
 use crate::act::{ActKind, ActivationId, Context};
+use crate::error::NetError;
 use crate::layers::Layer;
 use jact_tensor::ops::ConvGeom;
 use jact_tensor::{Shape, Tensor};
@@ -70,8 +71,8 @@ impl Layer for MaxPool2d {
         self.pool(x)
     }
 
-    fn backward(&mut self, grad: &Tensor, ctx: &mut Context<'_>) -> Tensor {
-        let x = ctx.store.load(self.input_key);
+    fn backward(&mut self, grad: &Tensor, ctx: &mut Context<'_>) -> Result<Tensor, NetError> {
+        let x = ctx.store.load(self.input_key)?;
         let shape = self.in_shape.clone().expect("backward before forward");
         assert_eq!(x.shape(), &shape, "{}: stored input shape mismatch", self.label);
         let (n, c, _h, _w) = (shape.n(), shape.c(), shape.h(), shape.w());
@@ -102,7 +103,7 @@ impl Layer for MaxPool2d {
                 }
             }
         }
-        gx
+        Ok(gx)
     }
 
     fn name(&self) -> String {
@@ -148,7 +149,7 @@ impl Layer for GlobalAvgPool {
         out
     }
 
-    fn backward(&mut self, grad: &Tensor, _ctx: &mut Context<'_>) -> Tensor {
+    fn backward(&mut self, grad: &Tensor, _ctx: &mut Context<'_>) -> Result<Tensor, NetError> {
         let shape = self.in_shape.clone().expect("backward before forward");
         let (n, c, h, w) = (shape.n(), shape.c(), shape.h(), shape.w());
         let plane = (h * w) as f32;
@@ -163,7 +164,7 @@ impl Layer for GlobalAvgPool {
                 }
             }
         }
-        gx
+        Ok(gx)
     }
 
     fn name(&self) -> String {

@@ -1,6 +1,7 @@
 //! Rectified Linear Unit.
 
 use crate::act::{ActKind, ActivationId, Context};
+use crate::error::NetError;
 use crate::layers::Layer;
 use jact_tensor::Tensor;
 
@@ -47,9 +48,9 @@ impl Layer for Relu {
         y
     }
 
-    fn backward(&mut self, grad: &Tensor, ctx: &mut Context<'_>) -> Tensor {
-        let saved = ctx.store.load(self.output_key);
-        grad.zip(&saved, |g, s| if s > 0.0 { g } else { 0.0 })
+    fn backward(&mut self, grad: &Tensor, ctx: &mut Context<'_>) -> Result<Tensor, NetError> {
+        let saved = ctx.store.load(self.output_key)?;
+        Ok(grad.zip(&saved, |g, s| if s > 0.0 { g } else { 0.0 }))
     }
 
     fn name(&self) -> String {
@@ -100,7 +101,7 @@ mod tests {
         store.save(5, ActKind::ReluToOther, &binary);
         let gx = {
             let mut ctx = Context::new(true, &mut rng, &mut store);
-            relu.backward(&g, &mut ctx)
+            relu.backward(&g, &mut ctx).expect("mask present")
         };
         assert_eq!(gx.as_slice(), &[0.0, 20.0, 30.0, 0.0]);
     }

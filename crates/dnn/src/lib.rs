@@ -27,7 +27,10 @@
 //! the previous ReLU's output, so it is saved once and loaded by both
 //! consumers.  Model builders wire these aliases explicitly.
 
+#![forbid(unsafe_code)]
+
 pub mod act;
+pub mod error;
 pub mod layers;
 pub mod loss;
 pub mod metrics;
@@ -38,5 +41,6 @@ pub mod param;
 pub mod train;
 
 pub use act::{ActKind, ActivationId, ActivationStore, Context, PassthroughStore};
+pub use error::NetError;
 pub use net::{Network, Node};
 pub use param::Param;

@@ -15,6 +15,7 @@
 //! The [`ActKind`] attached at save time is what drives the per-type
 //! compression policy (Table II) in `jact-core`.
 
+use crate::error::NetError;
 use crate::act::{ActKind, ActivationId, IdAlloc};
 use crate::layers::{
     BatchNorm2d, Conv2d, Dropout, Flatten, GlobalAvgPool, Linear, MaxPool2d, Relu,
@@ -395,18 +396,24 @@ pub fn vdsr(channels: usize, width: usize, depth: usize, rng: &mut StdRng) -> Ne
 /// Recognized names: `mini-vgg`, `mini-resnet`, `mini-resnet-bottleneck`,
 /// `wide-resnet`, `vdsr`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on an unknown name.
-pub fn build_by_name(name: &str, in_c: usize, classes: usize, rng: &mut StdRng) -> Network {
-    match name {
+/// Returns [`NetError::UnknownModel`] for a name outside the registry, so
+/// harnesses can report a usable message for a mistyped CLI argument.
+pub fn build_by_name(
+    name: &str,
+    in_c: usize,
+    classes: usize,
+    rng: &mut StdRng,
+) -> Result<Network, NetError> {
+    Ok(match name {
         "mini-vgg" => mini_vgg(in_c, classes, rng),
         "mini-resnet" => mini_resnet(in_c, 2, classes, rng),
         "mini-resnet-bottleneck" => mini_resnet_bottleneck(in_c, 2, classes, rng),
         "wide-resnet" => wide_resnet(in_c, 2, classes, rng),
         "vdsr" => vdsr(in_c, 16, 6, rng),
-        other => panic!("unknown model {other}"),
-    }
+        other => return Err(NetError::UnknownModel(other.to_string())),
+    })
 }
 
 #[cfg(test)]
@@ -435,7 +442,7 @@ mod tests {
         let gy = Tensor::full(y.shape().clone(), 0.01);
         let gx = {
             let mut ctx = Context::new(true, &mut rng, &mut store);
-            net.backward(&gy, &mut ctx)
+            net.backward(&gy, &mut ctx).expect("activations present")
         };
         assert_eq!(gx.shape(), x.shape());
         assert!(gx.iter().all(|v| v.is_finite()));
@@ -494,7 +501,7 @@ mod tests {
         assert_eq!(y.shape(), x.shape());
         let gy = Tensor::full(y.shape().clone(), 0.01);
         let mut ctx = Context::new(true, &mut r, &mut store);
-        let gx = net.backward(&gy, &mut ctx);
+        let gx = net.backward(&gy, &mut ctx).expect("activations present");
         assert!(gx.iter().all(|v| v.is_finite()));
     }
 
@@ -508,16 +515,19 @@ mod tests {
             "vdsr",
         ] {
             let mut rng = seeded_rng(1);
-            let mut net = build_by_name(name, 3, 10, &mut rng);
+            let mut net = build_by_name(name, 3, 10, &mut rng).expect("registered model");
             assert!(net.num_parameters() > 0, "{name}");
         }
     }
 
     #[test]
-    #[should_panic(expected = "unknown model")]
-    fn unknown_model_panics() {
+    fn unknown_model_is_a_typed_error() {
         let mut rng = seeded_rng(1);
-        let _ = build_by_name("alexnet", 3, 10, &mut rng);
+        let err = match build_by_name("alexnet", 3, 10, &mut rng) {
+            Ok(_) => panic!("alexnet should be unknown"),
+            Err(e) => e,
+        };
+        assert_eq!(err, NetError::UnknownModel("alexnet".into()));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Network composition: sequences and residual blocks.
 
 use crate::act::Context;
+use crate::error::NetError;
 use crate::layers::Layer;
 use crate::param::Param;
 use jact_tensor::Tensor;
@@ -46,19 +47,19 @@ impl Node {
         }
     }
 
-    fn backward(&mut self, grad: &Tensor, ctx: &mut Context<'_>) -> Tensor {
+    fn backward(&mut self, grad: &Tensor, ctx: &mut Context<'_>) -> Result<Tensor, NetError> {
         match self {
             Node::Layer(l) => l.backward(grad, ctx),
             Node::Residual { main, shortcut } => {
                 let mut gm = grad.clone();
                 for n in main.iter_mut().rev() {
-                    gm = n.backward(&gm, ctx);
+                    gm = n.backward(&gm, ctx)?;
                 }
                 let mut gs = grad.clone();
                 for n in shortcut.iter_mut().rev() {
-                    gs = n.backward(&gs, ctx);
+                    gs = n.backward(&gs, ctx)?;
                 }
-                gm.zip(&gs, |a, b| a + b)
+                Ok(gm.zip(&gs, |a, b| a + b))
             }
         }
     }
@@ -127,12 +128,17 @@ impl Network {
     }
 
     /// Backward pass; returns the input gradient.
-    pub fn backward(&mut self, grad: &Tensor, ctx: &mut Context<'_>) -> Tensor {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetError`] when a layer cannot reload a needed
+    /// activation from the store.
+    pub fn backward(&mut self, grad: &Tensor, ctx: &mut Context<'_>) -> Result<Tensor, NetError> {
         let mut g = grad.clone();
         for n in self.nodes.iter_mut().rev() {
-            g = n.backward(&g, ctx);
+            g = n.backward(&g, ctx)?;
         }
-        g
+        Ok(g)
     }
 
     /// All trainable parameters, in graph order.
@@ -177,27 +183,30 @@ impl Network {
     /// Restores parameter values from a state dict produced by
     /// [`Network::state`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a parameter is missing from `state` or has a different
-    /// shape — loading a checkpoint into the wrong architecture is a
-    /// programming error.
-    pub fn load_state(&mut self, state: &[(String, Tensor)]) {
-        use std::collections::HashMap;
-        let map: HashMap<&str, &Tensor> =
+    /// Returns [`NetError::MissingParameter`] if a parameter is absent
+    /// from `state` and [`NetError::ShapeMismatch`] if a tensor's shape
+    /// differs from the parameter's — loading a checkpoint into the wrong
+    /// architecture must fail loudly, not silently corrupt training.
+    pub fn load_state(&mut self, state: &[(String, Tensor)]) -> Result<(), NetError> {
+        use std::collections::BTreeMap;
+        let map: BTreeMap<&str, &Tensor> =
             state.iter().map(|(n, t)| (n.as_str(), t)).collect();
         for p in self.params() {
             let t = map
                 .get(p.name.as_str())
-                .unwrap_or_else(|| panic!("missing parameter {} in state dict", p.name));
-            assert_eq!(
-                t.shape(),
-                p.value.shape(),
-                "shape mismatch for parameter {}",
-                p.name
-            );
+                .ok_or_else(|| NetError::MissingParameter(p.name.clone()))?;
+            if t.shape() != p.value.shape() {
+                return Err(NetError::ShapeMismatch {
+                    name: p.name.clone(),
+                    expected: format!("{:?}", p.value.shape()),
+                    actual: format!("{:?}", t.shape()),
+                });
+            }
             p.value = (*t).clone();
         }
+        Ok(())
     }
 }
 
@@ -219,7 +228,7 @@ mod tests {
         };
         let gx = {
             let mut ctx = Context::new(true, &mut rng, &mut store);
-            net.backward(gy, &mut ctx)
+            net.backward(gy, &mut ctx).expect("activations present")
         };
         (y, gx)
     }
@@ -291,18 +300,19 @@ mod tests {
         let (y1, _) = run(&mut net, &x, &gy);
         assert!(y0.mse(&y1) > 0.0, "perturbation must change outputs");
         // Restoring the checkpoint restores the function.
-        net.load_state(&state);
+        net.load_state(&state).expect("matching architecture");
         let (y2, _) = run(&mut net, &x, &gy);
         assert!(y0.mse(&y2) < 1e-10, "mse={}", y0.mse(&y2));
     }
 
     #[test]
-    #[should_panic(expected = "missing parameter")]
     fn load_state_rejects_missing_params() {
         use crate::models::mini_resnet;
+        use crate::error::NetError;
         let mut rng = seeded_rng(31);
         let mut net = mini_resnet(3, 1, 4, &mut rng);
-        net.load_state(&[]);
+        let err = net.load_state(&[]).unwrap_err();
+        assert!(matches!(err, NetError::MissingParameter(_)), "{err}");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Training loops for classification and super-resolution.
 
 use crate::act::{ActivationStore, Context};
+use crate::error::NetError;
 use crate::loss::{mse_loss, softmax_cross_entropy};
 use crate::metrics::{psnr, top1_accuracy, Average};
 use crate::net::Network;
@@ -64,7 +65,12 @@ impl<'s> Trainer<'s> {
     }
 
     /// Runs one classification training step; returns `(loss, accuracy)`.
-    pub fn step_classify(&mut self, batch: &Batch) -> (f64, f64) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetError`] from the backward pass (a lossy store
+    /// failing to recover an activation).
+    pub fn step_classify(&mut self, batch: &Batch) -> Result<(f64, f64), NetError> {
         self.store.clear();
         let logits = {
             let mut ctx = Context::new(true, &mut self.rng, self.store);
@@ -74,15 +80,19 @@ impl<'s> Trainer<'s> {
         let acc = top1_accuracy(&logits, &batch.labels);
         {
             let mut ctx = Context::new(true, &mut self.rng, self.store);
-            let _ = self.net.backward(&dlogits, &mut ctx);
+            let _ = self.net.backward(&dlogits, &mut ctx)?;
         }
         self.opt.step(self.net.params());
         self.store.clear();
-        (loss, acc)
+        Ok((loss, acc))
     }
 
     /// Runs one super-resolution training step; returns `(loss, psnr)`.
-    pub fn step_sr(&mut self, batch: &SrBatch) -> (f64, f64) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetError`] from the backward pass.
+    pub fn step_sr(&mut self, batch: &SrBatch) -> Result<(f64, f64), NetError> {
         self.store.clear();
         let pred = {
             let mut ctx = Context::new(true, &mut self.rng, self.store);
@@ -92,43 +102,59 @@ impl<'s> Trainer<'s> {
         let p = psnr(&pred, &batch.target, 1.0);
         {
             let mut ctx = Context::new(true, &mut self.rng, self.store);
-            let _ = self.net.backward(&dpred, &mut ctx);
+            let _ = self.net.backward(&dpred, &mut ctx)?;
         }
         self.opt.step(self.net.params());
         self.store.clear();
-        (loss, p)
+        Ok((loss, p))
     }
 
     /// Trains one epoch of classification batches.
-    pub fn train_epoch_classify(&mut self, epoch: usize, batches: &[Batch]) -> EpochStats {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`NetError`] any step reports.
+    pub fn train_epoch_classify(
+        &mut self,
+        epoch: usize,
+        batches: &[Batch],
+    ) -> Result<EpochStats, NetError> {
         self.opt.start_epoch(epoch);
         let mut loss = Average::new();
         let mut acc = Average::new();
         for b in batches {
-            let (l, a) = self.step_classify(b);
+            let (l, a) = self.step_classify(b)?;
             loss.push(l);
             acc.push(a);
         }
-        EpochStats {
+        Ok(EpochStats {
             loss: loss.mean(),
             score: acc.mean(),
-        }
+        })
     }
 
     /// Trains one epoch of super-resolution batches.
-    pub fn train_epoch_sr(&mut self, epoch: usize, batches: &[SrBatch]) -> EpochStats {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`NetError`] any step reports.
+    pub fn train_epoch_sr(
+        &mut self,
+        epoch: usize,
+        batches: &[SrBatch],
+    ) -> Result<EpochStats, NetError> {
         self.opt.start_epoch(epoch);
         let mut loss = Average::new();
         let mut score = Average::new();
         for b in batches {
-            let (l, p) = self.step_sr(b);
+            let (l, p) = self.step_sr(b)?;
             loss.push(l);
             score.push(p);
         }
-        EpochStats {
+        Ok(EpochStats {
             loss: loss.mean(),
             score: score.mean(),
-        }
+        })
     }
 
     /// Evaluates classification accuracy on validation batches
@@ -214,7 +240,7 @@ mod tests {
         let batches = toy_batches(6, 77);
         let mut last = EpochStats::default();
         for e in 0..4 {
-            last = trainer.train_epoch_classify(e, &batches);
+            last = trainer.train_epoch_classify(e, &batches).expect("training step");
         }
         assert!(
             last.score > 0.85,
@@ -254,10 +280,10 @@ mod tests {
             })
             .collect();
 
-        let first = trainer.train_epoch_sr(0, &batches);
+        let first = trainer.train_epoch_sr(0, &batches).expect("training step");
         let mut last = first;
         for e in 1..6 {
-            last = trainer.train_epoch_sr(e, &batches);
+            last = trainer.train_epoch_sr(e, &batches).expect("training step");
         }
         assert!(
             last.loss < first.loss,
@@ -276,8 +302,8 @@ mod tests {
         let mut store = PassthroughStore::new();
         let mut trainer = Trainer::new(net, opt, StdRng::seed_from_u64(0), &mut store);
         let batches = toy_batches(2, 3);
-        let (l1, _) = trainer.step_classify(&batches[0]);
-        let (l2, _) = trainer.step_classify(&batches[1]);
+        let (l1, _) = trainer.step_classify(&batches[0]).expect("step");
+        let (l2, _) = trainer.step_classify(&batches[1]).expect("step");
         assert!(l1.is_finite() && l2.is_finite());
     }
 }

@@ -27,6 +27,8 @@
 //! * [`layout`] — CDU count and cache- vs DMA-side placement sweeps
 //!   (Fig. 21).
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod kernels;
 pub mod layout;

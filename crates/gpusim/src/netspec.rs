@@ -275,11 +275,10 @@ mod tests {
     fn bottleneck_blocks_have_high_channel_ratio() {
         let rn50 = resnet50_imagenet();
         let last = &rn50.blocks[2];
-        if let LayerKind::Conv { cin, k, .. } = last.layers[0].kind {
-            assert_eq!(cin, 2048);
-            assert_eq!(k, 1);
-        } else {
-            panic!("expected conv");
-        }
+        assert!(
+            matches!(last.layers[0].kind, LayerKind::Conv { cin: 2048, k: 1, .. }),
+            "expected a 1x1 conv over 2048 channels, got {:?}",
+            last.layers[0].kind
+        );
     }
 }

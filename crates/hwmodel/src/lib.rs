@@ -16,6 +16,8 @@
 //! * [`tech`] — technology-node scaling (45 nm → 15 nm with wire
 //!   overhead).
 
+#![forbid(unsafe_code)]
+
 pub mod component;
 pub mod design;
 pub mod tech;

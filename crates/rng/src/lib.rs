@@ -19,6 +19,8 @@
 //! (Sec. IV's harvested activations, the SFPR/DQT sweeps) and must be
 //! done deliberately.
 
+#![forbid(unsafe_code)]
+
 /// SplitMix64: a tiny splittable generator used to expand seeds.
 ///
 /// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number

@@ -28,6 +28,8 @@
 //! assert_eq!(y.get4(1, 2, 7, 7), 1.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod init;
 pub mod ops;
 pub mod shape;

@@ -40,7 +40,9 @@ fn main() {
     );
     for codec in &codecs {
         let compressed = codec.compress(&activation);
-        let recovered = codec.decompress(&compressed);
+        let recovered = codec
+            .decompress(&compressed)
+            .expect("payload produced by the same codec");
         let rms = activation.mse(&recovered).sqrt();
         println!(
             "{:<24} {:>10} {:>10} {:>7.2}x {:>12.5}",

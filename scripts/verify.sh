@@ -21,4 +21,7 @@ cargo build --release --offline --benches
 echo "== cargo test -q --offline =="
 cargo test -q --offline
 
+echo "== jact-analyze (static analysis, writes target/analyze-report.json) =="
+cargo run -q -p jact-analyze --release --offline
+
 echo "verify: OK"

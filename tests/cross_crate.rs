@@ -142,7 +142,7 @@ fn weight_gradient_error_scales_with_activation_error() {
         store.save(0, ActKind::Conv, &perturbed);
         {
             let mut ctx = Context::new(true, &mut trng, &mut store);
-            let _ = conv.backward(&gy, &mut ctx);
+            let _ = conv.backward(&gy, &mut ctx).expect("activation present");
         }
         conv.params()[0].grad.clone()
     };

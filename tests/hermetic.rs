@@ -1,145 +1,35 @@
-//! Hermetic-build policy gate.
+//! Hermetic-build policy gate (tier-1).
 //!
-//! The workspace must build with an empty cargo registry cache and no
-//! network: every dependency in every `Cargo.toml` has to be an
-//! in-workspace `path` dependency (or a `workspace = true` reference to
-//! one).  This test walks all workspace manifests and fails if a
-//! registry (`version`-only), `git`, or otherwise non-path dependency is
-//! ever introduced, so the regression is caught by `cargo test` rather
-//! than by the first offline rebuild.
+//! Thin shim over the analyzer's JA02 pass: every dependency in every
+//! manifest must be an in-workspace path reference, `workspace = true`
+//! entries must resolve to path entries in the root table, and the
+//! lockfile must pin no registry or git source.  The full rule set lives
+//! in `jact_analyze::passes::ja02_hermetic`; this test keeps the policy
+//! enforced under plain `cargo test` even when the CLI is not run.
 
 use std::path::{Path, PathBuf};
 
 fn workspace_root() -> PathBuf {
-    // CARGO_MANIFEST_DIR = <root>/crates/bench for this test target.
+    // CARGO_MANIFEST_DIR is crates/analyze (this test is registered
+    // there); the workspace root is two levels up.
     Path::new(env!("CARGO_MANIFEST_DIR"))
         .parent()
         .and_then(Path::parent)
-        .expect("workspace root")
+        .expect("crates/analyze has a grandparent")
         .to_path_buf()
 }
 
-fn manifest_paths(root: &Path) -> Vec<PathBuf> {
-    let mut out = vec![root.join("Cargo.toml")];
-    let crates = root.join("crates");
-    for entry in std::fs::read_dir(&crates).expect("crates/ dir") {
-        let p = entry.expect("dir entry").path().join("Cargo.toml");
-        if p.is_file() {
-            out.push(p);
-        }
-    }
-    assert!(out.len() >= 9, "expected the workspace manifests, found {}", out.len());
-    out
-}
-
-/// `true` for section headers that declare dependencies.
-fn is_dep_section(header: &str) -> bool {
-    let h = header.trim_start_matches('[').trim_end_matches(']');
-    h == "workspace.dependencies"
-        || h == "dependencies"
-        || h == "dev-dependencies"
-        || h == "build-dependencies"
-        || h.starts_with("target.") && h.ends_with("dependencies")
-}
-
-/// Collects `(manifest, line_no, line)` for every dependency entry that
-/// is not a pure path/workspace reference.
-fn violations(manifest: &Path) -> Vec<String> {
-    let text = std::fs::read_to_string(manifest)
-        .unwrap_or_else(|e| panic!("read {}: {e}", manifest.display()));
-    let mut in_dep_section = false;
-    let mut bad = Vec::new();
-    for (no, raw) in text.lines().enumerate() {
-        let line = raw.trim();
-        if line.starts_with('[') {
-            in_dep_section = is_dep_section(line);
-            continue;
-        }
-        if !in_dep_section || line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        // A dependency entry: `name = ...`.  Allowed forms are
-        // `{ path = "..." , ... }` and `{ workspace = true }`; anything
-        // with `version`, `git`, or a bare version string is a registry
-        // or remote source.
-        let Some((name, spec)) = line.split_once('=') else {
-            continue;
-        };
-        let (name, spec) = (name.trim(), spec.trim());
-        let ok = (spec.contains("path =") || spec.contains("workspace = true"))
-            && !spec.contains("git =")
-            && !spec.contains("version =")
-            && !spec.contains("registry =");
-        if !ok {
-            bad.push(format!(
-                "{}:{}: `{name}` is not a path/workspace dependency: {line}",
-                manifest.display(),
-                no + 1
-            ));
-        }
-    }
-    bad
-}
-
 #[test]
-fn all_dependencies_are_path_dependencies() {
+fn workspace_is_hermetic() {
     let root = workspace_root();
-    let mut bad = Vec::new();
-    for manifest in manifest_paths(&root) {
-        bad.extend(violations(&manifest));
-    }
+    let diags = jact_analyze::check_hermetic(&root).expect("workspace manifests are readable");
     assert!(
-        bad.is_empty(),
-        "hermetic-build policy violated (see README \"Hermetic build\"):\n{}",
-        bad.join("\n")
+        diags.is_empty(),
+        "hermetic-build policy violated (JA02):\n{}",
+        diags
+            .iter()
+            .map(|d| format!("  {d}"))
+            .collect::<Vec<_>>()
+            .join("\n")
     );
-}
-
-#[test]
-fn workspace_references_resolve_to_path_entries() {
-    // Every `<crate> = { workspace = true }` reference in a member
-    // manifest must resolve to a `path` entry in the root
-    // [workspace.dependencies], so members can only reach each other —
-    // never a registry — through the workspace table.
-    let root = workspace_root();
-    let root_text = std::fs::read_to_string(root.join("Cargo.toml")).expect("root manifest");
-    for manifest in manifest_paths(&root) {
-        let text = std::fs::read_to_string(&manifest)
-            .unwrap_or_else(|e| panic!("read {}: {e}", manifest.display()));
-        let mut in_dep_section = false;
-        for line in text.lines().map(str::trim) {
-            if line.starts_with('[') {
-                in_dep_section = is_dep_section(line);
-                continue;
-            }
-            if !in_dep_section || !line.contains("workspace = true") || !line.contains('=') {
-                continue;
-            }
-            let name = line.split('=').next().unwrap().trim();
-            assert!(
-                root_text.contains(&format!("{name} = {{ path =")),
-                "{}: `{name}` references the workspace table but the root \
-                 manifest has no path entry for it",
-                manifest.display()
-            );
-        }
-    }
-}
-
-#[test]
-fn no_lockfile_registry_entries() {
-    // Belt and braces: if a Cargo.lock exists it must not pin any
-    // registry or git source.
-    let lock = workspace_root().join("Cargo.lock");
-    if !lock.is_file() {
-        return;
-    }
-    let text = std::fs::read_to_string(&lock).expect("read Cargo.lock");
-    for (no, line) in text.lines().enumerate() {
-        assert!(
-            !line.contains("registry+") && !line.contains("git+"),
-            "Cargo.lock:{}: non-path source: {line}",
-            no + 1
-        );
-    }
 }

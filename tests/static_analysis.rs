@@ -1,0 +1,76 @@
+//! Tier-1 gate: the workspace is clean under every `jact-analyze` lint.
+//!
+//! Runs the full driver in-process — the same walk the CLI performs — so
+//! `cargo test` fails with the exact `file:line:col: CODE message` spans
+//! whenever a workspace invariant regresses.
+
+use std::path::{Path, PathBuf};
+
+use jact_analyze::Code;
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/analyze has a grandparent")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_has_zero_violations() {
+    let analysis =
+        jact_analyze::analyze_workspace(&workspace_root()).expect("workspace is readable");
+    assert!(analysis.files_scanned > 30, "suspiciously few files scanned");
+    assert_eq!(analysis.manifests_scanned, 11, "root + ten crate manifests");
+    assert!(
+        analysis.is_clean(),
+        "jact-analyze found {} violation(s):\n{}",
+        analysis.violations.len(),
+        analysis
+            .violations
+            .iter()
+            .map(|d| format!("  {d}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn hot_path_crates_carry_no_suppressions() {
+    // The acceptance bar for this subsystem: codec/tensor/rng are clean
+    // without a single `jact-analyze: allow(...)` escape hatch.
+    let root = workspace_root();
+    for krate in ["codec", "tensor", "rng"] {
+        let dir = root.join("crates").join(krate).join("src");
+        let mut stack = vec![dir];
+        while let Some(d) = stack.pop() {
+            for entry in std::fs::read_dir(&d).expect("src dir readable") {
+                let path = entry.expect("dir entry").path();
+                if path.is_dir() {
+                    stack.push(path);
+                } else if path.extension().is_some_and(|e| e == "rs") {
+                    let text = std::fs::read_to_string(&path).expect("source readable");
+                    assert!(
+                        !text.contains("jact-analyze: allow"),
+                        "{} contains a lint suppression; hot-path crates must be clean without one",
+                        path.display()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn report_counts_cover_all_codes() {
+    let analysis =
+        jact_analyze::analyze_workspace(&workspace_root()).expect("workspace is readable");
+    let json = analysis.to_json().to_string();
+    for code in Code::ALL {
+        assert!(
+            json.contains(&format!("\"{}\":", code.as_str())),
+            "report lacks a count for {code}: {json}"
+        );
+    }
+    assert!(json.contains("\"schema\":\"jact-analyze/v1\""));
+}
