@@ -19,6 +19,12 @@ use crate::source::SourceFile;
 /// Crates whose hot paths must stay panic-free (JA03).
 pub const HOT_PATH_CRATES: [&str; 3] = ["jact-codec", "jact-tensor", "jact-rng"];
 
+/// Individual modules outside [`HOT_PATH_CRATES`] that JA03 also covers:
+/// the fault-injected offload wire path in `jact-core` decodes hostile
+/// bytes and must surface typed errors, never panic.  Entries are
+/// workspace-relative paths with `/` separators.
+pub const HOT_PATH_MODULES: [&str; 2] = ["crates/core/src/fault.rs", "crates/core/src/offload.rs"];
+
 /// Low-layer crates: the deterministic substrate golden-value tests rely
 /// on.  They must never depend on the high layers (JA01).
 pub const LOW_LAYER: [&str; 4] = ["jact-rng", "jact-tensor", "jact-codec", "jact-hwmodel"];
@@ -134,12 +140,15 @@ pub fn ja02_hermetic(
 // ---------------------------------------------------------------------
 
 /// Bans `.unwrap()`, `.expect(...)`, `panic!`, `unreachable!`, `todo!`,
-/// and `unimplemented!` in non-test code of the hot-path crates.  The
-/// codec/tensor/rng golden-value tests pin bit-exact outputs; a reachable
-/// panic in those paths is a correctness bug, and fallible operations
-/// must surface typed errors instead.
+/// and `unimplemented!` in non-test code of the hot-path crates and the
+/// extra [`HOT_PATH_MODULES`].  The codec/tensor/rng golden-value tests
+/// pin bit-exact outputs; a reachable panic in those paths is a
+/// correctness bug, and fallible operations must surface typed errors
+/// instead.
 pub fn ja03_no_panics(file: &SourceFile) -> Vec<Diagnostic> {
-    if !HOT_PATH_CRATES.contains(&file.crate_name.as_str()) {
+    let covered = HOT_PATH_CRATES.contains(&file.crate_name.as_str())
+        || HOT_PATH_MODULES.contains(&file.rel_path.as_str());
+    if !covered {
         return Vec::new();
     }
     let mut out = Vec::new();
@@ -167,12 +176,17 @@ pub fn ja03_no_panics(file: &SourceFile) -> Vec<Diagnostic> {
             _ => false,
         };
         if bad && !suppressed(&file.suppressions, Code::Ja03, t.line) {
+            let scope = if HOT_PATH_CRATES.contains(&file.crate_name.as_str()) {
+                format!("crate `{}`", file.crate_name)
+            } else {
+                format!("module `{}`", file.rel_path)
+            };
             out.push(Diagnostic::new(
                 Code::Ja03,
                 &file.rel_path,
                 t.line,
                 t.col,
-                format!("`{word}` in non-test code of hot-path crate `{}`", file.crate_name),
+                format!("`{word}` in non-test code of hot-path {scope}"),
             ));
         }
     }
@@ -429,6 +443,20 @@ mod tests {
         let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
         assert_eq!(ja03_no_panics(&file("jact-codec", src)).len(), 1);
         assert!(ja03_no_panics(&file("jact-dnn", src)).is_empty());
+    }
+
+    #[test]
+    fn ja03_covers_listed_modules_outside_hot_path_crates() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        // Same crate, different files: only the listed module is covered.
+        let fault = SourceFile::new("crates/core/src/fault.rs", "jact-core", src.to_string());
+        let d = ja03_no_panics(&fault);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("crates/core/src/fault.rs"), "{}", d[0].message);
+        let offload = SourceFile::new("crates/core/src/offload.rs", "jact-core", src.to_string());
+        assert_eq!(ja03_no_panics(&offload).len(), 1);
+        let other = SourceFile::new("crates/core/src/stats.rs", "jact-core", src.to_string());
+        assert!(ja03_no_panics(&other).is_empty());
     }
 
     #[test]

@@ -83,7 +83,9 @@ fn main() {
         rle::decode_blocks(black_box(&rle_bytes), q.len()).expect("valid stream")
     });
     let zvc_stream = Zvc::compress_i8(&flat);
-    g.bench_function("zvc_decode", || black_box(&zvc_stream).decompress_i8());
+    g.bench_function("zvc_decode", || {
+        black_box(&zvc_stream).decompress_i8().expect("i8 stream")
+    });
 
     g.bench_function("idct2d_fixed_point", || {
         coefs

@@ -1,0 +1,144 @@
+//! Fault sweep: detection and recovery rates of the offload wire path
+//! under injected transport faults.
+//!
+//! Two stages:
+//!
+//! 1. **Channel stage** — delivers serialized frames through a seeded
+//!    [`FaultInjector`] at each fault rate and classifies every delivery:
+//!    clean, detected-corrupt (typed decode error), or silent (bytes
+//!    changed yet the frame still decoded — CRC32 collisions, expected
+//!    to be zero at these scales).
+//! 2. **Training stage** — runs the classifier under `through_wire`
+//!    offload at each rate with both `ZeroFill` and a bounded `Retry`
+//!    policy, reporting recovery counters and final score.
+//!
+//! Results print as a deterministic JSON document (`jact_bench::json`).
+//! Set `JACT_QUICK=1` for the smoke-test scale used by `scripts/verify.sh`.
+
+use jact_bench::harness::{train_classifier_faulty, TrainCfg};
+use jact_bench::json::Json;
+use jact_codec::dqt::Dqt;
+use jact_codec::pipeline::{Codec, JpegActCodec, SfprCodec};
+use jact_codec::wire;
+use jact_core::fault::{FaultConfig, FaultInjector, FaultModel, RecoveryPolicy};
+use jact_core::Scheme;
+use jact_tensor::{Shape, Tensor};
+
+fn sample_tensor() -> Tensor {
+    let shape = Shape::nchw(2, 4, 16, 16);
+    let data = (0..shape.len())
+        .map(|i| ((i % 16) as f32 * 0.3).sin() * 0.7)
+        .collect();
+    Tensor::from_vec(shape, data)
+}
+
+/// Channel-level classification of `deliveries` frame deliveries.
+fn channel_point(rate: f64, deliveries: usize, seed: u64) -> Json {
+    let codecs: Vec<(&str, Box<dyn Codec>)> = vec![
+        ("jpeg-act", Box::new(JpegActCodec::new(Dqt::opt_h()))),
+        ("sfpr", Box::new(SfprCodec::new())),
+    ];
+    let mut clean = 0u64;
+    let mut detected = 0u64;
+    let mut silent = 0u64;
+    let mut faults = 0u64;
+    for (i, (_, codec)) in codecs.iter().enumerate() {
+        let frame = wire::serialize(&codec.compress(&sample_tensor()));
+        let mut inj = FaultInjector::new(FaultConfig::new(rate, FaultModel::Mixed, seed + i as u64));
+        for _ in 0..deliveries {
+            let (rx, n) = inj.deliver(&frame);
+            faults += n;
+            if rx == frame {
+                clean += 1;
+            } else if wire::deserialize(&rx).is_err() {
+                detected += 1;
+            } else {
+                silent += 1;
+            }
+        }
+    }
+    let dirty = detected + silent;
+    Json::obj()
+        .field("rate", rate)
+        .field("deliveries", (deliveries * 2) as f64)
+        .field("faults_injected", faults as f64)
+        .field("clean", clean as f64)
+        .field("detected", detected as f64)
+        .field("silent", silent as f64)
+        .field(
+            "detection_rate",
+            if dirty == 0 { 1.0 } else { detected as f64 / dirty as f64 },
+        )
+}
+
+/// One fault-injected training cell.
+fn training_point(rate: f64, policy: RecoveryPolicy, name: &str, cfg: &TrainCfg) -> Json {
+    let point = Json::obj().field("rate", rate).field("policy", name);
+    match train_classifier_faulty(
+        "mini-resnet",
+        Scheme::jpeg_act_opt_l5h(),
+        FaultConfig::new(rate, FaultModel::Mixed, 17),
+        policy,
+        cfg,
+    ) {
+        Ok((result, report)) => point
+            .field("completed", true)
+            .field("best_score", result.best_score)
+            .field("diverged", result.diverged)
+            .field("wire_loads", report.wire_loads as f64)
+            .field("faults_injected", report.faults_injected as f64)
+            .field("corrupt_loads", report.corrupt_loads as f64)
+            .field("retried_loads", report.retried_loads as f64)
+            .field("recovered_loads", report.recovered_loads as f64)
+            .field("zero_filled_loads", report.zero_filled_loads as f64)
+            .field("corruption_rate", report.corruption_rate())
+            .field("recovery_rate", report.recovery_rate()),
+        Err(e) => point
+            .field("completed", false)
+            .field("error", e.to_string().as_str()),
+    }
+}
+
+fn main() {
+    let quick = jact_bench::quick_mode();
+    let (rates, deliveries, cfg) = if quick {
+        (vec![1e-6, 1e-3], 50usize, TrainCfg::quick())
+    } else {
+        (
+            vec![1e-6, 1e-5, 1e-4, 1e-3],
+            500usize,
+            TrainCfg {
+                epochs: 3,
+                train_batches: 4,
+                val_batches: 2,
+                batch_size: 8,
+                classes: 4,
+                seed: 42,
+            },
+        )
+    };
+
+    let channel = rates
+        .iter()
+        .map(|&r| channel_point(r, deliveries, 29))
+        .collect::<Vec<_>>();
+
+    let mut training = Vec::new();
+    for &rate in &rates {
+        training.push(training_point(rate, RecoveryPolicy::ZeroFill, "zero-fill", &cfg));
+        training.push(training_point(
+            rate,
+            RecoveryPolicy::Retry { attempts: 16 },
+            "retry-16",
+            &cfg,
+        ));
+    }
+
+    let doc = Json::obj()
+        .field("experiment", "fault_sweep")
+        .field("quick", quick)
+        .field("fault_model", "mixed")
+        .field("channel", Json::Arr(channel))
+        .field("training", Json::Arr(training));
+    println!("{}", doc.to_pretty_string());
+}

@@ -3,10 +3,12 @@
 //! Table I and Figs. 1b, 17, 18, 19.
 
 use crate::store::RecordingStore;
+use jact_core::fault::{FaultConfig, RecoveryPolicy};
 use jact_core::{OffloadStore, Scheme};
 use jact_data::synth::{classification_batches, SynthConfig};
 use jact_data::sr::sr_batches;
-use jact_dnn::act::ActivationStore;
+use jact_dnn::act::{ActivationStore, FaultReport};
+use jact_dnn::error::NetError;
 use jact_dnn::models;
 use jact_dnn::optim::{Sgd, SgdConfig};
 use jact_dnn::train::Trainer;
@@ -146,6 +148,78 @@ pub fn train_classifier(model: &str, scheme: Option<Scheme>, cfg: &TrainCfg) -> 
         diverged,
         epoch_scores,
     }
+}
+
+/// Trains a classifier with the offload store in `through_wire` mode:
+/// every activation load crosses the fault-injected wire and recovers
+/// per `policy`.  Returns the training result plus the cumulative fault
+/// report, or the first unrecovered [`NetError`].
+///
+/// # Errors
+///
+/// Under [`RecoveryPolicy::Fail`] (or an exhausted
+/// [`RecoveryPolicy::Retry`] budget) the first detected-corrupt load
+/// aborts the run with its typed error; [`RecoveryPolicy::ZeroFill`]
+/// never errors.
+pub fn train_classifier_faulty(
+    model: &str,
+    scheme: Scheme,
+    fault: FaultConfig,
+    policy: RecoveryPolicy,
+    cfg: &TrainCfg,
+) -> Result<(TrainResult, FaultReport), NetError> {
+    let data_cfg = SynthConfig {
+        classes: cfg.classes,
+        noise: 0.25,
+        ..Default::default()
+    };
+    let train = classification_batches(&data_cfg, cfg.train_batches, cfg.batch_size, cfg.seed);
+    let val = classification_batches(&data_cfg, cfg.val_batches, cfg.batch_size, cfg.seed + 999);
+
+    let mut mrng = seeded_rng(cfg.seed);
+    let net = models::build_by_name(model, 3, cfg.classes, &mut mrng).expect("registered model");
+    let lr = if model == "mini-vgg" { 0.01 } else { 0.03 };
+    let opt = Sgd::new(SgdConfig {
+        lr,
+        momentum: 0.9,
+        weight_decay: 5e-4,
+    })
+    .with_schedule(&[cfg.epochs.saturating_sub(2)], 0.2);
+
+    let mut store = OffloadStore::through_wire(scheme, fault, policy);
+    let mut trainer = Trainer::new(
+        net,
+        opt,
+        jact_rng::rngs::StdRng::seed_from_u64(cfg.seed),
+        &mut store,
+    );
+    let mut best = 0.0f64;
+    let mut diverged = false;
+    let mut epoch_scores = Vec::new();
+    for e in 0..cfg.epochs {
+        if let Some(s) = trainer.store.as_any_mut().downcast_mut::<OffloadStore>() {
+            s.set_epoch(e);
+        }
+        let stats = trainer.train_epoch_classify(e, &train)?;
+        let v = trainer.evaluate_classify(&val);
+        epoch_scores.push(v);
+        best = best.max(v);
+        if !stats.loss.is_finite() {
+            diverged = true;
+            break;
+        }
+    }
+    let report = store.fault_report();
+    let ratio = store.stats().overall_ratio();
+    Ok((
+        TrainResult {
+            best_score: best,
+            ratio,
+            diverged,
+            epoch_scores,
+        },
+        report,
+    ))
 }
 
 /// Trains the VDSR super-resolution model under a scheme; score is PSNR.

@@ -9,6 +9,7 @@
 //! following convolution (which needs the values, not just the mask);
 //! the per-layer policy lives in `jact-core`'s method selection (Table II).
 
+use crate::error::CodecError;
 use jact_tensor::{Shape, Tensor};
 
 /// A 1-bit-per-element positivity mask of an activation tensor.
@@ -34,6 +35,26 @@ impl BrcMask {
             len,
             shape: x.shape().clone(),
         }
+    }
+
+    /// Rebuilds a mask from wire-decoded parts, validating that the bit
+    /// buffer covers exactly the shape's element count.
+    pub fn from_parts(bits: Vec<u8>, shape: Shape) -> Result<Self, CodecError> {
+        let len = shape.len();
+        if bits.len() != len.div_ceil(8) {
+            return Err(CodecError::Corrupt("BRC bit buffer length mismatch"));
+        }
+        Ok(BrcMask { bits, len, shape })
+    }
+
+    /// The packed mask bytes.
+    pub fn bits(&self) -> &[u8] {
+        &self.bits
+    }
+
+    /// The original activation shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
     }
 
     /// Whether element `i` was positive.

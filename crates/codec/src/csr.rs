@@ -11,6 +11,7 @@
 //! Rows are segments of up to 256 elements so the column index fits in a
 //! byte; a `u32` row-pointer per segment completes the layout.
 
+use crate::error::CodecError;
 
 /// Maximum row segment length with an 8-bit column index.
 pub const MAX_ROW: usize = 256;
@@ -69,6 +70,86 @@ impl Csr {
     /// Compresses with the default 256-element segments.
     pub fn compress_default(data: &[i8]) -> Self {
         Csr::compress(data, MAX_ROW)
+    }
+
+    /// Rebuilds a CSR buffer from wire-decoded parts, validating every
+    /// invariant [`Csr::decompress`] relies on: row pointers are monotone,
+    /// start at 0, end at the non-zero count, and every column index stays
+    /// inside its (possibly partial, final) row segment.
+    pub fn from_parts(
+        row_ptr: Vec<u32>,
+        cols: Vec<u8>,
+        vals: Vec<i8>,
+        len: usize,
+        row_len: usize,
+    ) -> Result<Self, CodecError> {
+        if !(1..=MAX_ROW).contains(&row_len) {
+            return Err(CodecError::Corrupt("CSR row length out of 1..=256"));
+        }
+        let rows = len.div_ceil(row_len);
+        if row_ptr.len() != rows + 1 {
+            return Err(CodecError::Corrupt("CSR row pointer count mismatch"));
+        }
+        if row_ptr[0] != 0 {
+            return Err(CodecError::Corrupt("CSR row pointers must start at 0"));
+        }
+        if cols.len() != vals.len() {
+            return Err(CodecError::Corrupt(
+                "CSR column and value counts disagree",
+            ));
+        }
+        if row_ptr[rows] as usize != vals.len() {
+            return Err(CodecError::Corrupt(
+                "CSR row pointers must end at the non-zero count",
+            ));
+        }
+        for r in 0..rows {
+            let (a, b) = (row_ptr[r] as usize, row_ptr[r + 1] as usize);
+            if a > b {
+                return Err(CodecError::Corrupt("CSR row pointers not monotone"));
+            }
+            // An intermediate pointer past the buffer would only fail the
+            // monotone check one pair later — after slicing with it here.
+            if b > vals.len() {
+                return Err(CodecError::Corrupt("CSR row pointer out of bounds"));
+            }
+            let base = r * row_len;
+            let limit = row_len.min(len - base);
+            for &c in &cols[a..b] {
+                if c as usize >= limit {
+                    return Err(CodecError::Corrupt(
+                        "CSR column index out of row bounds",
+                    ));
+                }
+            }
+        }
+        Ok(Csr {
+            row_ptr,
+            cols,
+            vals,
+            len,
+            row_len,
+        })
+    }
+
+    /// Row pointers (one start offset per segment, plus the final count).
+    pub fn row_ptr(&self) -> &[u32] {
+        &self.row_ptr
+    }
+
+    /// Column index of each non-zero within its segment.
+    pub fn cols(&self) -> &[u8] {
+        &self.cols
+    }
+
+    /// The non-zero values.
+    pub fn vals(&self) -> &[i8] {
+        &self.vals
+    }
+
+    /// Segment length used at compression time.
+    pub fn row_len(&self) -> usize {
+        self.row_len
     }
 
     /// Decompresses back to the dense buffer.
@@ -185,5 +266,16 @@ mod tests {
     #[should_panic(expected = "row_len")]
     fn oversized_row_rejected() {
         let _ = Csr::compress(&[1i8], 257);
+    }
+
+    #[test]
+    fn from_parts_rejects_out_of_bounds_intermediate_pointer() {
+        // Three segments of 4 over 10 elements, 2 non-zeros; the middle
+        // pointer shoots past the buffer while the final one is correct.
+        let r = Csr::from_parts(vec![0, 1_895_825_888, 2, 2], vec![0, 1], vec![1, 2], 10, 4);
+        assert_eq!(
+            r.unwrap_err(),
+            CodecError::Corrupt("CSR row pointer out of bounds")
+        );
     }
 }

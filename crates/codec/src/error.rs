@@ -1,14 +1,16 @@
-//! Typed errors for the codec pipelines.
+//! Typed errors for the codec pipelines and the offload wire path.
 //!
-//! Decompression is the only fallible codec operation: a payload can be
-//! handed to the wrong codec, or a coded byte stream can be corrupt.
-//! Both conditions surface as a [`CodecError`] instead of a panic so the
-//! offload layers above (`jact-core`, `jact-dnn`) can attach context and
-//! propagate.
+//! Decompression and wire decoding are the fallible codec operations: a
+//! payload can be handed to the wrong codec, a coded byte stream can be
+//! corrupt, and — once activations travel the DMA link as framed bytes
+//! ([`crate::wire`]) — *any* byte sequence can arrive at the decoder.
+//! Every such condition surfaces as a [`CodecError`] instead of a panic
+//! so the offload layers above (`jact-core`, `jact-dnn`) can attach
+//! context, retry the transfer, or substitute a recovery tensor.
 
 use std::fmt;
 
-/// Why a decompression failed.
+/// Why a decompression or wire decode failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CodecError {
     /// The payload was produced by a different codec than the one asked
@@ -21,6 +23,39 @@ pub enum CodecError {
     },
     /// The coded byte stream is malformed (truncated or inconsistent).
     Corrupt(&'static str),
+    /// A wire frame field holds an invalid or inconsistent value.
+    BadFrame {
+        /// Byte offset of the offending field within the frame.
+        offset: usize,
+        /// What is wrong with the field.
+        what: &'static str,
+    },
+    /// The frame's CRC32 does not match its contents.
+    ChecksumMismatch {
+        /// Checksum announced by the frame trailer.
+        expected: u32,
+        /// Checksum recomputed over the received bytes.
+        actual: u32,
+    },
+    /// The byte buffer ends before a read completes.
+    Truncated {
+        /// Byte offset at which the read started.
+        offset: usize,
+        /// Bytes the read required.
+        needed: usize,
+        /// Bytes actually available at `offset`.
+        available: usize,
+    },
+    /// A collected multi-CDU stream failed to split back into block
+    /// payloads.
+    Stream {
+        /// Index of the CDU whose block failed to decode.
+        cdu: usize,
+        /// Byte offset into the collected stream where decoding failed.
+        offset: usize,
+        /// What went wrong at that offset.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -31,6 +66,24 @@ impl fmt::Display for CodecError {
                 "codec {expected} cannot decompress payload from {actual}"
             ),
             CodecError::Corrupt(what) => write!(f, "corrupt payload: {what}"),
+            CodecError::BadFrame { offset, what } => {
+                write!(f, "bad wire frame at byte {offset}: {what}")
+            }
+            CodecError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "wire frame checksum mismatch: expected {expected:#010x}, computed {actual:#010x}"
+            ),
+            CodecError::Truncated {
+                offset,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated buffer: needed {needed} bytes at offset {offset}, only {available} available"
+            ),
+            CodecError::Stream { cdu, offset, what } => {
+                write!(f, "stream split failed for CDU {cdu} at byte {offset}: {what}")
+            }
         }
     }
 }
@@ -54,6 +107,39 @@ mod tests {
         assert_eq!(
             CodecError::Corrupt("RLE stream truncated").to_string(),
             "corrupt payload: RLE stream truncated"
+        );
+    }
+
+    #[test]
+    fn wire_display_forms() {
+        let e = CodecError::BadFrame {
+            offset: 6,
+            what: "unknown codec tag",
+        };
+        assert_eq!(e.to_string(), "bad wire frame at byte 6: unknown codec tag");
+        let e = CodecError::ChecksumMismatch {
+            expected: 0xdead_beef,
+            actual: 0x1234_5678,
+        };
+        assert!(e.to_string().contains("0xdeadbeef"));
+        assert!(e.to_string().contains("0x12345678"));
+        let e = CodecError::Truncated {
+            offset: 10,
+            needed: 8,
+            available: 3,
+        };
+        assert_eq!(
+            e.to_string(),
+            "truncated buffer: needed 8 bytes at offset 10, only 3 available"
+        );
+        let e = CodecError::Stream {
+            cdu: 2,
+            offset: 136,
+            what: "mask extends past stream end",
+        };
+        assert_eq!(
+            e.to_string(),
+            "stream split failed for CDU 2 at byte 136: mask extends past stream end"
         );
     }
 }

@@ -21,6 +21,7 @@
 //! | [`dpr`] | II-B2 | Dynamic precision reduction: f32 → f16 / f8 casts |
 //! | [`pipeline`] | III | Composed codecs: SFPR-only, JPEG-BASE, JPEG-ACT, and the DIV/SH × RLE/ZVC matrix |
 //! | [`stream`] | III-G | Collector / splitter: round-robin multi-CDU stream aggregation into 128 B DMA packets |
+//! | [`wire`] | III-G | Framed wire format: magic + version + tag + CRC32 container, panic-free decode of arbitrary bytes |
 //! | [`bits`] | — | Bit-level I/O shared by the entropy coders |
 //!
 //! ## Quick start
@@ -62,6 +63,7 @@ pub mod quant;
 pub mod rle;
 pub mod sfpr;
 pub mod stream;
+pub mod wire;
 pub mod zvc;
 
 pub use error::CodecError;

@@ -57,7 +57,7 @@ pub struct CompressedActivation {
 }
 
 #[derive(Debug, Clone)]
-enum Payload {
+pub(crate) enum Payload {
     Raw(Tensor),
     ZvcF32 { z: Zvc, shape: Shape },
     Dpr { rounded: Tensor },
@@ -69,19 +69,19 @@ enum Payload {
 }
 
 #[derive(Debug, Clone)]
-struct JpegPayload {
+pub(crate) struct JpegPayload {
     /// SFPR metadata (scales, shape, params) with an *empty* value plane;
     /// the values travel through the coded blocks instead.
-    meta: SfprEncoded,
-    coded: CodedBlocks,
-    quant: QuantKind2,
-    dqt: Dqt,
+    pub(crate) meta: SfprEncoded,
+    pub(crate) coded: CodedBlocks,
+    pub(crate) quant: QuantKind2,
+    pub(crate) dqt: Dqt,
 }
 
-// Local serializable mirrors of the codec enums (kept private so the
+// Local serializable mirrors of the codec enums (kept crate-private so the
 // public enums stay dependency-free).
-#[derive(Debug, Clone, Copy)]
-enum QuantKind2 {
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum QuantKind2 {
     Div,
     Shift,
 }
@@ -105,7 +105,7 @@ impl From<QuantKind2> for QuantKind {
 }
 
 #[derive(Debug, Clone)]
-enum CodedBlocks {
+pub(crate) enum CodedBlocks {
     Rle { bytes: Vec<u8>, count: usize },
     Zvc(Zvc),
 }
@@ -114,6 +114,28 @@ impl CompressedActivation {
     /// Compressed size in bytes, including per-channel scale metadata.
     pub fn compressed_bytes(&self) -> usize {
         self.compressed_bytes
+    }
+
+    /// The payload, for wire serialization.
+    pub(crate) fn payload(&self) -> &Payload {
+        &self.payload
+    }
+
+    /// Rebuilds a compressed activation from wire-decoded parts.  The
+    /// caller ([`crate::wire`]) is responsible for having validated every
+    /// payload invariant first.
+    pub(crate) fn from_wire_parts(
+        payload: Payload,
+        uncompressed_bytes: usize,
+        compressed_bytes: usize,
+        codec_name: String,
+    ) -> Self {
+        CompressedActivation {
+            payload,
+            uncompressed_bytes,
+            compressed_bytes,
+            codec_name,
+        }
     }
 
     /// Original activation size in bytes (f32 elements).
@@ -228,7 +250,7 @@ impl Codec for ZvcF32Codec {
     fn decompress(&self, c: &CompressedActivation) -> Result<Tensor, CodecError> {
         match &c.payload {
             Payload::ZvcF32 { z, shape } => {
-                Ok(Tensor::from_vec(shape.clone(), z.decompress_f32()))
+                Ok(Tensor::from_vec(shape.clone(), z.decompress_f32()?))
             }
             _ => Err(wrong_payload("zvc-f32", c)),
         }
@@ -481,7 +503,7 @@ impl Codec for JpegCodec {
             CodedBlocks::Rle { bytes, count } => rle::decode_blocks(bytes, *count)
                 .ok_or(CodecError::Corrupt("RLE stream truncated or inconsistent"))?,
             CodedBlocks::Zvc(z) => {
-                let flat = z.decompress_i8();
+                let flat = z.decompress_i8()?;
                 flat.chunks_exact(64)
                     .map(|ch| {
                         let mut b = [0i8; 64];
@@ -593,7 +615,7 @@ impl Codec for SfprZvcCodec {
     fn decompress(&self, c: &CompressedActivation) -> Result<Tensor, CodecError> {
         match &c.payload {
             Payload::SfprZvc { meta, z } => {
-                Ok(sfpr::decompress_values(&z.decompress_i8(), meta))
+                Ok(sfpr::decompress_values(&z.decompress_i8()?, meta))
             }
             _ => Err(wrong_payload("sfpr+zvc", c)),
         }

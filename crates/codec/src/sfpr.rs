@@ -16,6 +16,7 @@
 //! SFPR is both a standalone 4× codec (8-bit) and the mandatory front end
 //! of JPEG-BASE and JPEG-ACT, whose integer DCT needs `i8` inputs.
 
+use crate::error::CodecError;
 use jact_tensor::{Shape, Tensor};
 
 /// The paper's selected global scaling factor (Sec. III-B, Fig. 10).
@@ -75,6 +76,38 @@ pub struct SfprEncoded {
 }
 
 impl SfprEncoded {
+    /// Rebuilds an encoded activation from wire-decoded parts, validating
+    /// every invariant [`decompress_values`] relies on: rank-4 shape, one
+    /// scale per channel, bits in `2..=8`, and a value plane that is
+    /// either empty (JPEG metadata form) or exactly `shape.len()` long.
+    pub fn from_parts(
+        values: Vec<i8>,
+        scales: Vec<f32>,
+        shape: Shape,
+        params: SfprParams,
+    ) -> Result<Self, CodecError> {
+        if shape.rank() != 4 {
+            return Err(CodecError::Corrupt("SFPR shape must be rank 4"));
+        }
+        if !(2..=8).contains(&params.bits) {
+            return Err(CodecError::Corrupt("SFPR bits out of 2..=8"));
+        }
+        if scales.len() != shape.c() {
+            return Err(CodecError::Corrupt("SFPR scale count must equal channels"));
+        }
+        if !values.is_empty() && values.len() != shape.len() {
+            return Err(CodecError::Corrupt(
+                "SFPR value plane size disagrees with shape",
+            ));
+        }
+        Ok(SfprEncoded {
+            values,
+            scales,
+            shape,
+            params,
+        })
+    }
+
     /// The quantized integer values in NCHW order.
     pub fn values(&self) -> &[i8] {
         &self.values

@@ -11,7 +11,12 @@
 //! Because scheduling is deterministic, no side-band metadata is needed —
 //! the splitter recomputes the interleave exactly.  This module is the
 //! functional model; `jact-gpusim` layers timing on top of it.
+//!
+//! The splitter consumes bytes that crossed the DMA link, so every decode
+//! failure is a typed [`CodecError::Stream`] naming the CDU index and the
+//! byte offset where decoding failed — never a panic or a bare `None`.
 
+use crate::error::CodecError;
 
 /// DMA packet size in bytes (two 64 B flits on the PCIe DMA path).
 pub const PACKET_BYTES: usize = 128;
@@ -41,15 +46,14 @@ impl BlockPayload {
 
     /// Reconstructs the dense quantized block.
     ///
-    /// # Panics
-    ///
-    /// Panics if the value count does not match the mask popcount.
-    pub fn to_block(&self) -> [i8; 64] {
-        assert_eq!(
-            self.values.len(),
-            self.popcount(),
-            "value count does not match mask popcount"
-        );
+    /// Returns [`CodecError::Corrupt`] if the value count does not match
+    /// the mask popcount.
+    pub fn to_block(&self) -> Result<[i8; 64], CodecError> {
+        if self.values.len() != self.popcount() {
+            return Err(CodecError::Corrupt(
+                "block payload value count does not match mask popcount",
+            ));
+        }
         let mut out = [0i8; 64];
         let mut vi = 0usize;
         for (i, o) in out.iter_mut().enumerate() {
@@ -58,7 +62,7 @@ impl BlockPayload {
                 vi += 1;
             }
         }
-        out
+        Ok(out)
     }
 
     /// Number of non-zero values announced by the mask.
@@ -78,8 +82,10 @@ impl BlockPayload {
 /// skipped (the hardware stalls them out of the schedule identically).
 /// The final packet is zero-padded to [`PACKET_BYTES`].
 ///
-/// Returns the packed byte stream.
-pub fn collect(streams: &[Vec<BlockPayload>]) -> Vec<u8> {
+/// Returns the packed byte stream, or [`CodecError::Stream`] naming the
+/// CDU and output offset if a payload's value count disagrees with its
+/// mask popcount.
+pub fn collect(streams: &[Vec<BlockPayload>]) -> Result<Vec<u8>, CodecError> {
     let mut out = Vec::new();
     let mut cursors = vec![0usize; streams.len()];
     let total: usize = streams.iter().map(|s| s.len()).sum();
@@ -88,11 +94,13 @@ pub fn collect(streams: &[Vec<BlockPayload>]) -> Vec<u8> {
         for (ci, stream) in streams.iter().enumerate() {
             if cursors[ci] < stream.len() {
                 let b = &stream[cursors[ci]];
-                assert_eq!(
-                    b.values.len(),
-                    b.popcount(),
-                    "malformed payload in CDU {ci}"
-                );
+                if b.values.len() != b.popcount() {
+                    return Err(CodecError::Stream {
+                        cdu: ci,
+                        offset: out.len(),
+                        what: "payload value count does not match mask popcount",
+                    });
+                }
                 out.extend_from_slice(&b.mask);
                 out.extend_from_slice(&b.values);
                 cursors[ci] += 1;
@@ -105,7 +113,7 @@ pub fn collect(streams: &[Vec<BlockPayload>]) -> Vec<u8> {
     if rem != 0 {
         out.resize(out.len() + PACKET_BYTES - rem, 0);
     }
-    out
+    Ok(out)
 }
 
 /// Splits a collected DMA stream back into per-CDU block streams.
@@ -113,8 +121,9 @@ pub fn collect(streams: &[Vec<BlockPayload>]) -> Vec<u8> {
 /// `counts[c]` is the number of blocks CDU `c` contributed; the splitter
 /// re-derives the round-robin interleave from these counts alone.
 ///
-/// Returns `None` if the stream is too short for the announced counts.
-pub fn split(bytes: &[u8], counts: &[usize]) -> Option<Vec<Vec<BlockPayload>>> {
+/// Returns [`CodecError::Stream`] naming the CDU index and byte offset if
+/// the stream ends before the announced counts are satisfied.
+pub fn split(bytes: &[u8], counts: &[usize]) -> Result<Vec<Vec<BlockPayload>>, CodecError> {
     let mut outs: Vec<Vec<BlockPayload>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
     let total: usize = counts.iter().sum();
     let mut pos = 0usize;
@@ -123,14 +132,22 @@ pub fn split(bytes: &[u8], counts: &[usize]) -> Option<Vec<Vec<BlockPayload>>> {
         for (ci, &count) in counts.iter().enumerate() {
             if outs[ci].len() < count {
                 if pos + 8 > bytes.len() {
-                    return None;
+                    return Err(CodecError::Stream {
+                        cdu: ci,
+                        offset: pos,
+                        what: "stream ends inside block mask",
+                    });
                 }
                 let mut mask = [0u8; 8];
                 mask.copy_from_slice(&bytes[pos..pos + 8]);
                 pos += 8;
                 let n: usize = mask.iter().map(|b| b.count_ones() as usize).sum();
                 if pos + n > bytes.len() {
-                    return None;
+                    return Err(CodecError::Stream {
+                        cdu: ci,
+                        offset: pos,
+                        what: "stream ends inside block values",
+                    });
                 }
                 let values = bytes[pos..pos + n].to_vec();
                 pos += n;
@@ -139,7 +156,7 @@ pub fn split(bytes: &[u8], counts: &[usize]) -> Option<Vec<Vec<BlockPayload>>> {
             }
         }
     }
-    Some(outs)
+    Ok(outs)
 }
 
 /// Number of 128 B DMA packets a byte total occupies.
@@ -165,14 +182,23 @@ mod tests {
         let p = BlockPayload::from_block(&b);
         assert_eq!(p.popcount(), 3);
         assert_eq!(p.wire_bytes(), 11);
-        assert_eq!(p.to_block(), b);
+        assert_eq!(p.to_block().unwrap(), b);
     }
 
     #[test]
     fn empty_block_is_mask_only() {
         let p = BlockPayload::from_block(&[0i8; 64]);
         assert_eq!(p.wire_bytes(), 8);
-        assert_eq!(p.to_block(), [0i8; 64]);
+        assert_eq!(p.to_block().unwrap(), [0i8; 64]);
+    }
+
+    #[test]
+    fn malformed_payload_to_block_is_an_error() {
+        let p = BlockPayload {
+            mask: [0xff; 8],
+            values: vec![1, 2, 3],
+        };
+        assert!(matches!(p.to_block(), Err(CodecError::Corrupt(_))));
     }
 
     #[test]
@@ -189,7 +215,7 @@ mod tests {
                     .collect()
             })
             .collect();
-        let bytes = collect(&streams);
+        let bytes = collect(&streams).expect("well-formed streams");
         assert_eq!(bytes.len() % PACKET_BYTES, 0);
         let counts: Vec<usize> = streams.iter().map(|s| s.len()).collect();
         let back = split(&bytes, &counts).expect("splits");
@@ -210,10 +236,28 @@ mod tests {
                 .map(|_| BlockPayload::from_block(&[0i8; 64]))
                 .collect(),
         ];
-        let bytes = collect(&streams);
+        let bytes = collect(&streams).expect("well-formed streams");
         let counts: Vec<usize> = streams.iter().map(|s| s.len()).collect();
         let back = split(&bytes, &counts).expect("splits");
         assert_eq!(back, streams);
+    }
+
+    #[test]
+    fn collect_rejects_malformed_payload_with_cdu_index() {
+        let good = vec![BlockPayload::from_block(&block_with(&[(0, 1)]))];
+        let bad = vec![BlockPayload {
+            mask: [0xff; 8],
+            values: vec![1],
+        }];
+        let err = collect(&[good, bad]).unwrap_err();
+        assert_eq!(
+            err,
+            CodecError::Stream {
+                cdu: 1,
+                offset: 9,
+                what: "payload value count does not match mask popcount",
+            }
+        );
     }
 
     #[test]
@@ -222,17 +266,41 @@ mod tests {
         // mask.
         let b0 = BlockPayload::from_block(&block_with(&[(0, 7)]));
         let b1 = BlockPayload::from_block(&block_with(&[(1, 8)]));
-        let bytes = collect(&[vec![b0.clone()], vec![b1.clone()]]);
+        let bytes = collect(&[vec![b0.clone()], vec![b1.clone()]]).expect("well-formed");
         assert_eq!(&bytes[0..8], &b0.mask);
         assert_eq!(bytes[8], 7u8);
         assert_eq!(&bytes[9..17], &b1.mask);
     }
 
     #[test]
-    fn truncated_stream_returns_none() {
+    fn truncated_stream_names_cdu_and_offset() {
         let streams = vec![vec![BlockPayload::from_block(&block_with(&[(0, 1)]))]];
-        let bytes = collect(&streams);
-        assert!(split(&bytes[..4], &[1]).is_none());
+        let bytes = collect(&streams).expect("well-formed");
+        let err = split(&bytes[..4], &[1]).unwrap_err();
+        assert_eq!(
+            err,
+            CodecError::Stream {
+                cdu: 0,
+                offset: 0,
+                what: "stream ends inside block mask",
+            }
+        );
+    }
+
+    #[test]
+    fn truncated_values_name_cdu_and_offset() {
+        // A dense mask announcing 64 values followed by only 2 bytes.
+        let mut bytes = vec![0xffu8; 8];
+        bytes.extend_from_slice(&[1, 2]);
+        let err = split(&bytes, &[1]).unwrap_err();
+        assert_eq!(
+            err,
+            CodecError::Stream {
+                cdu: 0,
+                offset: 8,
+                what: "stream ends inside block values",
+            }
+        );
     }
 
     #[test]

@@ -1,0 +1,815 @@
+//! Framed wire format for compressed activations (the offload DMA path).
+//!
+//! JPEG-ACT ships compressed activations across a PCIe DMA link
+//! (Sec. III-G); once bytes cross that boundary, the decoder must assume
+//! the wire can lie — truncated packets, flipped bits, payloads routed to
+//! the wrong codec.  This module serializes every [`Payload`] variant into
+//! a self-describing framed container and decodes **any** byte sequence
+//! back into a `Result`: every length read is bounds-checked, every enum
+//! tag is validated, and every structural invariant the downstream
+//! decompressors rely on is re-established before a payload is rebuilt,
+//! so there are zero panic paths for arbitrary input.
+//!
+//! ## Frame layout (all integers little-endian)
+//!
+//! | offset | size | field |
+//! |---|---|---|
+//! | 0 | 4 | magic `b"JACT"` |
+//! | 4 | 2 | format version ([`VERSION`]) |
+//! | 6 | 1 | codec tag (0=Raw .. 7=Brc) |
+//! | 7 | 1 | reserved, must be 0 |
+//! | 8 | 8 | body length `L` |
+//! | 16 | `L` | body |
+//! | 16+`L` | 4 | CRC32 (IEEE, poly `0xEDB88320`) over bytes `0..16+L` |
+//!
+//! The body starts with a common prelude — codec name (u32-length UTF-8
+//! string), uncompressed byte count, compressed byte count — followed by
+//! the tag-specific payload encoding.  A frame must be *exactly*
+//! `16 + L + 4` bytes: trailing garbage is a [`CodecError::BadFrame`],
+//! a short buffer is a [`CodecError::Truncated`], and a checksum
+//! disagreement is a [`CodecError::ChecksumMismatch`].
+//!
+//! Version policy: [`VERSION`] bumps on any layout change; decoders reject
+//! every version other than their own (offloaded activations never
+//! outlive the process that wrote them, so no cross-version decode is
+//! needed).
+
+use crate::brc::BrcMask;
+use crate::csr::Csr;
+use crate::csr::MAX_ROW;
+use crate::dqt::Dqt;
+use crate::error::CodecError;
+use crate::pipeline::{CodedBlocks, CompressedActivation, JpegPayload, Payload, QuantKind2};
+use crate::sfpr::{SfprEncoded, SfprParams};
+use crate::zvc::Zvc;
+use jact_tensor::{Shape, Tensor};
+
+/// Frame magic: the first four bytes of every serialized activation.
+pub const MAGIC: [u8; 4] = *b"JACT";
+
+/// Wire format version; bumped on any layout change.
+pub const VERSION: u16 = 1;
+
+/// Header length in bytes (magic + version + tag + reserved + body length).
+pub const HEADER_BYTES: usize = 16;
+
+/// Upper bound on the element count of any shape accepted off the wire —
+/// a denial-of-service guard so a mutated dimension field cannot demand
+/// an absurd allocation (2^32 elements = 16 GiB of f32).
+pub const MAX_WIRE_ELEMS: usize = 1 << 32;
+
+/// Maximum tensor rank accepted off the wire.
+pub const MAX_WIRE_RANK: usize = 8;
+
+const TAG_RAW: u8 = 0;
+const TAG_ZVC_F32: u8 = 1;
+const TAG_DPR: u8 = 2;
+const TAG_GIST_CSR: u8 = 3;
+const TAG_SFPR: u8 = 4;
+const TAG_SFPR_ZVC: u8 = 5;
+const TAG_JPEG: u8 = 6;
+const TAG_BRC: u8 = 7;
+
+// ---------------------------------------------------------------------
+// CRC32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — hand-rolled so
+// the workspace stays hermetic.
+// ---------------------------------------------------------------------
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC32 (IEEE) of a byte buffer — the checksum used by the frame trailer.
+/// Public so corruption tests can re-seal mutated frames and exercise the
+/// deep field validation behind the checksum.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------
+// Little-endian writer helpers.
+// ---------------------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32(out: &mut Vec<u8>, v: f32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_shape(out: &mut Vec<u8>, shape: &Shape) {
+    out.push(shape.rank() as u8);
+    for &d in shape.dims() {
+        put_u64(out, d as u64);
+    }
+}
+
+fn put_tensor(out: &mut Vec<u8>, t: &Tensor) {
+    put_shape(out, t.shape());
+    for &v in t.as_slice() {
+        put_f32(out, v);
+    }
+}
+
+fn put_zvc(out: &mut Vec<u8>, z: &Zvc) {
+    put_u64(out, z.words() as u64);
+    out.push(z.word_bytes() as u8);
+    out.extend_from_slice(z.mask_bytes());
+    out.extend_from_slice(z.value_bytes());
+}
+
+fn put_sfpr(out: &mut Vec<u8>, enc: &SfprEncoded) {
+    put_f32(out, enc.params().s);
+    put_u32(out, enc.params().bits);
+    put_shape(out, enc.shape());
+    for &s in enc.scales() {
+        put_f32(out, s);
+    }
+    if enc.values().is_empty() {
+        out.push(0);
+    } else {
+        out.push(1);
+        out.extend(enc.values().iter().map(|&v| v as u8));
+    }
+}
+
+fn put_dqt(out: &mut Vec<u8>, dqt: &Dqt) {
+    put_str(out, dqt.name());
+    for &e in dqt.entries() {
+        put_u16(out, e);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bounds-checked little-endian reader.
+// ---------------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// A structural-validation error at the current cursor.
+    fn bad(&self, what: &'static str) -> CodecError {
+        CodecError::BadFrame {
+            offset: self.pos,
+            what,
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let available = self.buf.len().saturating_sub(self.pos);
+        if n > available {
+            return Err(CodecError::Truncated {
+                offset: self.pos,
+                needed: n,
+                available,
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, CodecError> {
+        let s = self.take(2)?;
+        Ok(u16::from_le_bytes([s[0], s[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        let s = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
+        ]))
+    }
+
+    fn f32(&mut self) -> Result<f32, CodecError> {
+        let s = self.take(4)?;
+        Ok(f32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    /// Reads a u64 length field and narrows it to `usize`.
+    fn len_u64(&mut self) -> Result<usize, CodecError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| CodecError::BadFrame {
+            offset: self.pos - 8,
+            what: "length field exceeds platform word size",
+        })
+    }
+
+    fn string(&mut self) -> Result<String, CodecError> {
+        let start = self.pos;
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?.to_vec();
+        String::from_utf8(bytes).map_err(|_| CodecError::BadFrame {
+            offset: start,
+            what: "string is not valid UTF-8",
+        })
+    }
+
+    fn shape(&mut self) -> Result<Shape, CodecError> {
+        let rank = self.u8()? as usize;
+        if rank == 0 {
+            return Err(self.bad("shape rank must be positive"));
+        }
+        if rank > MAX_WIRE_RANK {
+            return Err(self.bad("shape rank too large"));
+        }
+        let mut dims = Vec::with_capacity(rank);
+        let mut elems = 1usize;
+        for _ in 0..rank {
+            let d = self.len_u64()?;
+            if d == 0 {
+                return Err(self.bad("shape dimension must be positive"));
+            }
+            elems = elems
+                .checked_mul(d)
+                .filter(|&e| e <= MAX_WIRE_ELEMS)
+                .ok_or_else(|| self.bad("shape element count too large"))?;
+            dims.push(d);
+        }
+        Ok(Shape::new(&dims))
+    }
+
+    fn tensor(&mut self) -> Result<Tensor, CodecError> {
+        let shape = self.shape()?;
+        let n = shape.len();
+        let bytes = self.take(n * 4)?;
+        let data = bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        Ok(Tensor::from_vec(shape, data))
+    }
+
+    fn zvc(&mut self) -> Result<Zvc, CodecError> {
+        let words = self.len_u64()?;
+        let word_bytes = self.u8()? as usize;
+        if word_bytes == 0 {
+            return Err(self.bad("ZVC word width must be positive"));
+        }
+        let mask = self.take(words.div_ceil(8))?.to_vec();
+        let popcount: usize = mask.iter().map(|b| b.count_ones() as usize).sum();
+        let value_len = popcount
+            .checked_mul(word_bytes)
+            .ok_or_else(|| self.bad("ZVC value size overflow"))?;
+        let values = self.take(value_len)?.to_vec();
+        Zvc::from_parts(mask, values, words, word_bytes)
+    }
+
+    /// Reads an SFPR block.  When `require_values`, the value plane must
+    /// be present (the standalone SFPR payload decompresses it directly);
+    /// metadata-only forms (JPEG, SFPR+ZVC) may carry either.
+    fn sfpr(&mut self, require_values: bool) -> Result<SfprEncoded, CodecError> {
+        let s = self.f32()?;
+        let bits = self.u32()?;
+        let shape = self.shape()?;
+        if shape.rank() != 4 {
+            return Err(self.bad("SFPR shape must be rank 4"));
+        }
+        let scale_bytes = self.take(shape.c() * 4)?;
+        let scales: Vec<f32> = scale_bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        let values = match self.u8()? {
+            0 if require_values => {
+                return Err(self.bad("SFPR payload requires a value plane"));
+            }
+            0 => Vec::new(),
+            1 => self.take(shape.len())?.iter().map(|&b| b as i8).collect(),
+            _ => return Err(self.bad("SFPR value-plane flag must be 0 or 1")),
+        };
+        SfprEncoded::from_parts(values, scales, shape, SfprParams { s, bits })
+    }
+
+    fn dqt(&mut self) -> Result<Dqt, CodecError> {
+        let name = self.string()?;
+        let mut entries = [0u16; 64];
+        for e in entries.iter_mut() {
+            let v = self.u16()?;
+            if !(1..=255).contains(&v) {
+                return Err(CodecError::BadFrame {
+                    offset: self.pos - 2,
+                    what: "DQT entry out of 1..=255",
+                });
+            }
+            *e = v;
+        }
+        Ok(Dqt::from_entries(name, entries))
+    }
+}
+
+/// Number of 8×8 blocks the JPEG pipelines produce for `shape`, computed
+/// with overflow-checked arithmetic (mirrors `BlockLayout` with the
+/// paper's `NCH,W` padding).
+fn checked_num_blocks(shape: &Shape) -> Option<usize> {
+    let rows = shape.n().checked_mul(shape.c())?.checked_mul(shape.h())?;
+    let block_rows = rows.checked_add(7)? / 8;
+    let block_cols = shape.w().checked_add(7)? / 8;
+    block_rows.checked_mul(block_cols)
+}
+
+// ---------------------------------------------------------------------
+// Serialize.
+// ---------------------------------------------------------------------
+
+/// Serializes a compressed activation into a framed byte container
+/// suitable for the offload DMA path.  Always succeeds — every payload a
+/// codec can produce has a wire encoding.
+pub fn serialize(c: &CompressedActivation) -> Vec<u8> {
+    let mut body = Vec::new();
+    put_str(&mut body, c.codec_name());
+    put_u64(&mut body, c.uncompressed_bytes() as u64);
+    put_u64(&mut body, c.compressed_bytes() as u64);
+
+    let tag = match c.payload() {
+        Payload::Raw(t) => {
+            put_tensor(&mut body, t);
+            TAG_RAW
+        }
+        Payload::ZvcF32 { z, shape } => {
+            put_shape(&mut body, shape);
+            put_zvc(&mut body, z);
+            TAG_ZVC_F32
+        }
+        Payload::Dpr { rounded } => {
+            put_tensor(&mut body, rounded);
+            TAG_DPR
+        }
+        Payload::GistCsr { csr, shape } => {
+            put_shape(&mut body, shape);
+            put_u16(&mut body, csr.row_len() as u16);
+            for &p in csr.row_ptr() {
+                put_u32(&mut body, p);
+            }
+            body.extend_from_slice(csr.cols());
+            body.extend(csr.vals().iter().map(|&v| v as u8));
+            TAG_GIST_CSR
+        }
+        Payload::Sfpr(enc) => {
+            put_sfpr(&mut body, enc);
+            TAG_SFPR
+        }
+        Payload::SfprZvc { meta, z } => {
+            put_sfpr(&mut body, meta);
+            put_zvc(&mut body, z);
+            TAG_SFPR_ZVC
+        }
+        Payload::Jpeg(p) => {
+            put_sfpr(&mut body, &p.meta);
+            body.push(match p.quant {
+                QuantKind2::Div => 0,
+                QuantKind2::Shift => 1,
+            });
+            put_dqt(&mut body, &p.dqt);
+            match &p.coded {
+                CodedBlocks::Rle { bytes, count } => {
+                    body.push(0);
+                    put_u64(&mut body, *count as u64);
+                    put_u64(&mut body, bytes.len() as u64);
+                    body.extend_from_slice(bytes);
+                }
+                CodedBlocks::Zvc(z) => {
+                    body.push(1);
+                    put_zvc(&mut body, z);
+                }
+            }
+            TAG_JPEG
+        }
+        Payload::Brc(m) => {
+            put_shape(&mut body, m.shape());
+            body.extend_from_slice(m.bits());
+            TAG_BRC
+        }
+    };
+
+    let mut out = Vec::with_capacity(HEADER_BYTES + body.len() + 4);
+    out.extend_from_slice(&MAGIC);
+    put_u16(&mut out, VERSION);
+    out.push(tag);
+    out.push(0); // reserved
+    put_u64(&mut out, body.len() as u64);
+    out.extend_from_slice(&body);
+    let crc = crc32(&out);
+    put_u32(&mut out, crc);
+    out
+}
+
+// ---------------------------------------------------------------------
+// Deserialize.
+// ---------------------------------------------------------------------
+
+/// Decodes a framed byte container back into a compressed activation.
+///
+/// Total function over arbitrary input: any malformation — short buffer,
+/// bad magic, unknown tag, checksum mismatch, inconsistent payload
+/// structure — is a typed [`CodecError`]; there are no panic paths.
+pub fn deserialize(bytes: &[u8]) -> Result<CompressedActivation, CodecError> {
+    let mut r = Reader::new(bytes);
+    let magic = r.take(4)?;
+    if magic != MAGIC {
+        return Err(CodecError::BadFrame {
+            offset: 0,
+            what: "bad magic",
+        });
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(CodecError::BadFrame {
+            offset: 4,
+            what: "unsupported wire version",
+        });
+    }
+    let tag = r.u8()?;
+    if tag > TAG_BRC {
+        return Err(CodecError::BadFrame {
+            offset: 6,
+            what: "unknown codec tag",
+        });
+    }
+    if r.u8()? != 0 {
+        return Err(CodecError::BadFrame {
+            offset: 7,
+            what: "reserved byte must be zero",
+        });
+    }
+    let body_len = r.len_u64()?;
+    let total = HEADER_BYTES
+        .checked_add(body_len)
+        .and_then(|t| t.checked_add(4))
+        .ok_or(CodecError::BadFrame {
+            offset: 8,
+            what: "body length overflows frame size",
+        })?;
+    if bytes.len() < total {
+        return Err(CodecError::Truncated {
+            offset: bytes.len(),
+            needed: total - bytes.len(),
+            available: 0,
+        });
+    }
+    if bytes.len() > total {
+        return Err(CodecError::BadFrame {
+            offset: total,
+            what: "trailing bytes after frame",
+        });
+    }
+    let announced = u32::from_le_bytes([
+        bytes[total - 4],
+        bytes[total - 3],
+        bytes[total - 2],
+        bytes[total - 1],
+    ]);
+    let actual = crc32(&bytes[..total - 4]);
+    if announced != actual {
+        return Err(CodecError::ChecksumMismatch {
+            expected: announced,
+            actual,
+        });
+    }
+
+    // Body prelude.
+    let codec_name = r.string()?;
+    let uncompressed_bytes = r.len_u64()?;
+    let compressed_bytes = r.len_u64()?;
+
+    let payload = match tag {
+        TAG_RAW => Payload::Raw(r.tensor()?),
+        TAG_ZVC_F32 => {
+            let shape = r.shape()?;
+            let z = r.zvc()?;
+            if z.word_bytes() != 4 {
+                return Err(r.bad("ZVC-f32 payload requires 4-byte words"));
+            }
+            if z.words() != shape.len() {
+                return Err(r.bad("ZVC word count disagrees with shape"));
+            }
+            Payload::ZvcF32 { z, shape }
+        }
+        TAG_DPR => Payload::Dpr {
+            rounded: r.tensor()?,
+        },
+        TAG_GIST_CSR => {
+            let shape = r.shape()?;
+            let len = shape.len();
+            let row_len = r.u16()? as usize;
+            if !(1..=MAX_ROW).contains(&row_len) {
+                return Err(r.bad("CSR row length out of 1..=256"));
+            }
+            let rows = len.div_ceil(row_len);
+            let ptr_bytes = rows
+                .checked_add(1)
+                .and_then(|n| n.checked_mul(4))
+                .ok_or_else(|| r.bad("CSR row pointer count overflow"))?;
+            let row_ptr: Vec<u32> = r
+                .take(ptr_bytes)?
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect();
+            let nnz = row_ptr.last().map(|&p| p as usize).unwrap_or(0);
+            let cols = r.take(nnz)?.to_vec();
+            let vals: Vec<i8> = r.take(nnz)?.iter().map(|&b| b as i8).collect();
+            let csr = Csr::from_parts(row_ptr, cols, vals, len, row_len)?;
+            Payload::GistCsr { csr, shape }
+        }
+        TAG_SFPR => Payload::Sfpr(r.sfpr(true)?),
+        TAG_SFPR_ZVC => {
+            let meta = r.sfpr(false)?;
+            let z = r.zvc()?;
+            if z.word_bytes() != 1 {
+                return Err(r.bad("SFPR+ZVC payload requires 1-byte words"));
+            }
+            if z.words() != meta.shape().len() {
+                return Err(r.bad("ZVC word count disagrees with SFPR shape"));
+            }
+            Payload::SfprZvc { meta, z }
+        }
+        TAG_JPEG => {
+            let meta = r.sfpr(false)?;
+            let quant = match r.u8()? {
+                0 => QuantKind2::Div,
+                1 => QuantKind2::Shift,
+                _ => return Err(r.bad("unknown quantizer tag")),
+            };
+            let dqt = r.dqt()?;
+            let num_blocks = checked_num_blocks(meta.shape())
+                .ok_or_else(|| r.bad("block count overflow"))?;
+            let coded = match r.u8()? {
+                0 => {
+                    let count = r.len_u64()?;
+                    let byte_len = r.len_u64()?;
+                    let bytes = r.take(byte_len)?.to_vec();
+                    if count != num_blocks {
+                        return Err(r.bad("RLE block count disagrees with shape"));
+                    }
+                    // Every coded block consumes at least one bit, so a
+                    // plausible count is bounded by the stream length —
+                    // this caps the decoder's up-front allocation.
+                    if count > bytes.len().saturating_mul(8) {
+                        return Err(r.bad("RLE block count exceeds stream capacity"));
+                    }
+                    CodedBlocks::Rle { bytes, count }
+                }
+                1 => {
+                    let z = r.zvc()?;
+                    if z.word_bytes() != 1 {
+                        return Err(r.bad("JPEG ZVC payload requires 1-byte words"));
+                    }
+                    if Some(z.words()) != num_blocks.checked_mul(64) {
+                        return Err(r.bad("ZVC word count disagrees with block count"));
+                    }
+                    CodedBlocks::Zvc(z)
+                }
+                _ => return Err(r.bad("unknown coded-blocks tag")),
+            };
+            Payload::Jpeg(JpegPayload {
+                meta,
+                coded,
+                quant,
+                dqt,
+            })
+        }
+        TAG_BRC => {
+            let shape = r.shape()?;
+            let bits = r.take(shape.len().div_ceil(8))?.to_vec();
+            Payload::Brc(BrcMask::from_parts(bits, shape)?)
+        }
+        _ => {
+            // Tag range was validated above.
+            return Err(r.bad("unknown codec tag"));
+        }
+    };
+
+    if r.pos != HEADER_BYTES + body_len {
+        return Err(CodecError::BadFrame {
+            offset: r.pos,
+            what: "body has trailing bytes",
+        });
+    }
+
+    Ok(CompressedActivation::from_wire_parts(
+        payload,
+        uncompressed_bytes,
+        compressed_bytes,
+        codec_name,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dpr::DprWidth;
+    use crate::pipeline::{
+        BrcCodec, Codec, DprCodec, GistCsrCodec, JpegActCodec, JpegBaseCodec, RawCodec, SfprCodec,
+        SfprZvcCodec, ZvcF32Codec,
+    };
+
+    fn smooth_tensor() -> Tensor {
+        let shape = Shape::nchw(1, 2, 8, 16);
+        let data = (0..shape.len())
+            .map(|i| {
+                if i % 4 == 0 {
+                    0.0
+                } else {
+                    ((i % 16) as f32 * 0.3).sin() * 1.5
+                }
+            })
+            .collect();
+        Tensor::from_vec(shape, data)
+    }
+
+    fn all_codecs() -> Vec<Box<dyn Codec>> {
+        vec![
+            Box::new(RawCodec),
+            Box::new(ZvcF32Codec),
+            Box::new(DprCodec::new(DprWidth::F16)),
+            Box::new(GistCsrCodec),
+            Box::new(SfprCodec::new()),
+            Box::new(SfprZvcCodec::new()),
+            Box::new(JpegBaseCodec::new(Dqt::opt_l())),
+            Box::new(JpegActCodec::new(Dqt::opt_h())),
+            Box::new(BrcCodec),
+        ]
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_all_codecs_bit_exact() {
+        let x = smooth_tensor();
+        for codec in all_codecs() {
+            let c = codec.compress(&x);
+            let wire = serialize(&c);
+            let back = deserialize(&wire).unwrap_or_else(|e| {
+                panic!("{}: deserialize failed: {e}", codec.name())
+            });
+            // Frame re-serialization is byte-identical...
+            assert_eq!(serialize(&back), wire, "{}", codec.name());
+            // ...and accounting plus decompression agree exactly.
+            assert_eq!(back.codec_name(), c.codec_name());
+            assert_eq!(back.compressed_bytes(), c.compressed_bytes());
+            assert_eq!(back.uncompressed_bytes(), c.uncompressed_bytes());
+            let a = codec.decompress(&c).expect("original decompresses");
+            let b = codec.decompress(&back).expect("wire copy decompresses");
+            assert_eq!(a.as_slice(), b.as_slice(), "{}", codec.name());
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_are_typed_errors() {
+        assert!(matches!(
+            deserialize(&[]),
+            Err(CodecError::Truncated { .. })
+        ));
+        assert!(matches!(
+            deserialize(b"JA"),
+            Err(CodecError::Truncated { .. })
+        ));
+        assert!(matches!(
+            deserialize(b"NOPE00000000000000000000"),
+            Err(CodecError::BadFrame { offset: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_anywhere_is_a_typed_error() {
+        let wire = serialize(&SfprCodec::new().compress(&smooth_tensor()));
+        for cut in 0..wire.len() {
+            let err = deserialize(&wire[..cut]).unwrap_err();
+            assert!(
+                matches!(err, CodecError::Truncated { .. })
+                    || matches!(err, CodecError::ChecksumMismatch { .. })
+                    || matches!(err, CodecError::BadFrame { .. }),
+                "cut={cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut wire = serialize(&RawCodec.compress(&smooth_tensor()));
+        wire.push(0);
+        assert!(matches!(
+            deserialize(&wire),
+            Err(CodecError::BadFrame {
+                what: "trailing bytes after frame",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn single_bit_flip_is_detected() {
+        let wire = serialize(&JpegActCodec::new(Dqt::opt_h()).compress(&smooth_tensor()));
+        // Flip one bit in the body: the checksum catches it.
+        let mut corrupt = wire.clone();
+        corrupt[HEADER_BYTES + 3] ^= 0x10;
+        assert!(matches!(
+            deserialize(&corrupt),
+            Err(CodecError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn resealed_bad_tag_is_still_rejected() {
+        // Recompute the CRC after mutating the tag, so the deep field
+        // validation (not just the checksum) must reject the frame.
+        let mut wire = serialize(&SfprCodec::new().compress(&smooth_tensor()));
+        wire[6] = 99;
+        let n = wire.len();
+        let crc = crc32(&wire[..n - 4]);
+        wire[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            deserialize(&wire),
+            Err(CodecError::BadFrame {
+                offset: 6,
+                what: "unknown codec tag",
+            })
+        ));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut wire = serialize(&RawCodec.compress(&smooth_tensor()));
+        wire[4] = VERSION as u8 + 1;
+        let n = wire.len();
+        let crc = crc32(&wire[..n - 4]);
+        wire[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            deserialize(&wire),
+            Err(CodecError::BadFrame {
+                offset: 4,
+                what: "unsupported wire version",
+            })
+        ));
+    }
+
+    #[test]
+    fn checksum_mismatch_reports_both_values() {
+        let mut wire = serialize(&RawCodec.compress(&smooth_tensor()));
+        let n = wire.len();
+        wire[n - 1] ^= 0xFF;
+        match deserialize(&wire) {
+            Err(CodecError::ChecksumMismatch { expected, actual }) => {
+                assert_ne!(expected, actual);
+            }
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+}

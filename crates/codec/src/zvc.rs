@@ -12,7 +12,12 @@
 //!   max ratio 8×: one mask bit per byte),
 //! * 4-byte words over raw `f32` activations (cDMA-style compression of
 //!   sparse ReLU/dropout outputs; max ratio 32×).
+//!
+//! All fallible entry points return [`CodecError`] instead of panicking:
+//! ZVC streams cross the offload wire ([`crate::wire`]) and must reject
+//! malformed input gracefully.
 
+use crate::error::CodecError;
 
 /// A ZVC-compressed buffer: non-zero bit mask plus packed non-zero words.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,18 +35,42 @@ pub struct Zvc {
 impl Zvc {
     /// Compresses a byte buffer interpreted as `word_bytes`-wide words.
     ///
-    /// # Panics
-    ///
-    /// Panics if `word_bytes` is zero or `data.len()` is not a multiple of
-    /// `word_bytes`.
-    pub fn compress(data: &[u8], word_bytes: usize) -> Self {
-        assert!(word_bytes > 0, "word width must be positive");
-        assert_eq!(
-            data.len() % word_bytes,
-            0,
-            "data length {} not a multiple of word width {word_bytes}",
-            data.len()
-        );
+    /// Returns [`CodecError::Corrupt`] if `word_bytes` is zero or
+    /// `data.len()` is not a multiple of `word_bytes`.
+    pub fn compress(data: &[u8], word_bytes: usize) -> Result<Self, CodecError> {
+        if word_bytes == 0 {
+            return Err(CodecError::Corrupt("ZVC word width must be positive"));
+        }
+        if data.len() % word_bytes != 0 {
+            return Err(CodecError::Corrupt(
+                "ZVC data length not a multiple of word width",
+            ));
+        }
+        Ok(Self::compress_infallible(data, word_bytes))
+    }
+
+    /// Compresses a slice of `i8` values (1-byte words).
+    pub fn compress_i8(data: &[i8]) -> Self {
+        let bytes: Vec<u8> = data.iter().map(|&v| v as u8).collect();
+        Self::compress_infallible(&bytes, 1)
+    }
+
+    /// Compresses a slice of `f32` values (4-byte words); only exact `+0.0`
+    /// bit patterns count as zero, matching a hardware word comparator.
+    pub fn compress_f32(data: &[f32]) -> Self {
+        let mut bytes = Vec::with_capacity(data.len() * 4);
+        for &v in data {
+            // Normalize -0.0 to +0.0 so the mask sees it as zero, as the
+            // cDMA hardware does for sign-magnitude zero.
+            let v = if v == 0.0 { 0.0 } else { v };
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        Self::compress_infallible(&bytes, 4)
+    }
+
+    /// Compression core for callers that construct aligned buffers
+    /// themselves; the width invariants hold by construction.
+    fn compress_infallible(data: &[u8], word_bytes: usize) -> Self {
         let words = data.len() / word_bytes;
         let mut mask = vec![0u8; words.div_ceil(8)];
         let mut values = Vec::new();
@@ -60,23 +89,47 @@ impl Zvc {
         }
     }
 
-    /// Compresses a slice of `i8` values (1-byte words).
-    pub fn compress_i8(data: &[i8]) -> Self {
-        let bytes: Vec<u8> = data.iter().map(|&v| v as u8).collect();
-        Zvc::compress(&bytes, 1)
-    }
-
-    /// Compresses a slice of `f32` values (4-byte words); only exact `+0.0`
-    /// bit patterns count as zero, matching a hardware word comparator.
-    pub fn compress_f32(data: &[f32]) -> Self {
-        let mut bytes = Vec::with_capacity(data.len() * 4);
-        for &v in data {
-            // Normalize -0.0 to +0.0 so the mask sees it as zero, as the
-            // cDMA hardware does for sign-magnitude zero.
-            let v = if v == 0.0 { 0.0 } else { v };
-            bytes.extend_from_slice(&v.to_le_bytes());
+    /// Rebuilds a `Zvc` from wire-decoded parts, validating every
+    /// invariant the decompressor relies on:
+    ///
+    /// * `word_bytes` is positive,
+    /// * the mask has exactly `words.div_ceil(8)` bytes,
+    /// * trailing mask bits past `words` are zero,
+    /// * `values.len()` equals mask popcount × `word_bytes`.
+    pub fn from_parts(
+        mask: Vec<u8>,
+        values: Vec<u8>,
+        words: usize,
+        word_bytes: usize,
+    ) -> Result<Self, CodecError> {
+        if word_bytes == 0 {
+            return Err(CodecError::Corrupt("ZVC word width must be positive"));
         }
-        Zvc::compress(&bytes, 4)
+        if mask.len() != words.div_ceil(8) {
+            return Err(CodecError::Corrupt("ZVC mask length mismatch"));
+        }
+        // Bits past the last word must be clear or decompress would
+        // disagree with compress on the value count.
+        if words % 8 != 0 {
+            if let Some(&last) = mask.last() {
+                if last >> (words % 8) != 0 {
+                    return Err(CodecError::Corrupt("ZVC trailing mask bits set"));
+                }
+            }
+        }
+        let popcount: usize = mask.iter().map(|b| b.count_ones() as usize).sum();
+        let expected = popcount.checked_mul(word_bytes);
+        if expected != Some(values.len()) {
+            return Err(CodecError::Corrupt(
+                "ZVC value bytes disagree with mask popcount",
+            ));
+        }
+        Ok(Zvc {
+            mask,
+            values,
+            words,
+            word_bytes,
+        })
     }
 
     /// Decompresses back to the original byte buffer.
@@ -93,27 +146,30 @@ impl Zvc {
         out
     }
 
-    /// Decompresses to `i8` values (requires 1-byte words).
+    /// Decompresses to `i8` values.
     ///
-    /// # Panics
-    ///
-    /// Panics if the stream was not compressed with 1-byte words.
-    pub fn decompress_i8(&self) -> Vec<i8> {
-        assert_eq!(self.word_bytes, 1, "not an i8 stream");
-        self.decompress().into_iter().map(|b| b as i8).collect()
+    /// Returns [`CodecError::Corrupt`] if the stream was not compressed
+    /// with 1-byte words.
+    pub fn decompress_i8(&self) -> Result<Vec<i8>, CodecError> {
+        if self.word_bytes != 1 {
+            return Err(CodecError::Corrupt("not an i8 ZVC stream"));
+        }
+        Ok(self.decompress().into_iter().map(|b| b as i8).collect())
     }
 
-    /// Decompresses to `f32` values (requires 4-byte words).
+    /// Decompresses to `f32` values.
     ///
-    /// # Panics
-    ///
-    /// Panics if the stream was not compressed with 4-byte words.
-    pub fn decompress_f32(&self) -> Vec<f32> {
-        assert_eq!(self.word_bytes, 4, "not an f32 stream");
-        self.decompress()
+    /// Returns [`CodecError::Corrupt`] if the stream was not compressed
+    /// with 4-byte words.
+    pub fn decompress_f32(&self) -> Result<Vec<f32>, CodecError> {
+        if self.word_bytes != 4 {
+            return Err(CodecError::Corrupt("not an f32 ZVC stream"));
+        }
+        Ok(self
+            .decompress()
             .chunks_exact(4)
             .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-            .collect()
+            .collect())
     }
 
     /// Compressed size in bytes: mask plus packed values.
@@ -145,6 +201,16 @@ impl Zvc {
     pub fn value_bytes(&self) -> &[u8] {
         &self.values
     }
+
+    /// Number of source words.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Word width in bytes.
+    pub fn word_bytes(&self) -> usize {
+        self.word_bytes
+    }
 }
 
 #[cfg(test)]
@@ -155,7 +221,7 @@ mod tests {
     fn roundtrip_i8_mixed() {
         let data: Vec<i8> = vec![3, 0, -1, 0, 0, 12, 0, 0, 3, 2, -1, 1, 0, 0, 0, 0];
         let z = Zvc::compress_i8(&data);
-        assert_eq!(z.decompress_i8(), data);
+        assert_eq!(z.decompress_i8().unwrap(), data);
     }
 
     #[test]
@@ -175,7 +241,7 @@ mod tests {
         let z = Zvc::compress_i8(&data);
         assert_eq!(z.compressed_bytes(), 8); // mask only
         assert_eq!(z.ratio(), 8.0);
-        assert_eq!(z.decompress_i8(), data);
+        assert_eq!(z.decompress_i8().unwrap(), data);
     }
 
     #[test]
@@ -204,7 +270,7 @@ mod tests {
     fn roundtrip_f32() {
         let data = vec![0.0f32, 1.5, 0.0, -2.25, 0.0, 0.0, 3.75, 0.0];
         let z = Zvc::compress_f32(&data);
-        assert_eq!(z.decompress_f32(), data);
+        assert_eq!(z.decompress_f32().unwrap(), data);
         // 8 words -> 1 mask byte + 3 * 4 value bytes.
         assert_eq!(z.compressed_bytes(), 1 + 12);
     }
@@ -214,7 +280,7 @@ mod tests {
         let data = vec![-0.0f32, 1.0];
         let z = Zvc::compress_f32(&data);
         assert_eq!(z.nonzero_words(), 1);
-        let out = z.decompress_f32();
+        let out = z.decompress_f32().unwrap();
         assert_eq!(out[0], 0.0);
         assert_eq!(out[1], 1.0);
     }
@@ -223,20 +289,61 @@ mod tests {
     fn non_multiple_of_8_words() {
         let data: Vec<i8> = vec![1, 0, 2, 0, 3, 0, 4, 0, 5, 0, 6];
         let z = Zvc::compress_i8(&data);
-        assert_eq!(z.decompress_i8(), data);
+        assert_eq!(z.decompress_i8().unwrap(), data);
         assert_eq!(z.mask_bytes().len(), 2);
     }
 
     #[test]
-    #[should_panic(expected = "not a multiple")]
-    fn misaligned_data_panics() {
-        let _ = Zvc::compress(&[1, 2, 3], 4);
+    fn misaligned_data_is_an_error() {
+        assert_eq!(
+            Zvc::compress(&[1, 2, 3], 4),
+            Err(CodecError::Corrupt(
+                "ZVC data length not a multiple of word width"
+            ))
+        );
+        assert_eq!(
+            Zvc::compress(&[1, 2, 3], 0),
+            Err(CodecError::Corrupt("ZVC word width must be positive"))
+        );
+    }
+
+    #[test]
+    fn wrong_width_decompress_is_an_error() {
+        let z = Zvc::compress_i8(&[1, 0, 2]);
+        assert!(z.decompress_f32().is_err());
+        let z = Zvc::compress_f32(&[1.0, 0.0]);
+        assert!(z.decompress_i8().is_err());
+    }
+
+    #[test]
+    fn from_parts_roundtrip() {
+        let z = Zvc::compress_i8(&[3, 0, -1, 0, 0, 12, 0, 0, 5]);
+        let back = Zvc::from_parts(
+            z.mask_bytes().to_vec(),
+            z.value_bytes().to_vec(),
+            z.words(),
+            z.word_bytes(),
+        )
+        .unwrap();
+        assert_eq!(back, z);
+    }
+
+    #[test]
+    fn from_parts_rejects_bad_invariants() {
+        // Mask length mismatch.
+        assert!(Zvc::from_parts(vec![0xff, 0x00], vec![1; 8], 8, 1).is_err());
+        // Popcount / value length disagreement.
+        assert!(Zvc::from_parts(vec![0x0f], vec![1, 2, 3], 8, 1).is_err());
+        // Trailing mask bits set past the word count.
+        assert!(Zvc::from_parts(vec![0xff], vec![1; 8], 4, 1).is_err());
+        // Zero word width.
+        assert!(Zvc::from_parts(vec![], vec![], 0, 0).is_err());
     }
 
     #[test]
     fn empty_input() {
         let z = Zvc::compress_i8(&[]);
         assert_eq!(z.compressed_bytes(), 0);
-        assert!(z.decompress_i8().is_empty());
+        assert!(z.decompress_i8().unwrap().is_empty());
     }
 }

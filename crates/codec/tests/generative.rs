@@ -88,7 +88,7 @@ fn zvc_roundtrip_any_bytes() {
         let len = rng.gen_range(0..512usize);
         let data = gen_i8_vec(rng, len);
         let z = Zvc::compress_i8(&data);
-        assert_eq!(z.decompress_i8(), data);
+        assert_eq!(z.decompress_i8().expect("i8 stream"), data);
     });
 }
 
@@ -98,7 +98,7 @@ fn zvc_f32_roundtrip() {
         let len = rng.gen_range(0..200usize);
         let data = gen_f32_vec(rng, len, -100.0, 100.0);
         let z = Zvc::compress_f32(&data);
-        let out = z.decompress_f32();
+        let out = z.decompress_f32().expect("f32 stream");
         assert_eq!(out.len(), data.len());
         for (a, b) in data.iter().zip(&out) {
             assert_eq!(if *a == 0.0 { 0.0 } else { *a }, *b);
@@ -322,10 +322,10 @@ fn collector_splitter_roundtrip() {
             .iter()
             .map(|s| s.iter().map(BlockPayload::from_block).collect())
             .collect();
-        let bytes = collect(&streams);
+        let bytes = collect(&streams).expect("well-formed streams");
         let counts: Vec<usize> = streams.iter().map(|s| s.len()).collect();
-        let back = split(&bytes, &counts);
-        assert_eq!(back, Some(streams));
+        let back = split(&bytes, &counts).expect("splits");
+        assert_eq!(back, streams);
     });
 }
 

@@ -1,0 +1,401 @@
+//! Deterministic fault injection for the offload wire path.
+//!
+//! The offload transport in a real JPEG-ACT deployment is a DMA engine
+//! moving compressed frames over PCIe; this module models that link as a
+//! lossy channel so the rest of the stack can be tested under corruption.
+//! A [`FaultInjector`] is a seeded, reproducible channel: it delivers a
+//! serialized [`wire`](jact_codec::wire) frame with a configurable
+//! expected number of faults per byte, drawn from a [`FaultModel`] mix of
+//! bit flips, stuck-at-zero regions, truncations, and packet-level
+//! duplication or drop (packets are the 128 B DMA granularity of
+//! [`stream`](jact_codec::stream)).
+//!
+//! What happens when a corrupted frame is detected is decided by a
+//! [`RecoveryPolicy`], consulted by
+//! [`OffloadStore`](crate::offload::OffloadStore) when a wire load fails
+//! to decode.
+
+use jact_rng::rngs::StdRng;
+use jact_rng::{Rng, SeedableRng};
+
+/// DMA packet granularity for packet-level faults, matching the 128 B
+/// packets of `jact_codec::stream`.
+pub const PACKET_BYTES: usize = 128;
+
+/// Longest stuck-at-zero run a single fault can produce, in bytes.
+pub const MAX_STUCK_RUN: usize = 64;
+
+/// One concrete transport fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// One random bit inverted.
+    BitFlip,
+    /// A short region forced to zero (stuck data lines).
+    StuckZero,
+    /// The frame cut short at a random offset.
+    Truncate,
+    /// One 128 B packet delivered twice.
+    DuplicatePacket,
+    /// One 128 B packet lost entirely.
+    PacketDrop,
+}
+
+/// The fault mix a channel draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultModel {
+    /// Only bit flips.
+    BitFlip,
+    /// Only stuck-at-zero regions.
+    StuckZero,
+    /// Only truncations.
+    Truncate,
+    /// Only duplicated packets.
+    DuplicatePacket,
+    /// Only dropped packets.
+    PacketDrop,
+    /// A weighted mixture: 60 % bit flips, 15 % stuck-at-zero, 10 %
+    /// truncations, 10 % duplicated packets, 5 % dropped packets —
+    /// single-bit upsets dominating, whole-packet loss rare.
+    Mixed,
+}
+
+impl FaultModel {
+    /// Draws one concrete fault kind from the mix.
+    fn draw(&self, rng: &mut StdRng) -> FaultKind {
+        match self {
+            FaultModel::BitFlip => FaultKind::BitFlip,
+            FaultModel::StuckZero => FaultKind::StuckZero,
+            FaultModel::Truncate => FaultKind::Truncate,
+            FaultModel::DuplicatePacket => FaultKind::DuplicatePacket,
+            FaultModel::PacketDrop => FaultKind::PacketDrop,
+            FaultModel::Mixed => {
+                let r = rng.gen_range(0..100u32);
+                if r < 60 {
+                    FaultKind::BitFlip
+                } else if r < 75 {
+                    FaultKind::StuckZero
+                } else if r < 85 {
+                    FaultKind::Truncate
+                } else if r < 95 {
+                    FaultKind::DuplicatePacket
+                } else {
+                    FaultKind::PacketDrop
+                }
+            }
+        }
+    }
+}
+
+/// Configuration of a fault channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Expected faults per delivered **byte** (so a 16 KiB frame at
+    /// `rate = 1e-3` sees ~16 faults per delivery; at `1e-6`, one fault
+    /// every ~60 frames).
+    pub rate: f64,
+    /// The fault mix.
+    pub model: FaultModel,
+    /// Seed for the channel's deterministic RNG.
+    pub seed: u64,
+}
+
+impl FaultConfig {
+    /// Creates a configuration.
+    pub fn new(rate: f64, model: FaultModel, seed: u64) -> Self {
+        FaultConfig { rate, model, seed }
+    }
+}
+
+/// What the store does when a wire load is detected as corrupt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Surface the decode error to the trainer.
+    Fail,
+    /// Redeliver from the pristine shadow copy up to `attempts` more
+    /// times (each redelivery draws fresh faults), then fail.
+    Retry {
+        /// Maximum redeliveries after the initial corrupt one.
+        attempts: u32,
+    },
+    /// Replace the activation with an all-zero tensor of the original
+    /// shape and keep training (recorded as a zero-filled recovery).
+    ZeroFill,
+}
+
+/// A deterministic lossy delivery channel for serialized frames.
+#[derive(Debug)]
+pub struct FaultInjector {
+    cfg: FaultConfig,
+    rng: StdRng,
+    injected: u64,
+}
+
+impl FaultInjector {
+    /// Creates a channel seeded from `cfg.seed`.
+    pub fn new(cfg: FaultConfig) -> Self {
+        FaultInjector {
+            cfg,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            injected: 0,
+        }
+    }
+
+    /// The channel configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Total individual faults applied across all deliveries.
+    pub fn faults_injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Delivers `frame` through the channel: returns the received copy
+    /// and the number of faults applied to it.  The fault count is
+    /// Poisson-distributed with mean `rate · len` — faults are
+    /// independent rare events per byte, so a clean delivery always has
+    /// probability `e^(-rate·len) > 0` and a retry policy can make
+    /// progress at any fault rate.
+    pub fn deliver(&mut self, frame: &[u8]) -> (Vec<u8>, u64) {
+        let mut out = frame.to_vec();
+        let n = Self::poisson(&mut self.rng, self.cfg.rate * frame.len() as f64);
+        let mut applied = 0u64;
+        for _ in 0..n {
+            if self.apply_one(&mut out) {
+                applied += 1;
+            }
+        }
+        self.injected += applied;
+        (out, applied)
+    }
+
+    /// One Poisson draw with mean `lambda`: Knuth's product-of-uniforms
+    /// method for small means, a normal approximation above 30 (where
+    /// `e^(-lambda)` underflow would bias Knuth's method).
+    fn poisson(rng: &mut StdRng, lambda: f64) -> u64 {
+        if lambda <= 0.0 {
+            return 0;
+        }
+        if lambda > 30.0 {
+            let n = lambda + lambda.sqrt() * rng.sample_normal_f32() as f64;
+            return n.round().max(0.0) as u64;
+        }
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0f64;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+
+    /// Applies one fault in place; returns `false` if the buffer has
+    /// shrunk to nothing (earlier truncations/drops) and no fault can
+    /// land.
+    fn apply_one(&mut self, buf: &mut Vec<u8>) -> bool {
+        if buf.is_empty() {
+            return false;
+        }
+        match self.cfg.model.draw(&mut self.rng) {
+            FaultKind::BitFlip => {
+                let i = self.rng.gen_range(0..buf.len());
+                let bit = self.rng.gen_range(0..8u32);
+                buf[i] ^= 1 << bit;
+            }
+            FaultKind::StuckZero => {
+                let start = self.rng.gen_range(0..buf.len());
+                let max_run = MAX_STUCK_RUN.min(buf.len() - start);
+                let run = self.rng.gen_range(0..max_run) + 1;
+                for b in &mut buf[start..start + run] {
+                    *b = 0;
+                }
+            }
+            FaultKind::Truncate => {
+                let keep = self.rng.gen_range(0..buf.len());
+                buf.truncate(keep);
+            }
+            FaultKind::DuplicatePacket => {
+                let packets = buf.len().div_ceil(PACKET_BYTES);
+                let p = self.rng.gen_range(0..packets);
+                let start = p * PACKET_BYTES;
+                let end = (start + PACKET_BYTES).min(buf.len());
+                let copy: Vec<u8> = buf[start..end].to_vec();
+                // Re-delivered packet lands immediately after the original.
+                buf.splice(end..end, copy);
+            }
+            FaultKind::PacketDrop => {
+                let packets = buf.len().div_ceil(PACKET_BYTES);
+                let p = self.rng.gen_range(0..packets);
+                let start = p * PACKET_BYTES;
+                let end = (start + PACKET_BYTES).min(buf.len());
+                buf.drain(start..end);
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i % 251) as u8).collect()
+    }
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let mut inj = FaultInjector::new(FaultConfig::new(0.0, FaultModel::Mixed, 7));
+        let f = frame(4096);
+        let (out, n) = inj.deliver(&f);
+        assert_eq!(out, f);
+        assert_eq!(n, 0);
+        assert_eq!(inj.faults_injected(), 0);
+    }
+
+    #[test]
+    fn same_seed_same_faults() {
+        let cfg = FaultConfig::new(1e-3, FaultModel::Mixed, 42);
+        let f = frame(8192);
+        let (a, na) = FaultInjector::new(cfg).deliver(&f);
+        let (b, nb) = FaultInjector::new(cfg).deliver(&f);
+        assert_eq!(a, b);
+        assert_eq!(na, nb);
+        assert!(na > 0, "1e-3 over 8 KiB should fault");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let f = frame(8192);
+        let (a, _) =
+            FaultInjector::new(FaultConfig::new(1e-3, FaultModel::BitFlip, 1)).deliver(&f);
+        let (b, _) =
+            FaultInjector::new(FaultConfig::new(1e-3, FaultModel::BitFlip, 2)).deliver(&f);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn rate_matches_expectation() {
+        // 1e-3 per byte over 200 deliveries of 4 KiB: expect ~819 faults.
+        let mut inj = FaultInjector::new(FaultConfig::new(1e-3, FaultModel::BitFlip, 9));
+        let f = frame(4096);
+        for _ in 0..200 {
+            inj.deliver(&f);
+        }
+        let got = inj.faults_injected() as f64;
+        let expect = 1e-3 * 4096.0 * 200.0;
+        assert!(
+            (got - expect).abs() < expect * 0.25,
+            "expected ~{expect}, got {got}"
+        );
+    }
+
+    #[test]
+    fn clean_deliveries_remain_possible_at_high_mean() {
+        // Mean 2 faults per delivery: a clean window still arrives with
+        // probability e^-2 ~ 0.135, which is what lets Retry make
+        // progress at any rate.
+        let f = frame(4096);
+        let mut inj =
+            FaultInjector::new(FaultConfig::new(2.0 / 4096.0, FaultModel::BitFlip, 12));
+        let clean = (0..200)
+            .filter(|_| {
+                let (out, n) = inj.deliver(&f);
+                n == 0 && out == f
+            })
+            .count();
+        assert!(clean > 5, "expected ~27 clean of 200, got {clean}");
+    }
+
+    #[test]
+    fn bit_flip_changes_exactly_one_bit() {
+        let mut inj = FaultInjector::new(FaultConfig::new(0.0, FaultModel::BitFlip, 3));
+        let f = frame(256);
+        let mut out = f.clone();
+        assert!(inj.apply_one(&mut out));
+        let flipped: u32 = f
+            .iter()
+            .zip(&out)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(flipped, 1);
+    }
+
+    #[test]
+    fn truncate_shortens() {
+        let mut inj = FaultInjector::new(FaultConfig::new(0.0, FaultModel::Truncate, 4));
+        let mut out = frame(512);
+        assert!(inj.apply_one(&mut out));
+        assert!(out.len() < 512);
+    }
+
+    #[test]
+    fn duplicate_grows_by_at_most_one_packet() {
+        let mut inj =
+            FaultInjector::new(FaultConfig::new(0.0, FaultModel::DuplicatePacket, 5));
+        let mut out = frame(1000);
+        assert!(inj.apply_one(&mut out));
+        assert!(out.len() > 1000 && out.len() <= 1000 + PACKET_BYTES);
+    }
+
+    #[test]
+    fn drop_shrinks_by_at_most_one_packet() {
+        let mut inj = FaultInjector::new(FaultConfig::new(0.0, FaultModel::PacketDrop, 6));
+        let mut out = frame(1000);
+        assert!(inj.apply_one(&mut out));
+        assert!(out.len() < 1000 && out.len() >= 1000 - PACKET_BYTES);
+    }
+
+    #[test]
+    fn stuck_zero_zeroes_a_bounded_run() {
+        let mut inj = FaultInjector::new(FaultConfig::new(0.0, FaultModel::StuckZero, 8));
+        let f = vec![0xFFu8; 512];
+        let mut out = f.clone();
+        assert!(inj.apply_one(&mut out));
+        let zeros = out.iter().filter(|&&b| b == 0).count();
+        assert!(zeros >= 1 && zeros <= MAX_STUCK_RUN, "zeros={zeros}");
+        // The zeroed bytes are contiguous.
+        let first = out.iter().position(|&b| b == 0).unwrap();
+        let last = out.iter().rposition(|&b| b == 0).unwrap();
+        assert_eq!(last - first + 1, zeros);
+    }
+
+    #[test]
+    fn empty_and_exhausted_buffers_never_panic() {
+        for model in [
+            FaultModel::BitFlip,
+            FaultModel::StuckZero,
+            FaultModel::Truncate,
+            FaultModel::DuplicatePacket,
+            FaultModel::PacketDrop,
+            FaultModel::Mixed,
+        ] {
+            let mut inj = FaultInjector::new(FaultConfig::new(1.0, model, 11));
+            let (out, n) = inj.deliver(&[]);
+            assert!(out.is_empty());
+            assert_eq!(n, 0);
+            // A huge rate on a tiny frame exercises repeated faulting of
+            // a shrinking (possibly emptied) buffer.
+            let _ = inj.deliver(&frame(3));
+        }
+    }
+
+    #[test]
+    fn mixed_model_draws_every_kind() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            match FaultModel::Mixed.draw(&mut rng) {
+                FaultKind::BitFlip => seen[0] = true,
+                FaultKind::StuckZero => seen[1] = true,
+                FaultKind::Truncate => seen[2] = true,
+                FaultKind::DuplicatePacket => seen[3] = true,
+                FaultKind::PacketDrop => seen[4] = true,
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "seen={seen:?}");
+    }
+}

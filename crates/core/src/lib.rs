@@ -14,6 +14,11 @@
 //!   on save and decompresses on load, so backward passes consume
 //!   recovered activations (Eqn. 8) while compression statistics are
 //!   accounted per activation type;
+//! * [`fault`] — a deterministic, seeded fault injector modelling the
+//!   offload DMA link as a lossy channel (bit flips, stuck-at-zero runs,
+//!   truncation, packet duplication/drop), plus the
+//!   [`RecoveryPolicy`](fault::RecoveryPolicy) the store consults when a
+//!   wire load is detected as corrupt;
 //! * [`metrics`] — Shannon entropy of quantized coefficients (Eqn. 11),
 //!   recovered-activation L2 error (Eqn. 10), the rate/distortion
 //!   objective `O` (Eqn. 12), and the spatial-vs-frequency entropy
@@ -44,11 +49,13 @@
 
 pub mod convergence;
 pub mod dqt_opt;
+pub mod fault;
 pub mod method;
 pub mod metrics;
 pub mod offload;
 pub mod stats;
 
+pub use fault::{FaultConfig, FaultInjector, FaultModel, RecoveryPolicy};
 pub use method::Scheme;
 pub use offload::OffloadStore;
 pub use stats::CompressionStats;

@@ -11,10 +11,12 @@
 //! Rank-2 activations (fully-connected inputs) are viewed as `[N, D, 1, 1]`
 //! for codecs that require NCHW, and restored on load.
 
+use crate::fault::{FaultConfig, FaultInjector, RecoveryPolicy};
 use crate::method::Scheme;
 use crate::stats::CompressionStats;
 use jact_codec::pipeline::{Codec, CompressedActivation};
-use jact_dnn::act::{ActKind, ActivationId, ActivationStore};
+use jact_codec::wire;
+use jact_dnn::act::{ActKind, ActivationId, ActivationStore, FaultReport};
 use jact_dnn::error::NetError;
 use jact_tensor::{Shape, Tensor};
 use std::collections::BTreeMap;
@@ -23,18 +25,37 @@ struct Entry {
     compressed: CompressedActivation,
     codec: Box<dyn Codec>,
     original_shape: Shape,
+    /// Pristine serialized wire frame — the shadow copy redeliveries draw
+    /// from.  Present only in `through_wire` mode.
+    frame: Option<Vec<u8>>,
     /// Decompressed cache: a tensor may be consumed by several layers in
     /// one backward pass (aliased keys), and hardware would keep the
     /// prefetched copy in GPU memory for the same reason.
     cache: Option<Tensor>,
 }
 
+/// The fault-injectable transport a `through_wire` store loads over.
+struct WireChannel {
+    injector: FaultInjector,
+    policy: RecoveryPolicy,
+}
+
 /// An [`ActivationStore`] that compresses on save / decompresses on load.
+///
+/// In the default mode, `load` decompresses the in-memory
+/// [`CompressedActivation`] directly.  In [`through_wire`](Self::through_wire)
+/// mode, every save additionally serializes the compressed activation into
+/// a framed [`wire`] buffer, and every load round-trips that buffer
+/// through a seeded [`FaultInjector`] and [`wire::deserialize`] — so the
+/// full offload transport, including corruption detection (CRC32, bounds
+/// checks) and the configured [`RecoveryPolicy`], is exercised on the
+/// training path.
 pub struct OffloadStore {
     scheme: Scheme,
     epoch: usize,
     entries: BTreeMap<ActivationId, Entry>,
     stats: CompressionStats,
+    wire: Option<WireChannel>,
     /// Per-step sizes for footprint analyses: (kind, unc, comp).
     step_log: Vec<(ActKind, usize, usize)>,
 }
@@ -47,8 +68,37 @@ impl OffloadStore {
             epoch: 0,
             entries: BTreeMap::new(),
             stats: CompressionStats::new(),
+            wire: None,
             step_log: Vec::new(),
         }
+    }
+
+    /// Creates a store that delivers every load through a fault-injected
+    /// wire channel, recovering per `policy`.
+    pub fn through_wire(scheme: Scheme, cfg: FaultConfig, policy: RecoveryPolicy) -> Self {
+        let mut s = OffloadStore::new(scheme);
+        s.enable_wire(cfg, policy);
+        s
+    }
+
+    /// Switches an existing store into wire mode.  Entries saved before
+    /// the switch have no serialized shadow frame and keep loading over
+    /// the direct in-memory path.
+    pub fn enable_wire(&mut self, cfg: FaultConfig, policy: RecoveryPolicy) {
+        self.wire = Some(WireChannel {
+            injector: FaultInjector::new(cfg),
+            policy,
+        });
+    }
+
+    /// `true` if loads go through the fault-injected wire path.
+    pub fn wire_enabled(&self) -> bool {
+        self.wire.is_some()
+    }
+
+    /// The recovery policy, when wire mode is on.
+    pub fn recovery_policy(&self) -> Option<RecoveryPolicy> {
+        self.wire.as_ref().map(|w| w.policy)
     }
 
     /// Sets the current epoch (drives piece-wise DQT schedules).
@@ -103,12 +153,14 @@ impl ActivationStore for OffloadStore {
             compressed.uncompressed_bytes(),
             compressed.compressed_bytes(),
         ));
+        let frame = self.wire.as_ref().map(|_| wire::serialize(&compressed));
         self.entries.insert(
             id,
             Entry {
                 compressed,
                 codec,
                 original_shape: x.shape().clone(),
+                frame,
                 cache: None,
             },
         );
@@ -119,26 +171,86 @@ impl ActivationStore for OffloadStore {
             .entries
             .get_mut(&id)
             .ok_or(NetError::MissingActivation(id))?;
-        match &e.cache {
-            Some(t) => Ok(t.clone()),
-            None => {
-                let t = e
-                    .codec
-                    .decompress(&e.compressed)
-                    .map_err(|err| NetError::Store {
-                        id,
-                        reason: err.to_string(),
-                    })?
-                    .reshape(e.original_shape.clone());
-                e.cache = Some(t.clone());
-                Ok(t)
-            }
+        if let Some(t) = &e.cache {
+            return Ok(t.clone());
         }
+        let t = match (&mut self.wire, &e.frame) {
+            (Some(ch), Some(frame)) => {
+                let faults = self.stats.faults_mut();
+                faults.wire_loads += 1;
+                let retries = match ch.policy {
+                    RecoveryPolicy::Retry { attempts } => attempts,
+                    _ => 0,
+                };
+                let mut attempt = 0u32;
+                let outcome = loop {
+                    if attempt > 0 {
+                        faults.retried_loads += 1;
+                    }
+                    let (rx, n) = ch.injector.deliver(frame);
+                    faults.faults_injected += n;
+                    attempt += 1;
+                    match wire::deserialize(&rx).and_then(|c| e.codec.decompress(&c)) {
+                        Ok(t) => {
+                            if attempt > 1 {
+                                faults.recovered_loads += 1;
+                            }
+                            break Ok(t);
+                        }
+                        Err(err) => {
+                            if attempt == 1 {
+                                faults.corrupt_loads += 1;
+                            }
+                            if attempt > retries {
+                                break Err(err);
+                            }
+                        }
+                    }
+                };
+                match outcome {
+                    Ok(t) => t,
+                    Err(err) => match ch.policy {
+                        RecoveryPolicy::ZeroFill => {
+                            faults.recovered_loads += 1;
+                            faults.zero_filled_loads += 1;
+                            Tensor::zeros(e.original_shape.clone())
+                        }
+                        RecoveryPolicy::Fail => {
+                            return Err(NetError::Store {
+                                id,
+                                reason: err.to_string(),
+                            })
+                        }
+                        RecoveryPolicy::Retry { .. } => {
+                            return Err(NetError::RecoveryExhausted {
+                                id,
+                                attempts: attempt,
+                                last_error: err.to_string(),
+                            })
+                        }
+                    },
+                }
+            }
+            _ => e
+                .codec
+                .decompress(&e.compressed)
+                .map_err(|err| NetError::Store {
+                    id,
+                    reason: err.to_string(),
+                })?,
+        };
+        let t = t.reshape(e.original_shape.clone());
+        e.cache = Some(t.clone());
+        Ok(t)
     }
 
     fn clear(&mut self) {
         self.entries.clear();
         self.step_log.clear();
+    }
+
+    fn fault_report(&self) -> FaultReport {
+        *self.stats.faults()
     }
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
@@ -246,5 +358,165 @@ mod tests {
     fn missing_id_is_a_typed_error() {
         let mut s = OffloadStore::new(Scheme::vdnn());
         assert_eq!(s.load(9).unwrap_err(), NetError::MissingActivation(9));
+    }
+
+    use crate::fault::{FaultConfig, FaultModel, RecoveryPolicy};
+
+    #[test]
+    fn wire_mode_without_faults_matches_direct_path() {
+        let x = smooth(Shape::nchw(2, 4, 16, 16));
+        let mut direct = OffloadStore::new(Scheme::jpeg_act_opt_l5h());
+        direct.save(1, ActKind::Conv, &x);
+        let mut wired = OffloadStore::through_wire(
+            Scheme::jpeg_act_opt_l5h(),
+            FaultConfig::new(0.0, FaultModel::Mixed, 1),
+            RecoveryPolicy::Fail,
+        );
+        wired.save(1, ActKind::Conv, &x);
+        assert_eq!(direct.load(1).unwrap(), wired.load(1).unwrap());
+        let f = wired.fault_report();
+        assert_eq!(f.wire_loads, 1);
+        assert_eq!(f.corrupt_loads, 0);
+        assert_eq!(f.faults_injected, 0);
+    }
+
+    #[test]
+    fn fail_policy_surfaces_corruption_as_store_error() {
+        // Rate 0.05/byte over a multi-KiB frame: corruption is certain.
+        let mut s = OffloadStore::through_wire(
+            Scheme::sfpr(),
+            FaultConfig::new(0.05, FaultModel::BitFlip, 2),
+            RecoveryPolicy::Fail,
+        );
+        let x = smooth(Shape::nchw(2, 4, 16, 16));
+        s.save(1, ActKind::Conv, &x);
+        match s.load(1) {
+            Err(NetError::Store { id: 1, .. }) => {}
+            other => panic!("expected Store error, got {other:?}"),
+        }
+        let f = s.fault_report();
+        assert_eq!(f.corrupt_loads, 1);
+        assert_eq!(f.recovered_loads, 0);
+    }
+
+    #[test]
+    fn zero_fill_recovers_with_zero_tensor() {
+        let mut s = OffloadStore::through_wire(
+            Scheme::sfpr(),
+            FaultConfig::new(0.05, FaultModel::BitFlip, 3),
+            RecoveryPolicy::ZeroFill,
+        );
+        let x = smooth(Shape::nchw(2, 4, 16, 16));
+        s.save(1, ActKind::Conv, &x);
+        let rec = s.load(1).unwrap();
+        assert_eq!(rec.shape(), x.shape());
+        assert!(rec.iter().all(|&v| v == 0.0));
+        let f = s.fault_report();
+        assert_eq!(f.corrupt_loads, 1);
+        assert_eq!(f.recovered_loads, 1);
+        assert_eq!(f.zero_filled_loads, 1);
+    }
+
+    #[test]
+    fn retry_recovers_under_intermittent_faults() {
+        // ~0.3 faults per delivery: most retries find a clean window.
+        let mut s = OffloadStore::through_wire(
+            Scheme::sfpr(),
+            FaultConfig::new(0.3 / 2200.0, FaultModel::BitFlip, 4),
+            RecoveryPolicy::Retry { attempts: 50 },
+        );
+        let x = smooth(Shape::nchw(2, 4, 16, 16));
+        let mut corrupt_seen = 0;
+        for id in 0..20u64 {
+            s.save(id, ActKind::Conv, &x);
+            let rec = s.load(id).expect("retry budget ample");
+            assert_eq!(rec.shape(), x.shape());
+            // Recovered loads are real decodes, never zero-filled.
+            assert!(rec.iter().any(|&v| v != 0.0));
+            corrupt_seen = s.fault_report().corrupt_loads;
+        }
+        let f = s.fault_report();
+        assert!(corrupt_seen > 0, "fault rate should corrupt some loads");
+        assert_eq!(f.recovered_loads, f.corrupt_loads);
+        assert!(f.retried_loads >= f.corrupt_loads);
+        assert_eq!(f.zero_filled_loads, 0);
+    }
+
+    #[test]
+    fn retry_exhaustion_is_typed() {
+        // Heavy corruption with a tiny retry budget must exhaust.
+        let mut s = OffloadStore::through_wire(
+            Scheme::sfpr(),
+            FaultConfig::new(0.05, FaultModel::BitFlip, 5),
+            RecoveryPolicy::Retry { attempts: 2 },
+        );
+        let x = smooth(Shape::nchw(2, 4, 16, 16));
+        s.save(1, ActKind::Conv, &x);
+        match s.load(1) {
+            Err(NetError::RecoveryExhausted { id: 1, attempts: 3, .. }) => {}
+            other => panic!("expected RecoveryExhausted, got {other:?}"),
+        }
+        assert_eq!(s.fault_report().retried_loads, 2);
+    }
+
+    #[test]
+    fn wire_load_is_cached_like_direct_load() {
+        let mut s = OffloadStore::through_wire(
+            Scheme::vdnn(),
+            FaultConfig::new(0.0, FaultModel::Mixed, 6),
+            RecoveryPolicy::Fail,
+        );
+        let x = smooth(Shape::nchw(1, 2, 8, 8));
+        s.save(1, ActKind::Conv, &x);
+        let a = s.load(1).unwrap();
+        let b = s.load(1).unwrap();
+        assert_eq!(a, b);
+        // Second load hit the cache, not the wire.
+        assert_eq!(s.fault_report().wire_loads, 1);
+    }
+
+    #[test]
+    fn enabling_wire_late_keeps_old_entries_loadable() {
+        let mut s = OffloadStore::new(Scheme::sfpr());
+        let x = smooth(Shape::nchw(1, 2, 8, 8));
+        s.save(1, ActKind::Conv, &x);
+        s.enable_wire(
+            FaultConfig::new(0.05, FaultModel::BitFlip, 7),
+            RecoveryPolicy::Fail,
+        );
+        assert!(s.wire_enabled());
+        // Entry predates wire mode: no shadow frame, direct decode.
+        assert!(s.load(1).is_ok());
+        assert_eq!(s.fault_report().wire_loads, 0);
+    }
+
+    #[test]
+    fn wire_roundtrips_every_scheme_kind() {
+        // Each scheme exercises different payload variants over the wire.
+        for scheme in [
+            Scheme::vdnn(),
+            Scheme::cdma_plus(),
+            Scheme::gist(),
+            Scheme::sfpr(),
+            Scheme::jpeg_base(75),
+            Scheme::jpeg_act_opt_l5h(),
+        ] {
+            let mut s = OffloadStore::through_wire(
+                scheme,
+                FaultConfig::new(0.0, FaultModel::Mixed, 8),
+                RecoveryPolicy::Fail,
+            );
+            let x = sparse(Shape::nchw(1, 4, 16, 16));
+            for (id, kind) in [
+                (1u64, ActKind::Conv),
+                (2, ActKind::ReluToOther),
+                (3, ActKind::Linear),
+                (4, ActKind::Pool),
+            ] {
+                s.save(id, kind, &x);
+                let rec = s.load(id).expect("fault-free wire load");
+                assert_eq!(rec.shape(), x.shape());
+            }
+        }
     }
 }

@@ -1,12 +1,15 @@
-//! Compression accounting, broken down by activation type (Fig. 19).
+//! Compression accounting, broken down by activation type (Fig. 19),
+//! plus wire-fault counters for stores delivering loads through the
+//! fault-injectable transport.
 
-use jact_dnn::act::ActKind;
+use jact_dnn::act::{ActKind, FaultReport};
 use std::collections::BTreeMap;
 
 /// Cumulative compression statistics across saves.
 #[derive(Debug, Clone, Default)]
 pub struct CompressionStats {
     per_kind: BTreeMap<String, KindStats>,
+    faults: FaultReport,
 }
 
 /// Byte totals for one activation kind.
@@ -70,9 +73,21 @@ impl CompressionStats {
         }
     }
 
+    /// Cumulative wire-fault counters (all zeros unless the store runs
+    /// in `through_wire` mode).
+    pub fn faults(&self) -> &FaultReport {
+        &self.faults
+    }
+
+    /// Mutable access to the fault counters, for the store's wire path.
+    pub fn faults_mut(&mut self) -> &mut FaultReport {
+        &mut self.faults
+    }
+
     /// Resets all counters.
     pub fn reset(&mut self) {
         self.per_kind.clear();
+        self.faults = FaultReport::default();
     }
 
     /// Merges another statistics object into this one.
@@ -83,6 +98,12 @@ impl CompressionStats {
             e.compressed += v.compressed;
             e.count += v.count;
         }
+        self.faults.wire_loads += other.faults.wire_loads;
+        self.faults.faults_injected += other.faults.faults_injected;
+        self.faults.corrupt_loads += other.faults.corrupt_loads;
+        self.faults.retried_loads += other.faults.retried_loads;
+        self.faults.recovered_loads += other.faults.recovered_loads;
+        self.faults.zero_filled_loads += other.faults.zero_filled_loads;
     }
 }
 
@@ -107,7 +128,11 @@ impl std::fmt::Display for CompressionStats {
             self.total_uncompressed(),
             self.total_compressed(),
             self.overall_ratio()
-        )
+        )?;
+        if self.faults.wire_loads > 0 {
+            write!(f, "\nwire: {}", self.faults)?;
+        }
+        Ok(())
     }
 }
 
@@ -147,6 +172,35 @@ mod tests {
         assert_eq!(a.total_uncompressed(), 280);
         a.reset();
         assert_eq!(a.total_uncompressed(), 0);
+    }
+
+    #[test]
+    fn fault_counters_reset_and_merge() {
+        let mut a = CompressionStats::new();
+        a.faults_mut().wire_loads = 10;
+        a.faults_mut().corrupt_loads = 2;
+        a.faults_mut().recovered_loads = 2;
+        let mut b = CompressionStats::new();
+        b.faults_mut().wire_loads = 5;
+        b.faults_mut().faults_injected = 3;
+        a.merge(&b);
+        assert_eq!(a.faults().wire_loads, 15);
+        assert_eq!(a.faults().faults_injected, 3);
+        assert_eq!(a.faults().corrupt_loads, 2);
+        a.reset();
+        assert_eq!(*a.faults(), FaultReport::default());
+    }
+
+    #[test]
+    fn display_shows_wire_line_only_when_active() {
+        let mut s = CompressionStats::new();
+        s.record(ActKind::Conv, 100, 25);
+        assert!(!format!("{s}").contains("wire:"));
+        s.faults_mut().wire_loads = 4;
+        s.faults_mut().corrupt_loads = 1;
+        let txt = format!("{s}");
+        assert!(txt.contains("wire:"), "{txt}");
+        assert!(txt.contains("corrupt=1"), "{txt}");
     }
 
     #[test]

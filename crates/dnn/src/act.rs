@@ -69,6 +69,85 @@ impl std::fmt::Display for ActKind {
     }
 }
 
+/// Counters describing what the offload wire path observed: how many
+/// loads crossed the (possibly faulty) wire, how many arrived corrupt,
+/// and how each corruption was resolved.
+///
+/// Stores that do not model a wire (e.g. [`PassthroughStore`]) report
+/// all-zero counters via the default
+/// [`ActivationStore::fault_report`] implementation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Loads delivered through the serialized wire path.
+    pub wire_loads: u64,
+    /// Individual fault events injected into delivered frames.
+    pub faults_injected: u64,
+    /// Deliveries detected as corrupt (typed decode error).
+    pub corrupt_loads: u64,
+    /// Redeliveries attempted from the shadow copy.
+    pub retried_loads: u64,
+    /// Corrupt loads ultimately recovered (by retry or zero-fill).
+    pub recovered_loads: u64,
+    /// Recovered loads that were replaced by an all-zero tensor.
+    pub zero_filled_loads: u64,
+}
+
+impl FaultReport {
+    /// Counter-wise difference `self - earlier` (saturating), for
+    /// per-epoch deltas over cumulative counters.
+    pub fn delta_since(&self, earlier: &FaultReport) -> FaultReport {
+        FaultReport {
+            wire_loads: self.wire_loads.saturating_sub(earlier.wire_loads),
+            faults_injected: self.faults_injected.saturating_sub(earlier.faults_injected),
+            corrupt_loads: self.corrupt_loads.saturating_sub(earlier.corrupt_loads),
+            retried_loads: self.retried_loads.saturating_sub(earlier.retried_loads),
+            recovered_loads: self.recovered_loads.saturating_sub(earlier.recovered_loads),
+            zero_filled_loads: self
+                .zero_filled_loads
+                .saturating_sub(earlier.zero_filled_loads),
+        }
+    }
+
+    /// `true` if any fault activity was observed.
+    pub fn any_faults(&self) -> bool {
+        self.faults_injected > 0 || self.corrupt_loads > 0
+    }
+
+    /// Fraction of wire loads that arrived corrupt (0 when no wire loads).
+    pub fn corruption_rate(&self) -> f64 {
+        if self.wire_loads == 0 {
+            0.0
+        } else {
+            self.corrupt_loads as f64 / self.wire_loads as f64
+        }
+    }
+
+    /// Fraction of corrupt loads that were recovered (1 when none were
+    /// corrupt — nothing needed recovery).
+    pub fn recovery_rate(&self) -> f64 {
+        if self.corrupt_loads == 0 {
+            1.0
+        } else {
+            self.recovered_loads as f64 / self.corrupt_loads as f64
+        }
+    }
+}
+
+impl std::fmt::Display for FaultReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "wire_loads={} faults={} corrupt={} retried={} recovered={} zero_filled={}",
+            self.wire_loads,
+            self.faults_injected,
+            self.corrupt_loads,
+            self.retried_loads,
+            self.recovered_loads,
+            self.zero_filled_loads
+        )
+    }
+}
+
 /// Storage for activations memoized between the forward and backward pass.
 pub trait ActivationStore {
     /// Saves `x` under `id` with its activation kind.
@@ -85,6 +164,13 @@ pub trait ActivationStore {
 
     /// Drops all saved activations (end of a training step).
     fn clear(&mut self);
+
+    /// Cumulative wire-fault counters for stores that deliver loads
+    /// through a fallible transport.  The default (for exact, in-memory
+    /// stores) reports all zeros.
+    fn fault_report(&self) -> FaultReport {
+        FaultReport::default()
+    }
 
     /// Runtime-typed access for harnesses that hold the store behind the
     /// trait and need the concrete type back (e.g. to read compression

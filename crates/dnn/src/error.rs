@@ -33,6 +33,17 @@ pub enum NetError {
         /// Shape found in the state dict (rendered).
         actual: String,
     },
+    /// Every recovery attempt for a corrupt activation was exhausted:
+    /// the wire delivered a detected-corrupt frame and the configured
+    /// retry budget could not produce a clean copy.
+    RecoveryExhausted {
+        /// The activation id being loaded.
+        id: ActivationId,
+        /// Delivery attempts made (initial try plus retries).
+        attempts: u32,
+        /// The last decode failure observed (rendered).
+        last_error: String,
+    },
     /// `build_by_name` was asked for a model it does not know.
     UnknownModel(String),
 }
@@ -56,6 +67,14 @@ impl fmt::Display for NetError {
             } => write!(
                 f,
                 "shape mismatch for parameter {name}: expected {expected}, got {actual}"
+            ),
+            NetError::RecoveryExhausted {
+                id,
+                attempts,
+                last_error,
+            } => write!(
+                f,
+                "activation {id} unrecoverable after {attempts} deliveries: {last_error}"
             ),
             NetError::UnknownModel(name) => write!(f, "unknown model `{name}`"),
         }
@@ -83,5 +102,14 @@ mod tests {
         }
         .to_string()
         .contains("corrupt payload"));
+        let e = NetError::RecoveryExhausted {
+            id: 5,
+            attempts: 3,
+            last_error: "checksum mismatch".into(),
+        }
+        .to_string();
+        assert!(e.contains("activation 5"), "{e}");
+        assert!(e.contains("3 deliveries"), "{e}");
+        assert!(e.contains("checksum mismatch"), "{e}");
     }
 }

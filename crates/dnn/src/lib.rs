@@ -40,7 +40,7 @@ pub mod optim;
 pub mod param;
 pub mod train;
 
-pub use act::{ActKind, ActivationId, ActivationStore, Context, PassthroughStore};
+pub use act::{ActKind, ActivationId, ActivationStore, Context, FaultReport, PassthroughStore};
 pub use error::NetError;
 pub use net::{Network, Node};
 pub use param::Param;

@@ -1,6 +1,6 @@
 //! Training loops for classification and super-resolution.
 
-use crate::act::{ActivationStore, Context};
+use crate::act::{ActivationStore, Context, FaultReport};
 use crate::error::NetError;
 use crate::loss::{mse_loss, softmax_cross_entropy};
 use crate::metrics::{psnr, top1_accuracy, Average};
@@ -34,6 +34,9 @@ pub struct EpochStats {
     pub loss: f64,
     /// Mean training accuracy (classification) or PSNR (super-resolution).
     pub score: f64,
+    /// Wire-fault activity observed during this epoch (all zeros for
+    /// stores without a fallible transport).
+    pub faults: FaultReport,
 }
 
 /// A trainer binding a network, optimizer, RNG, and activation store.
@@ -120,6 +123,7 @@ impl<'s> Trainer<'s> {
         batches: &[Batch],
     ) -> Result<EpochStats, NetError> {
         self.opt.start_epoch(epoch);
+        let before = self.store.fault_report();
         let mut loss = Average::new();
         let mut acc = Average::new();
         for b in batches {
@@ -130,6 +134,7 @@ impl<'s> Trainer<'s> {
         Ok(EpochStats {
             loss: loss.mean(),
             score: acc.mean(),
+            faults: self.store.fault_report().delta_since(&before),
         })
     }
 
@@ -144,6 +149,7 @@ impl<'s> Trainer<'s> {
         batches: &[SrBatch],
     ) -> Result<EpochStats, NetError> {
         self.opt.start_epoch(epoch);
+        let before = self.store.fault_report();
         let mut loss = Average::new();
         let mut score = Average::new();
         for b in batches {
@@ -154,6 +160,7 @@ impl<'s> Trainer<'s> {
         Ok(EpochStats {
             loss: loss.mean(),
             score: score.mean(),
+            faults: self.store.fault_report().delta_since(&before),
         })
     }
 

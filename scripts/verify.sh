@@ -24,4 +24,7 @@ cargo test -q --offline
 echo "== jact-analyze (static analysis, writes target/analyze-report.json) =="
 cargo run -q -p jact-analyze --release --offline
 
+echo "== fault_sweep (smoke fault rates over the offload wire path) =="
+JACT_QUICK=1 cargo run -q -p jact-bench --release --offline --bin fault_sweep
+
 echo "verify: OK"

@@ -59,6 +59,14 @@ fn hot_path_crates_carry_no_suppressions() {
             }
         }
     }
+    // The JA03-covered wire-path modules hold to the same bar.
+    for rel in ["crates/core/src/fault.rs", "crates/core/src/offload.rs"] {
+        let text = std::fs::read_to_string(root.join(rel)).expect("source readable");
+        assert!(
+            !text.contains("jact-analyze: allow"),
+            "{rel} contains a lint suppression; wire-path modules must be clean without one"
+        );
+    }
 }
 
 #[test]

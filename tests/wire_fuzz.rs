@@ -1,0 +1,184 @@
+//! Hostile-input fuzzing of the offload wire format.
+//!
+//! For every codec, feeds `wire::deserialize` hundreds of seeded cases
+//! from three generators — pure random bytes, byte-mutated valid frames,
+//! and mutated frames **re-sealed with a valid CRC** (so corruption must
+//! be caught by the structural validators, not just the checksum) — and
+//! asserts that every outcome is either a clean round trip or a typed
+//! [`CodecError`], never a panic.  Successful decodes are additionally
+//! driven through the codec's `decompress` under `catch_unwind`.
+
+use jact_codec::dpr::DprWidth;
+use jact_codec::dqt::Dqt;
+use jact_codec::pipeline::{
+    BrcCodec, Codec, DprCodec, GistCsrCodec, JpegActCodec, JpegBaseCodec, RawCodec, SfprCodec,
+    SfprZvcCodec, ZvcF32Codec,
+};
+use jact_codec::wire;
+use jact_rng::rngs::StdRng;
+use jact_rng::{Rng, SeedableRng};
+use jact_tensor::{Shape, Tensor};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Cases per codec and per generator (3 generators x 3 codecs' worth of
+/// margin over the 256-case floor).
+const CASES_PER_GENERATOR: usize = 128;
+
+fn codecs() -> Vec<(&'static str, Box<dyn Codec>)> {
+    vec![
+        ("raw", Box::new(RawCodec) as Box<dyn Codec>),
+        ("zvc-f32", Box::new(ZvcF32Codec)),
+        ("dpr-f16", Box::new(DprCodec::new(DprWidth::F16))),
+        ("gist-csr", Box::new(GistCsrCodec)),
+        ("sfpr", Box::new(SfprCodec::new())),
+        ("sfpr-zvc", Box::new(SfprZvcCodec::new())),
+        ("jpeg-base", Box::new(JpegBaseCodec::new(Dqt::opt_l()))),
+        ("jpeg-act", Box::new(JpegActCodec::new(Dqt::opt_h()))),
+        ("brc", Box::new(BrcCodec)),
+    ]
+}
+
+/// A mixed-sparsity activation-like tensor every codec accepts.
+fn sample_tensor() -> Tensor {
+    let shape = Shape::nchw(1, 4, 16, 16);
+    let data = (0..shape.len())
+        .map(|i| {
+            if i % 3 == 0 {
+                0.0
+            } else {
+                ((i % 16) as f32 * 0.35).sin() * 0.8
+            }
+        })
+        .collect();
+    Tensor::from_vec(shape, data)
+}
+
+/// Asserts `bytes` decodes without panicking; if it decodes, drives the
+/// codec's `decompress` too (also under `catch_unwind`).
+fn assert_no_panic(name: &str, codec: &dyn Codec, bytes: &[u8], case: usize) {
+    let decoded = catch_unwind(AssertUnwindSafe(|| wire::deserialize(bytes)))
+        .unwrap_or_else(|_| panic!("{name} case {case}: deserialize panicked"));
+    if let Ok(c) = decoded {
+        let _ = catch_unwind(AssertUnwindSafe(|| codec.decompress(&c)))
+            .unwrap_or_else(|_| panic!("{name} case {case}: decompress panicked after Ok decode"));
+    }
+}
+
+#[test]
+fn random_bytes_never_panic() {
+    for (name, codec) in codecs() {
+        let mut rng = StdRng::seed_from_u64(0xF00D ^ name.len() as u64);
+        for case in 0..CASES_PER_GENERATOR {
+            let len = rng.gen_range(0..4096usize);
+            let bytes: Vec<u8> = (0..len).map(|_| rng.gen_range(0..256u32) as u8).collect();
+            assert_no_panic(name, codec.as_ref(), &bytes, case);
+        }
+    }
+}
+
+#[test]
+fn random_bytes_with_valid_magic_never_panic() {
+    // Start past the magic so more of the parser is reached.
+    for (name, codec) in codecs() {
+        let mut rng = StdRng::seed_from_u64(0xBEEF ^ name.len() as u64);
+        for case in 0..CASES_PER_GENERATOR {
+            let len = rng.gen_range(0..2048usize);
+            let mut bytes = wire::MAGIC.to_vec();
+            bytes.extend((0..len).map(|_| rng.gen_range(0..256u32) as u8));
+            // Half the cases also carry the right version + tag prelude.
+            if case % 2 == 0 && bytes.len() >= 8 {
+                bytes[4] = (wire::VERSION & 0xFF) as u8;
+                bytes[5] = (wire::VERSION >> 8) as u8;
+                bytes[6] = (case % 8) as u8;
+                bytes[7] = 0;
+            }
+            assert_no_panic(name, codec.as_ref(), &bytes, case);
+        }
+    }
+}
+
+#[test]
+fn mutated_valid_frames_never_panic_and_corruption_is_detected() {
+    for (name, codec) in codecs() {
+        let frame = wire::serialize(&codec.compress(&sample_tensor()));
+        let mut rng = StdRng::seed_from_u64(0xCAFE ^ frame.len() as u64);
+        let mut detected = 0usize;
+        for case in 0..CASES_PER_GENERATOR {
+            let mut bytes = frame.clone();
+            let mutations = rng.gen_range(0..8usize) + 1;
+            for _ in 0..mutations {
+                match rng.gen_range(0..4u32) {
+                    0 => {
+                        let i = rng.gen_range(0..bytes.len());
+                        bytes[i] ^= 1 << rng.gen_range(0..8u32);
+                    }
+                    1 => {
+                        let i = rng.gen_range(0..bytes.len());
+                        bytes[i] = rng.gen_range(0..256u32) as u8;
+                    }
+                    2 => {
+                        let keep = rng.gen_range(0..bytes.len());
+                        bytes.truncate(keep);
+                    }
+                    _ => {
+                        bytes.push(rng.gen_range(0..256u32) as u8);
+                    }
+                }
+                if bytes.is_empty() {
+                    break;
+                }
+            }
+            assert_no_panic(name, codec.as_ref(), &bytes, case);
+            if bytes != frame && wire::deserialize(&bytes).is_err() {
+                detected += 1;
+            }
+        }
+        // The CRC makes silent acceptance of a mutation astronomically
+        // unlikely; demand near-total detection.
+        assert!(
+            detected >= CASES_PER_GENERATOR - 1,
+            "{name}: only {detected}/{CASES_PER_GENERATOR} mutations detected"
+        );
+    }
+}
+
+#[test]
+fn resealed_mutations_never_panic() {
+    // Corrupt the body, then recompute a valid CRC: the checksum no
+    // longer protects, so every structural validator is on the hook.
+    for (name, codec) in codecs() {
+        let frame = wire::serialize(&codec.compress(&sample_tensor()));
+        let mut rng = StdRng::seed_from_u64(0xD00D ^ frame.len() as u64);
+        for case in 0..CASES_PER_GENERATOR {
+            let mut bytes = frame.clone();
+            let mutations = rng.gen_range(0..6usize) + 1;
+            for _ in 0..mutations {
+                // Mutate anywhere except the trailing CRC word.
+                let i = rng.gen_range(0..bytes.len() - 4);
+                if rng.gen_bool(0.5) {
+                    bytes[i] ^= 1 << rng.gen_range(0..8u32);
+                } else {
+                    bytes[i] = rng.gen_range(0..256u32) as u8;
+                }
+            }
+            let n = bytes.len();
+            let crc = wire::crc32(&bytes[..n - 4]);
+            bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+            assert_no_panic(name, codec.as_ref(), &bytes, case);
+        }
+    }
+}
+
+#[test]
+fn pristine_frames_round_trip_bit_exactly() {
+    for (name, codec) in codecs() {
+        let compressed = codec.compress(&sample_tensor());
+        let frame = wire::serialize(&compressed);
+        let back = wire::deserialize(&frame)
+            .unwrap_or_else(|e| panic!("{name}: pristine frame rejected: {e}"));
+        assert_eq!(wire::serialize(&back), frame, "{name}: re-serialization differs");
+        let a = codec.decompress(&compressed).expect("original decodes");
+        let b = codec.decompress(&back).expect("wire copy decodes");
+        assert_eq!(a, b, "{name}: decompressed tensors differ");
+    }
+}
