@@ -17,20 +17,24 @@ pub enum Code {
     Ja05,
     /// Doc-comment coverage for public items in `codec` and `core`.
     Ja06,
+    /// Concurrency hygiene: raw threads, locks, and mutable globals are
+    /// confined to `jact-par`.
+    Ja07,
 }
 
 impl Code {
     /// All codes, in order.
-    pub const ALL: [Code; 6] = [
+    pub const ALL: [Code; 7] = [
         Code::Ja01,
         Code::Ja02,
         Code::Ja03,
         Code::Ja04,
         Code::Ja05,
         Code::Ja06,
+        Code::Ja07,
     ];
 
-    /// The stable textual form (`JA01` ... `JA06`) used in reports and
+    /// The stable textual form (`JA01` ... `JA07`) used in reports and
     /// `// jact-analyze: allow(...)` comments.
     pub fn as_str(self) -> &'static str {
         match self {
@@ -40,6 +44,7 @@ impl Code {
             Code::Ja04 => "JA04",
             Code::Ja05 => "JA05",
             Code::Ja06 => "JA06",
+            Code::Ja07 => "JA07",
         }
     }
 
@@ -56,10 +61,11 @@ impl Code {
         match self {
             Code::Ja01 => "crate layering (low layers must not depend on high layers)",
             Code::Ja02 => "hermeticity (path-only dependencies, no registry/git sources)",
-            Code::Ja03 => "panic-freedom in hot-path crates (codec, tensor, rng)",
+            Code::Ja03 => "panic-freedom in hot-path crates (codec, tensor, rng, par)",
             Code::Ja04 => "determinism (no wall clocks, hash containers, ambient RNG)",
             Code::Ja05 => "#![forbid(unsafe_code)] in every lib crate root",
             Code::Ja06 => "doc-comment coverage for pub items in codec and core",
+            Code::Ja07 => "concurrency hygiene (raw threads, locks, static mut only in jact-par)",
         }
     }
 }

@@ -61,7 +61,7 @@ fn rel_str(root: &Path, path: &Path) -> String {
 }
 
 /// Analyzes the workspace rooted at `root`: parses every manifest, lexes
-/// every library source file, runs all six passes, and returns the
+/// every library source file, runs all seven passes, and returns the
 /// collected report sorted by path, line, column, and code.
 pub fn analyze_workspace(root: &Path) -> io::Result<Analysis> {
     let root_text = fs::read_to_string(root.join("Cargo.toml"))?;
@@ -112,6 +112,7 @@ pub fn analyze_workspace(root: &Path) -> io::Result<Analysis> {
             violations.extend(passes::ja05_forbid_unsafe(file));
         }
         violations.extend(passes::ja06_doc_coverage(file));
+        violations.extend(passes::ja07_concurrency(file));
     }
     violations.sort_by(|a, b| {
         (a.path.as_str(), a.line, a.col, a.code).cmp(&(b.path.as_str(), b.line, b.col, b.code))

@@ -3,17 +3,18 @@
 //!
 //! The workspace builds hermetically offline, so this tool is written
 //! against `std` only: a hand-rolled Rust lexer ([`lexer`]), a minimal
-//! manifest reader ([`manifest`]), and six lint passes ([`passes`])
+//! manifest reader ([`manifest`]), and seven lint passes ([`passes`])
 //! reporting stable diagnostic codes with `file:line:col` spans:
 //!
 //! | Code | Invariant |
 //! |------|-----------|
 //! | JA01 | Crate layering: rng/tensor/codec/hwmodel never depend on the high layers |
 //! | JA02 | Hermeticity: path-only dependencies, no registry/git sources |
-//! | JA03 | Panic-freedom in hot-path crates (codec, tensor, rng) |
+//! | JA03 | Panic-freedom in hot-path crates (codec, tensor, rng, par) |
 //! | JA04 | Determinism: no wall clocks, hash containers, or ambient RNG |
 //! | JA05 | `#![forbid(unsafe_code)]` in every lib crate root |
 //! | JA06 | Doc-comment coverage for `pub` items in codec and core |
+//! | JA07 | Concurrency hygiene: raw threads, locks, `static mut` only in `jact-par` |
 //!
 //! A finding can be silenced at the offending line with
 //! `// jact-analyze: allow(JA0x)` on the same line or the line above.

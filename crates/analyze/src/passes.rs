@@ -1,6 +1,6 @@
-//! The six lint passes.
+//! The seven lint passes.
 //!
-//! Per-file passes (JA03–JA06) take a lexed [`SourceFile`] and return
+//! Per-file passes (JA03–JA07) take a lexed [`SourceFile`] and return
 //! diagnostics; workspace passes (JA01, JA02) take the parsed manifests
 //! (plus, for the lockfile check, the optional `Cargo.lock` text).  Every
 //! pass consults the file's inline suppressions, so a
@@ -17,7 +17,7 @@ use crate::manifest::Manifest;
 use crate::source::SourceFile;
 
 /// Crates whose hot paths must stay panic-free (JA03).
-pub const HOT_PATH_CRATES: [&str; 3] = ["jact-codec", "jact-tensor", "jact-rng"];
+pub const HOT_PATH_CRATES: [&str; 4] = ["jact-codec", "jact-tensor", "jact-rng", "jact-par"];
 
 /// Individual modules outside [`HOT_PATH_CRATES`] that JA03 also covers:
 /// the fault-injected offload wire path in `jact-core` decodes hostile
@@ -27,7 +27,13 @@ pub const HOT_PATH_MODULES: [&str; 2] = ["crates/core/src/fault.rs", "crates/cor
 
 /// Low-layer crates: the deterministic substrate golden-value tests rely
 /// on.  They must never depend on the high layers (JA01).
-pub const LOW_LAYER: [&str; 4] = ["jact-rng", "jact-tensor", "jact-codec", "jact-hwmodel"];
+pub const LOW_LAYER: [&str; 5] = [
+    "jact-rng",
+    "jact-par",
+    "jact-tensor",
+    "jact-codec",
+    "jact-hwmodel",
+];
 
 /// High-layer crates: training, simulation, orchestration, tooling.
 pub const HIGH_LAYER: [&str; 6] = [
@@ -429,6 +435,75 @@ fn has_preceding_doc(file: &SourceFile, ti: usize) -> bool {
     false
 }
 
+// ---------------------------------------------------------------------
+// JA07: concurrency hygiene.
+// ---------------------------------------------------------------------
+
+/// The one directory allowed to hold raw concurrency primitives: the
+/// deterministic fork-join runtime.  Workspace-relative prefix with `/`
+/// separators.
+pub const CONCURRENCY_EXEMPT_PREFIX: &str = "crates/par/";
+
+/// Bans ad-hoc concurrency in non-test library code outside `crates/par`:
+/// unscoped `thread::spawn` (threads that outlive the fork-join region
+/// escape the deterministic merge order), lock types (lock acquisition
+/// order varies run to run), and `static mut` (mutable global state).
+/// All parallelism must flow through `jact-par`'s pool, whose
+/// chunk-indexed reductions keep results bitwise identical for any
+/// thread count.  Scoped `s.spawn(..)` inside `jact-par` itself is the
+/// sanctioned form and the only one that exists.
+pub fn ja07_concurrency(file: &SourceFile) -> Vec<Diagnostic> {
+    if file.rel_path.starts_with(CONCURRENCY_EXEMPT_PREFIX) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let toks = &file.tokens;
+    let text = &file.text;
+    for (mi, &ti) in file.meaningful.iter().enumerate() {
+        let t = &toks[ti];
+        if t.kind != TokenKind::Ident || file.in_test_region(t.start) {
+            continue;
+        }
+        let word = t.text(text);
+        let at = |j: usize| {
+            file.meaningful
+                .get(j)
+                .map(|&n| toks[n].text(text))
+                .unwrap_or("")
+        };
+        let prev = |k: usize| mi.checked_sub(k).map(at).unwrap_or("");
+        let why = match word {
+            // `thread::spawn` (with or without a `std::` prefix).  A
+            // method call `pool.spawn(..)` or scope `s.spawn(..)` is
+            // preceded by `.`, not `thread ::`, and is not flagged.
+            "spawn" if prev(1) == ":" && prev(2) == ":" && prev(3) == "thread" => {
+                Some("unscoped `thread::spawn` (route parallel work through jact-par)")
+            }
+            // Lock types, whether imported, qualified, or constructed.
+            "Mutex" | "RwLock" => {
+                Some("lock-based shared state (nondeterministic acquisition order; use jact-par's chunk-indexed merges)")
+            }
+            // `static mut` declarations.  The lexer emits `'static` as a
+            // single Lifetime token, so `&'static mut T` cannot reach
+            // this arm.
+            "static" if at(mi + 1) == "mut" => Some("`static mut` (mutable global state)"),
+            _ => None,
+        };
+        if let Some(why) = why {
+            if !suppressed(&file.suppressions, Code::Ja07, t.line) {
+                out.push(Diagnostic::new(
+                    Code::Ja07,
+                    &file.rel_path,
+                    t.line,
+                    t.col,
+                    format!("`{word}` in non-test code outside crates/par: {why}"),
+                ));
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -501,6 +576,39 @@ mod tests {
         let d = ja06_doc_coverage(&file("jact-codec", undoc));
         assert_eq!(d.len(), 1);
         assert!(d[0].message.contains("const"));
+    }
+
+    #[test]
+    fn ja07_flags_raw_concurrency_outside_par() {
+        let spawn = "fn f() { std::thread::spawn(|| {}); }\n";
+        assert_eq!(ja07_concurrency(&file("jact-core", spawn)).len(), 1);
+        let lock = "use std::sync::Mutex;\n";
+        assert_eq!(ja07_concurrency(&file("jact-codec", lock)).len(), 1);
+        let global = "static mut COUNTER: u64 = 0;\n";
+        assert_eq!(ja07_concurrency(&file("jact-dnn", global)).len(), 1);
+    }
+
+    #[test]
+    fn ja07_quiet_on_par_scoped_spawn_lifetimes_and_tests() {
+        // The runtime crate itself is exempt by path.
+        let par = SourceFile::new(
+            "crates/par/src/lib.rs",
+            "jact-par",
+            "fn f() { std::thread::spawn(|| {}); }\n".to_string(),
+        );
+        assert!(ja07_concurrency(&par).is_empty());
+        // Scoped spawn is a method call, not `thread::spawn`.
+        let scoped = "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n";
+        assert!(ja07_concurrency(&file("jact-core", scoped)).is_empty());
+        // `&'static mut` is a lifetime, not a `static mut` declaration.
+        let lifetime = "fn f(x: &'static mut u8) { *x = 1; }\n";
+        assert!(ja07_concurrency(&file("jact-core", lifetime)).is_empty());
+        // Test regions may do as they like.
+        let test_only = "#[cfg(test)]\nmod tests { fn t() { std::thread::spawn(|| {}); } }\n";
+        assert!(ja07_concurrency(&file("jact-core", test_only)).is_empty());
+        // Inline allow is honored.
+        let allowed = "// jact-analyze: allow(JA07)\nuse std::sync::Mutex;\n";
+        assert!(ja07_concurrency(&file("jact-core", allowed)).is_empty());
     }
 
     #[test]

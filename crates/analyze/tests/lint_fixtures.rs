@@ -1,6 +1,6 @@
 //! Fixture tests: each lint pass must fire on a minimal bad input with
 //! the correct file:line span, stay quiet once the input is fixed, and
-//! (for the source-level lints JA03–JA06) stay quiet under an inline
+//! (for the source-level lints JA03–JA07) stay quiet under an inline
 //! `// jact-analyze: allow(...)` suppression.  JA01/JA02 operate on
 //! manifests, where inline allow comments intentionally have no effect.
 
@@ -245,4 +245,76 @@ fn ja06_quiet_on_documented_allowed_and_uncovered_crates() {
     // Crates outside DOC_COVERED_CRATES are not held to the rule.
     let other = src("crates/gpusim/src/x.rs", "jact-gpusim", "pub fn f() {}\n");
     assert!(passes::ja06_doc_coverage(&other).is_empty());
+}
+
+// ---------------------------------------------------------------- JA07
+
+#[test]
+fn ja07_fires_on_each_raw_concurrency_form() {
+    let spawn = src(
+        "crates/core/src/x.rs",
+        "jact-core",
+        "//! d\npub fn f() {\n    std::thread::spawn(|| {});\n}\n",
+    );
+    let diags = passes::ja07_concurrency(&spawn);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].code, Code::Ja07);
+    assert_eq!(diags[0].path, "crates/core/src/x.rs");
+    assert_eq!(diags[0].line, 3, "span must point at the spawn line");
+    assert!(diags[0].message.contains("thread::spawn"));
+
+    let lock = src(
+        "crates/codec/src/x.rs",
+        "jact-codec",
+        "//! d\nuse std::sync::Mutex;\n",
+    );
+    let diags = passes::ja07_concurrency(&lock);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].line, 2);
+
+    let global = src(
+        "crates/dnn/src/x.rs",
+        "jact-dnn",
+        "//! d\nstatic mut COUNTER: u64 = 0;\n",
+    );
+    let diags = passes::ja07_concurrency(&global);
+    assert_eq!(diags.len(), 1);
+    assert!(diags[0].message.contains("static mut"));
+}
+
+#[test]
+fn ja07_quiet_in_par_under_allow_and_in_sanctioned_forms() {
+    // The fork-join runtime is the one place raw primitives may live.
+    let par = src(
+        "crates/par/src/lib.rs",
+        "jact-par",
+        "//! d\npub fn f() {\n    std::thread::spawn(|| {});\n}\n",
+    );
+    assert!(passes::ja07_concurrency(&par).is_empty());
+
+    // Scoped spawn is a method call on the scope handle, not
+    // `thread::spawn`; an immutable `static` and a `&'static mut`
+    // reference are both fine.
+    let ok = src(
+        "crates/core/src/x.rs",
+        "jact-core",
+        "//! d\nstatic TABLE: [u8; 4] = [0; 4];\npub fn f(s: &std::thread::Scope<'_, '_>, x: &'static mut u8) {\n    s.spawn(|| {});\n    *x = 1;\n}\n",
+    );
+    assert!(passes::ja07_concurrency(&ok).is_empty());
+
+    // Inline allow on the line above silences it.
+    let allowed = src(
+        "crates/core/src/x.rs",
+        "jact-core",
+        "//! d\n// jact-analyze: allow(JA07)\nuse std::sync::Mutex;\n",
+    );
+    assert!(passes::ja07_concurrency(&allowed).is_empty());
+
+    // Test regions are exempt.
+    let test_only = src(
+        "crates/core/src/x.rs",
+        "jact-core",
+        "//! d\n#[cfg(test)]\nmod tests {\n    fn t() {\n        let _ = std::sync::Mutex::new(0u8);\n    }\n}\n",
+    );
+    assert!(passes::ja07_concurrency(&test_only).is_empty());
 }

@@ -8,6 +8,7 @@ use jact_codec::brc::BrcMask;
 use jact_codec::csr::Csr;
 use jact_codec::dct::{dct2d_i8, idct2d_to_i8};
 use jact_codec::dqt::Dqt;
+use jact_codec::pipeline::{Codec, JpegActCodec, JpegBaseCodec, SfprCodec, ZvcF32Codec};
 use jact_codec::quant::{quantize_div, quantize_shift};
 use jact_codec::rle;
 use jact_codec::sfpr::{self, SfprParams};
@@ -123,4 +124,53 @@ fn main() {
     a.finish();
 
     h.finish();
+
+    // Thread-scaling axis: whole-codec compress/decompress throughput at
+    // 1/2/4/max worker threads, pinned per-measurement with
+    // `jact_par::with_threads` (outputs are bitwise identical across the
+    // axis; only the wall-clock changes).  Emitted as its own harness so
+    // the record lands in BENCH_codec.json for scripts/verify.sh.
+    let mut hc = Harness::new("codec").sample_size(10);
+    let dense = activation(8, 16, 32);
+    let mut sparse = dense.clone();
+    sparse.map_in_place(|v| if v > 0.0 { v } else { 0.0 });
+    let bytes = (dense.len() * 4) as u64;
+
+    let max_threads = jact_par::Pool::global().threads();
+    let axis: Vec<(String, usize)> = [1usize, 2, 4]
+        .iter()
+        .map(|&t| (t.to_string(), t))
+        .chain(std::iter::once(("max".to_string(), max_threads)))
+        .collect();
+
+    for (label, threads) in &axis {
+        let mut g = hc.group(format!("threads_{label}"));
+        g.throughput_bytes(bytes);
+
+        macro_rules! scaling {
+            ($name:literal, $codec:expr, $input:expr) => {
+                let codec = $codec;
+                let input = $input;
+                g.bench_function(concat!($name, "/compress"), || {
+                    jact_par::with_threads(*threads, || codec.compress(black_box(input)))
+                });
+                let compressed = codec.compress(input);
+                g.bench_function(concat!($name, "/decompress"), || {
+                    jact_par::with_threads(*threads, || {
+                        codec
+                            .decompress(black_box(&compressed))
+                            .expect("payload produced by the same codec")
+                    })
+                });
+            };
+        }
+
+        scaling!("sfpr", SfprCodec::new(), &dense);
+        scaling!("zvc_f32", ZvcF32Codec, &sparse);
+        scaling!("jpeg_base", JpegBaseCodec::new(Dqt::jpeg_quality(80)), &dense);
+        scaling!("jpeg_act", JpegActCodec::new(Dqt::opt_h()), &dense);
+        g.finish();
+    }
+
+    hc.finish();
 }

@@ -99,19 +99,20 @@ mod tests {
     use super::*;
     use crate::dct::{dct8, idct8};
 
-    fn samples() -> Vec<[f32; 8]> {
-        let mut v = vec![
-            [0.0; 8],
-            [1.0; 8],
-            [1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0],
-            [127.0, -128.0, 64.0, -64.0, 32.0, -32.0, 16.0, -16.0],
-        ];
-        for s in 0..32u32 {
-            let mut x = [0.0f32; 8];
+    /// Fixed sample battery: four hand-picked rows plus 32 pseudorandom
+    /// rows, filled through a fixed working array into a fixed-size output
+    /// — no per-call heap growth.
+    fn samples() -> [[f32; 8]; 36] {
+        let mut v = [[0.0f32; 8]; 36];
+        v[1] = [1.0; 8];
+        v[2] = [1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0];
+        v[3] = [127.0, -128.0, 64.0, -64.0, 32.0, -32.0, 16.0, -16.0];
+        let mut x = [0.0f32; 8];
+        for s in 0..32usize {
             for (i, xv) in x.iter_mut().enumerate() {
-                *xv = ((((s as usize * 8 + i) * 2654435761) % 2001) as f32 / 10.0) - 100.0;
+                *xv = ((((s * 8 + i) * 2654435761) % 2001) as f32 / 10.0) - 100.0;
             }
-            v.push(x);
+            v[s + 4] = x;
         }
         v
     }

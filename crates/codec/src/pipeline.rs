@@ -26,7 +26,34 @@ use crate::quant::{dequantize, quantize, QuantKind};
 use crate::rle;
 use crate::sfpr::{self, SfprEncoded, SfprParams};
 use crate::zvc::Zvc;
+use jact_par::Pool;
 use jact_tensor::{Shape, Tensor};
+
+/// 8×8 blocks per parallel DCT/quantize chunk.  Input-derived only, so the
+/// transformed blocks are identical for any thread count.
+const DCT_BLOCKS_PER_CHUNK: usize = 256;
+
+/// Runs DCT + quantization over every block in parallel chunks.
+fn transform_blocks(blocks: &[[i8; 64]], quant: QuantKind, dqt: &Dqt) -> Vec<[i8; 64]> {
+    let mut out = vec![[0i8; 64]; blocks.len()];
+    Pool::current().par_chunks_mut(&mut out, DCT_BLOCKS_PER_CHUNK, |_, off, chunk| {
+        for (k, q) in chunk.iter_mut().enumerate() {
+            *q = quantize(quant, &dct2d_i8(&blocks[off + k]), dqt);
+        }
+    });
+    out
+}
+
+/// Runs dequantization + inverse DCT over every block in parallel chunks.
+fn untransform_blocks(quantized: &[[i8; 64]], quant: QuantKind, dqt: &Dqt) -> Vec<[i8; 64]> {
+    let mut out = vec![[0i8; 64]; quantized.len()];
+    Pool::current().par_chunks_mut(&mut out, DCT_BLOCKS_PER_CHUNK, |_, off, chunk| {
+        for (k, s) in chunk.iter_mut().enumerate() {
+            *s = idct2d_to_i8(&dequantize(quant, &quantized[off + k], dqt));
+        }
+    });
+    out
+}
 
 /// Which lossless coder terminates a JPEG pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -441,11 +468,7 @@ impl JpegCodec {
     pub fn quantized_blocks(&self, x: &Tensor) -> Vec<[i8; 64]> {
         let enc = sfpr::compress(x, self.sfpr);
         let layout = BlockLayout::new(x.shape());
-        layout
-            .to_blocks(enc.values())
-            .iter()
-            .map(|b| quantize(self.quant, &dct2d_i8(b), &self.dqt))
-            .collect()
+        transform_blocks(&layout.to_blocks(enc.values()), self.quant, &self.dqt)
     }
 }
 
@@ -453,11 +476,7 @@ impl Codec for JpegCodec {
     fn compress(&self, x: &Tensor) -> CompressedActivation {
         let enc = sfpr::compress(x, self.sfpr);
         let layout = BlockLayout::new(x.shape());
-        let quantized: Vec<[i8; 64]> = layout
-            .to_blocks(enc.values())
-            .iter()
-            .map(|b| quantize(self.quant, &dct2d_i8(b), &self.dqt))
-            .collect();
+        let quantized = transform_blocks(&layout.to_blocks(enc.values()), self.quant, &self.dqt);
 
         let coded = match self.coder {
             CoderKind::Rle => CodedBlocks::Rle {
@@ -513,10 +532,7 @@ impl Codec for JpegCodec {
                     .collect()
             }
         };
-        let spatial: Vec<[i8; 64]> = quantized
-            .iter()
-            .map(|q| idct2d_to_i8(&dequantize(p.quant.into(), q, &p.dqt)))
-            .collect();
+        let spatial = untransform_blocks(&quantized, p.quant.into(), &p.dqt);
         let values = layout.from_blocks(&spatial);
         Ok(sfpr::decompress_values(&values, &p.meta))
     }

@@ -14,7 +14,13 @@
 
 use crate::bits::{BitReader, BitWriter};
 use crate::dqt::ZIGZAG;
+use jact_par::Pool;
 use std::sync::LazyLock;
+
+/// Blocks per parallel encoding chunk.  Chunk streams are joined at bit
+/// granularity ([`BitWriter::append`]), so the coded bytes are identical to
+/// sequential encoding for any thread count.
+const RLE_BLOCKS_PER_CHUNK: usize = 256;
 
 /// End-of-block symbol: `(run=0, size=0)`.
 const EOB: u8 = 0x00;
@@ -250,11 +256,26 @@ pub fn decode_block(r: &mut BitReader<'_>) -> Option<[i8; 64]> {
 
 /// Encodes a sequence of quantized blocks into a byte vector.
 pub fn encode_blocks(blocks: &[[i8; 64]]) -> Vec<u8> {
-    let mut w = BitWriter::new();
-    for b in blocks {
-        encode_block(&mut w, b);
+    let pool = Pool::current();
+    if pool.threads() == 1 || blocks.len() < 2 * RLE_BLOCKS_PER_CHUNK {
+        let mut w = BitWriter::new();
+        for b in blocks {
+            encode_block(&mut w, b);
+        }
+        return w.finish();
     }
-    w.finish()
+    let writers = pool.par_chunks(blocks, RLE_BLOCKS_PER_CHUNK, |_, _, chunk| {
+        let mut w = BitWriter::new();
+        for b in chunk {
+            encode_block(&mut w, b);
+        }
+        w
+    });
+    let mut out = BitWriter::new();
+    for w in writers {
+        out.append(w);
+    }
+    out.finish()
 }
 
 /// Decodes `count` quantized blocks from a byte slice.
@@ -366,6 +387,30 @@ mod tests {
         let bytes = encode_blocks(&blocks);
         let ratio = (blocks.len() * 64) as f64 / bytes.len() as f64;
         assert!(ratio > 3.0, "ratio={ratio}");
+    }
+
+    #[test]
+    fn parallel_encode_matches_sequential_bitwise() {
+        // Enough blocks to cross the parallel threshold, with varied
+        // content so chunk boundaries land mid-byte in the bit stream.
+        let blocks: Vec<[i8; 64]> = (0..2 * super::RLE_BLOCKS_PER_CHUNK + 19)
+            .map(|b| {
+                let mut block = [0i8; 64];
+                for i in 0..64 {
+                    if (i * 7 + b) % 5 == 0 {
+                        block[i] = (((i * 31 + b * 13) % 255) as i32 - 127) as i8;
+                    }
+                }
+                block
+            })
+            .collect();
+        let base = jact_par::with_threads(1, || encode_blocks(&blocks));
+        for threads in [2, 3, 8] {
+            let bytes = jact_par::with_threads(threads, || encode_blocks(&blocks));
+            assert_eq!(bytes, base, "threads={threads}");
+        }
+        let dec = decode_blocks(&base, blocks.len()).expect("decodes");
+        assert_eq!(dec, blocks);
     }
 
     #[test]

@@ -17,7 +17,13 @@
 //! of JPEG-BASE and JPEG-ACT, whose integer DCT needs `i8` inputs.
 
 use crate::error::CodecError;
+use jact_par::Pool;
 use jact_tensor::{Shape, Tensor};
+
+/// Target elements per parallel chunk.  Chunk sizes are derived from the
+/// input only — never the thread count — so partitioning (and therefore
+/// output) is identical for any `JACT_THREADS`.
+const ELEMS_PER_CHUNK: usize = 1 << 15;
 
 /// The paper's selected global scaling factor (Sec. III-B, Fig. 10).
 pub const DEFAULT_S: f32 = 1.125;
@@ -185,12 +191,6 @@ pub fn compress(x: &Tensor, params: SfprParams) -> SfprEncoded {
         (2..=8).contains(&params.bits),
         "SFPR bits must be in 2..=8"
     );
-    let maxes = x.channel_max_abs();
-    let scales: Vec<f32> = maxes
-        .iter()
-        .map(|&m| if m == 0.0 { 0.0 } else { params.s / m })
-        .collect();
-
     let (n, c, h, w) = (
         x.shape().n(),
         x.shape().c(),
@@ -198,22 +198,34 @@ pub fn compress(x: &Tensor, params: SfprParams) -> SfprEncoded {
         x.shape().w(),
     );
     let plane = h * w;
+    let xv = x.as_slice();
+    let maxes = channel_max_abs_par(xv, c, plane);
+    let scales: Vec<f32> = maxes
+        .iter()
+        .map(|&m| if m == 0.0 { 0.0 } else { params.s / m })
+        .collect();
+
     let half = 1i32 << (params.bits - 1);
     let (lo, hi) = (-half, half - 1);
-    let xv = x.as_slice();
     let mut values = vec![0i8; xv.len()];
-    for ni in 0..n {
-        for ci in 0..c {
-            let sc = scales[ci];
-            if sc == 0.0 {
-                continue;
+    if plane > 0 && c > 0 && n > 0 {
+        // Chunks are whole (ni, ci) planes so each chunk sees a single
+        // scale per plane segment; the chunk size is input-derived only.
+        let chunk_len = plane * (ELEMS_PER_CHUNK / plane).max(1);
+        Pool::current().par_chunks_mut(&mut values, chunk_len, |_, off, out| {
+            for (k, seg) in out.chunks_mut(plane).enumerate() {
+                let p = off / plane + k;
+                let sc = scales[p % c];
+                if sc == 0.0 {
+                    continue;
+                }
+                let base = off + k * plane;
+                for (j, o) in seg.iter_mut().enumerate() {
+                    let q = (half as f32 * sc * xv[base + j]).round() as i32;
+                    *o = q.clamp(lo, hi) as i8;
+                }
             }
-            let base = (ni * c + ci) * plane;
-            for i in base..base + plane {
-                let q = (half as f32 * sc * xv[i]).round() as i32;
-                values[i] = q.clamp(lo, hi) as i8;
-            }
-        }
+        });
     }
     SfprEncoded {
         values,
@@ -245,20 +257,67 @@ pub fn decompress_values(values: &[i8], enc: &SfprEncoded) -> Tensor {
     let plane = h * w;
     let half = (1i32 << (enc.params.bits - 1)) as f32;
     let mut out = vec![0.0f32; values.len()];
-    for ni in 0..n {
-        for ci in 0..c {
-            let sc = enc.scales[ci];
-            if sc == 0.0 {
-                continue;
+    if plane > 0 && c > 0 && n > 0 {
+        let chunk_len = plane * (ELEMS_PER_CHUNK / plane).max(1);
+        Pool::current().par_chunks_mut(&mut out, chunk_len, |_, off, seg_out| {
+            for (k, seg) in seg_out.chunks_mut(plane).enumerate() {
+                let p = off / plane + k;
+                let sc = enc.scales[p % c];
+                if sc == 0.0 {
+                    continue;
+                }
+                let inv = 1.0 / (half * sc);
+                let base = off + k * plane;
+                for (j, o) in seg.iter_mut().enumerate() {
+                    *o = values[base + j] as f32 * inv;
+                }
             }
-            let inv = 1.0 / (half * sc);
-            let base = (ni * c + ci) * plane;
-            for i in base..base + plane {
-                out[i] = values[i] as f32 * inv;
+        });
+    }
+    Tensor::from_vec(enc.shape.clone(), out)
+}
+
+/// Per-channel `max |x|` over NCHW data laid out as `(n·c)` planes of
+/// `plane` elements — the parallel equivalent of
+/// `Tensor::channel_max_abs`.  Partial per-chunk maxima are folded with an
+/// elementwise `max`, which is order-insensitive in f32, so the result is
+/// bitwise identical for any thread count.
+fn channel_max_abs_par(xv: &[f32], c: usize, plane: usize) -> Vec<f32> {
+    if c == 0 {
+        return Vec::new();
+    }
+    if plane == 0 || xv.is_empty() {
+        return vec![0.0; c];
+    }
+    let num_planes = xv.len() / plane;
+    let planes_per_chunk = (ELEMS_PER_CHUNK / plane).max(1);
+    let num_chunks = num_planes.div_ceil(planes_per_chunk);
+    let parts = Pool::current().run_chunks(num_chunks, |ci| {
+        let p0 = ci * planes_per_chunk;
+        let p1 = (p0 + planes_per_chunk).min(num_planes);
+        let mut m = vec![0.0f32; c];
+        for p in p0..p1 {
+            let slot = p % c;
+            let mut best = m[slot];
+            for &v in &xv[p * plane..(p + 1) * plane] {
+                let a = v.abs();
+                if a > best {
+                    best = a;
+                }
+            }
+            m[slot] = best;
+        }
+        m
+    });
+    let mut maxes = vec![0.0f32; c];
+    for part in parts {
+        for (mm, pv) in maxes.iter_mut().zip(part) {
+            if pv > *mm {
+                *mm = pv;
             }
         }
     }
-    Tensor::from_vec(enc.shape.clone(), out)
+    maxes
 }
 
 #[cfg(test)]

@@ -17,9 +17,14 @@
 //! byte offset where decoding failed — never a panic or a bare `None`.
 
 use crate::error::CodecError;
+use jact_par::Pool;
 
 /// DMA packet size in bytes (two 64 B flits on the PCIe DMA path).
 pub const PACKET_BYTES: usize = 128;
+
+/// Blocks per parallel framing chunk (input-derived, thread-count
+/// independent).
+const FRAME_BLOCKS_PER_CHUNK: usize = 256;
 
 /// One CDU output block: the ZVC form of a quantized 8×8 block.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,8 +38,9 @@ pub struct BlockPayload {
 impl BlockPayload {
     /// Builds a payload from a quantized block, applying ZVC framing.
     pub fn from_block(block: &[i8; 64]) -> Self {
+        let nonzero = block.iter().filter(|&&v| v != 0).count();
         let mut mask = [0u8; 8];
-        let mut values = Vec::new();
+        let mut values = Vec::with_capacity(nonzero);
         for (i, &v) in block.iter().enumerate() {
             if v != 0 {
                 mask[i / 8] |= 1 << (i % 8);
@@ -74,6 +80,26 @@ impl BlockPayload {
     pub fn wire_bytes(&self) -> usize {
         8 + self.values.len()
     }
+}
+
+/// Frames a contiguous run of quantized 8×8 blocks into per-block ZVC
+/// payloads, one CDU's worth of work per chunk, across the current pool.
+/// Payload order matches block order for any thread count, so the
+/// collector's deterministic round-robin schedule is unaffected.
+pub fn payloads_from_blocks(blocks: &[[i8; 64]]) -> Vec<BlockPayload> {
+    let mut out = vec![
+        BlockPayload {
+            mask: [0u8; 8],
+            values: Vec::new(),
+        };
+        blocks.len()
+    ];
+    Pool::current().par_chunks_mut(&mut out, FRAME_BLOCKS_PER_CHUNK, |_, off, chunk| {
+        for (k, p) in chunk.iter_mut().enumerate() {
+            *p = BlockPayload::from_block(&blocks[off + k]);
+        }
+    });
+    out
 }
 
 /// Collects per-CDU block streams into a single 128 B-packet DMA stream.
@@ -301,6 +327,18 @@ mod tests {
                 what: "stream ends inside block values",
             }
         );
+    }
+
+    #[test]
+    fn parallel_framing_matches_per_block_framing() {
+        let blocks: Vec<[i8; 64]> = (0..600)
+            .map(|b| block_with(&[(b % 64, (b % 120) as i8 - 60), ((b * 7) % 64, 3)]))
+            .collect();
+        let want: Vec<BlockPayload> = blocks.iter().map(BlockPayload::from_block).collect();
+        for threads in [1, 2, 8] {
+            let got = jact_par::with_threads(threads, || payloads_from_blocks(&blocks));
+            assert_eq!(got, want, "threads={threads}");
+        }
     }
 
     #[test]

@@ -18,6 +18,12 @@
 //! malformed input gracefully.
 
 use crate::error::CodecError;
+use jact_par::Pool;
+
+/// Words per parallel chunk.  A multiple of 8 so every chunk owns whole
+/// mask bytes; input-derived only, so the mask/value streams are bitwise
+/// identical to sequential compression for any thread count.
+const WORDS_PER_CHUNK: usize = 1 << 14;
 
 /// A ZVC-compressed buffer: non-zero bit mask plus packed non-zero words.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,13 +64,16 @@ impl Zvc {
     /// Compresses a slice of `f32` values (4-byte words); only exact `+0.0`
     /// bit patterns count as zero, matching a hardware word comparator.
     pub fn compress_f32(data: &[f32]) -> Self {
-        let mut bytes = Vec::with_capacity(data.len() * 4);
-        for &v in data {
-            // Normalize -0.0 to +0.0 so the mask sees it as zero, as the
-            // cDMA hardware does for sign-magnitude zero.
-            let v = if v == 0.0 { 0.0 } else { v };
-            bytes.extend_from_slice(&v.to_le_bytes());
-        }
+        let mut bytes = vec![0u8; data.len() * 4];
+        Pool::current().par_chunks_mut(&mut bytes, WORDS_PER_CHUNK * 4, |_, off, out| {
+            for (k, word) in out.chunks_exact_mut(4).enumerate() {
+                // Normalize -0.0 to +0.0 so the mask sees it as zero, as
+                // the cDMA hardware does for sign-magnitude zero.
+                let v = data[off / 4 + k];
+                let v = if v == 0.0 { 0.0 } else { v };
+                word.copy_from_slice(&v.to_le_bytes());
+            }
+        });
         Self::compress_infallible(&bytes, 4)
     }
 
@@ -72,8 +81,45 @@ impl Zvc {
     /// themselves; the width invariants hold by construction.
     fn compress_infallible(data: &[u8], word_bytes: usize) -> Self {
         let words = data.len() / word_bytes;
+        let pool = Pool::current();
+        if pool.threads() == 1 || words < 2 * WORDS_PER_CHUNK {
+            return Self::compress_chunk(data, word_bytes, words);
+        }
+        // Chunks own whole mask bytes (WORDS_PER_CHUNK is a multiple of 8),
+        // so concatenating per-chunk mask/value streams in chunk order
+        // reproduces the sequential output byte for byte.
+        let num_chunks = words.div_ceil(WORDS_PER_CHUNK);
+        let parts = pool.run_chunks(num_chunks, |ci| {
+            let w0 = ci * WORDS_PER_CHUNK;
+            let w1 = (w0 + WORDS_PER_CHUNK).min(words);
+            let chunk = &data[w0 * word_bytes..w1 * word_bytes];
+            let z = Self::compress_chunk(chunk, word_bytes, w1 - w0);
+            (z.mask, z.values)
+        });
+        let mut mask = Vec::with_capacity(words.div_ceil(8));
+        let mut values =
+            Vec::with_capacity(parts.iter().map(|(_, v)| v.len()).sum::<usize>());
+        for (m, v) in parts {
+            mask.extend_from_slice(&m);
+            values.extend_from_slice(&v);
+        }
+        Zvc {
+            mask,
+            values,
+            words,
+            word_bytes,
+        }
+    }
+
+    /// Sequential compression of one aligned span: counts non-zero words
+    /// first so `values` is allocated exactly once at its final size.
+    fn compress_chunk(data: &[u8], word_bytes: usize, words: usize) -> Zvc {
+        let nonzero = data
+            .chunks_exact(word_bytes)
+            .filter(|w| w.iter().any(|&b| b != 0))
+            .count();
         let mut mask = vec![0u8; words.div_ceil(8)];
-        let mut values = Vec::new();
+        let mut values = Vec::with_capacity(nonzero * word_bytes);
         for w in 0..words {
             let chunk = &data[w * word_bytes..(w + 1) * word_bytes];
             if chunk.iter().any(|&b| b != 0) {
@@ -134,16 +180,47 @@ impl Zvc {
 
     /// Decompresses back to the original byte buffer.
     pub fn decompress(&self) -> Vec<u8> {
+        let pool = Pool::current();
         let mut out = vec![0u8; self.words * self.word_bytes];
-        let mut vi = 0usize;
-        for w in 0..self.words {
+        if pool.threads() == 1 || self.words < 2 * WORDS_PER_CHUNK {
+            self.scatter_words(0, 0, &mut out);
+            return out;
+        }
+        // Each chunk's starting value offset is the popcount of all mask
+        // bits before it — a cheap sequential prefix scan over mask bytes,
+        // after which every chunk scatters into a disjoint output range.
+        let num_chunks = self.words.div_ceil(WORDS_PER_CHUNK);
+        let mut starts = Vec::with_capacity(num_chunks);
+        let mut acc = 0usize;
+        for ci in 0..num_chunks {
+            starts.push(acc);
+            let b0 = ci * WORDS_PER_CHUNK / 8;
+            let b1 = (b0 + WORDS_PER_CHUNK / 8).min(self.mask.len());
+            acc += self.mask[b0..b1]
+                .iter()
+                .map(|b| b.count_ones() as usize)
+                .sum::<usize>()
+                * self.word_bytes;
+        }
+        pool.par_chunks_mut(&mut out, WORDS_PER_CHUNK * self.word_bytes, |ci, off, chunk| {
+            self.scatter_words(off / self.word_bytes, starts[ci], chunk);
+        });
+        out
+    }
+
+    /// Scatters words `first_word..` into `out` (whose length determines the
+    /// word count), reading packed values from `value_offset` onward.
+    fn scatter_words(&self, first_word: usize, value_offset: usize, out: &mut [u8]) {
+        let count = out.len() / self.word_bytes;
+        let mut vi = value_offset;
+        for k in 0..count {
+            let w = first_word + k;
             if self.mask[w / 8] >> (w % 8) & 1 == 1 {
-                out[w * self.word_bytes..(w + 1) * self.word_bytes]
+                out[k * self.word_bytes..(k + 1) * self.word_bytes]
                     .copy_from_slice(&self.values[vi..vi + self.word_bytes]);
                 vi += self.word_bytes;
             }
         }
-        out
     }
 
     /// Decompresses to `i8` values.
@@ -165,11 +242,15 @@ impl Zvc {
         if self.word_bytes != 4 {
             return Err(CodecError::Corrupt("not an f32 ZVC stream"));
         }
-        Ok(self
-            .decompress()
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-            .collect())
+        let bytes = self.decompress();
+        let mut out = vec![0.0f32; self.words];
+        Pool::current().par_chunks_mut(&mut out, WORDS_PER_CHUNK, |_, off, seg| {
+            for (k, o) in seg.iter_mut().enumerate() {
+                let i = (off + k) * 4;
+                *o = f32::from_le_bytes([bytes[i], bytes[i + 1], bytes[i + 2], bytes[i + 3]]);
+            }
+        });
+        Ok(out)
     }
 
     /// Compressed size in bytes: mask plus packed values.
@@ -345,5 +426,23 @@ mod tests {
         let z = Zvc::compress_i8(&[]);
         assert_eq!(z.compressed_bytes(), 0);
         assert!(z.decompress_i8().unwrap().is_empty());
+    }
+
+    #[test]
+    fn parallel_compress_matches_sequential_bitwise() {
+        // Large enough to cross the parallel threshold (2 * WORDS_PER_CHUNK
+        // words) with a ragged tail; every thread count must produce the
+        // same mask and value streams as single-threaded compression.
+        let n = 2 * super::WORDS_PER_CHUNK * 4 + 37 * 4;
+        let data: Vec<u8> = (0..n)
+            .map(|i| if i % 7 < 4 { 0 } else { (i % 251) as u8 })
+            .collect();
+        let base = jact_par::with_threads(1, || Zvc::compress(&data, 4).unwrap());
+        for threads in [2, 3, 8] {
+            let z = jact_par::with_threads(threads, || Zvc::compress(&data, 4).unwrap());
+            assert_eq!(z, base, "threads={threads}");
+            let out = jact_par::with_threads(threads, || z.decompress());
+            assert_eq!(out, data, "threads={threads}");
+        }
     }
 }

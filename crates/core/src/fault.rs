@@ -104,6 +104,25 @@ impl FaultConfig {
     pub fn new(rate: f64, model: FaultModel, seed: u64) -> Self {
         FaultConfig { rate, model, seed }
     }
+
+    /// Derives the per-delivery channel configuration for one keyed
+    /// delivery stream (e.g. one activation id in a batched load).
+    ///
+    /// Batched loads deliver frames concurrently, so they cannot share
+    /// the store's single sequential [`FaultInjector`] without making the
+    /// fault pattern depend on scheduling order.  Instead each delivery
+    /// stream gets its own child channel whose seed is a SplitMix64
+    /// expansion of `(self.seed, key)` — fully determined by the
+    /// configuration and the key, independent of thread count and of the
+    /// order loads are issued in.
+    pub fn for_delivery(&self, key: u64) -> FaultConfig {
+        let mut sm = jact_rng::SplitMix64::new(self.seed ^ key.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        FaultConfig {
+            rate: self.rate,
+            model: self.model,
+            seed: sm.next_u64(),
+        }
+    }
 }
 
 /// What the store does when a wire load is detected as corrupt.
@@ -265,6 +284,21 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(na, nb);
         assert!(na > 0, "1e-3 over 8 KiB should fault");
+    }
+
+    #[test]
+    fn for_delivery_is_deterministic_and_key_separated() {
+        let cfg = FaultConfig::new(1e-3, FaultModel::Mixed, 42);
+        // Same (config, key) → same child config, every time.
+        assert_eq!(cfg.for_delivery(7), cfg.for_delivery(7));
+        // Different keys → decorrelated child seeds.
+        assert_ne!(cfg.for_delivery(7).seed, cfg.for_delivery(8).seed);
+        // Rate and model pass through unchanged.
+        let child = cfg.for_delivery(7);
+        assert_eq!(child.rate, cfg.rate);
+        assert_eq!(child.model, cfg.model);
+        // Key 0 does not collapse onto the parent seed.
+        assert_ne!(cfg.for_delivery(0).seed, cfg.seed);
     }
 
     #[test]

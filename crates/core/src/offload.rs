@@ -18,8 +18,9 @@ use jact_codec::pipeline::{Codec, CompressedActivation};
 use jact_codec::wire;
 use jact_dnn::act::{ActKind, ActivationId, ActivationStore, FaultReport};
 use jact_dnn::error::NetError;
+use jact_par::Pool;
 use jact_tensor::{Shape, Tensor};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 struct Entry {
     compressed: CompressedActivation,
@@ -38,6 +39,96 @@ struct Entry {
 struct WireChannel {
     injector: FaultInjector,
     policy: RecoveryPolicy,
+}
+
+/// Why one load could not produce a tensor, before the activation id is
+/// attached to form a [`NetError`].
+enum LoadFailure {
+    /// The payload could not be decoded (and the policy does not retry).
+    Decode(String),
+    /// The retry budget was exhausted after `attempts` deliveries.
+    Exhausted {
+        attempts: u32,
+        last_error: String,
+    },
+}
+
+impl LoadFailure {
+    fn into_net_error(self, id: ActivationId) -> NetError {
+        match self {
+            LoadFailure::Decode(reason) => NetError::Store { id, reason },
+            LoadFailure::Exhausted {
+                attempts,
+                last_error,
+            } => NetError::RecoveryExhausted {
+                id,
+                attempts,
+                last_error,
+            },
+        }
+    }
+}
+
+/// Delivers `frame` through `injector`, decodes, and applies `policy` on
+/// corruption, accumulating the six wire counters into `faults`.
+///
+/// Shared by the sequential [`ActivationStore::load`] (which passes the
+/// store's cumulative counters and its one long-lived channel) and the
+/// batched [`ActivationStore::load_batch`] (which passes a fresh
+/// per-delivery channel and a zeroed delta merged in later).
+fn wire_load(
+    injector: &mut FaultInjector,
+    policy: RecoveryPolicy,
+    codec: &dyn Codec,
+    frame: &[u8],
+    original_shape: &Shape,
+    faults: &mut FaultReport,
+) -> Result<Tensor, LoadFailure> {
+    faults.wire_loads += 1;
+    let retries = match policy {
+        RecoveryPolicy::Retry { attempts } => attempts,
+        _ => 0,
+    };
+    let mut attempt = 0u32;
+    let outcome = loop {
+        if attempt > 0 {
+            faults.retried_loads += 1;
+        }
+        let (rx, n) = injector.deliver(frame);
+        faults.faults_injected += n;
+        attempt += 1;
+        match wire::deserialize(&rx).and_then(|c| codec.decompress(&c)) {
+            Ok(t) => {
+                if attempt > 1 {
+                    faults.recovered_loads += 1;
+                }
+                break Ok(t);
+            }
+            Err(err) => {
+                if attempt == 1 {
+                    faults.corrupt_loads += 1;
+                }
+                if attempt > retries {
+                    break Err(err);
+                }
+            }
+        }
+    };
+    match outcome {
+        Ok(t) => Ok(t),
+        Err(err) => match policy {
+            RecoveryPolicy::ZeroFill => {
+                faults.recovered_loads += 1;
+                faults.zero_filled_loads += 1;
+                Ok(Tensor::zeros(original_shape.clone()))
+            }
+            RecoveryPolicy::Fail => Err(LoadFailure::Decode(err.to_string())),
+            RecoveryPolicy::Retry { .. } => Err(LoadFailure::Exhausted {
+                attempts: attempt,
+                last_error: err.to_string(),
+            }),
+        },
+    }
 }
 
 /// An [`ActivationStore`] that compresses on save / decompresses on load.
@@ -175,62 +266,15 @@ impl ActivationStore for OffloadStore {
             return Ok(t.clone());
         }
         let t = match (&mut self.wire, &e.frame) {
-            (Some(ch), Some(frame)) => {
-                let faults = self.stats.faults_mut();
-                faults.wire_loads += 1;
-                let retries = match ch.policy {
-                    RecoveryPolicy::Retry { attempts } => attempts,
-                    _ => 0,
-                };
-                let mut attempt = 0u32;
-                let outcome = loop {
-                    if attempt > 0 {
-                        faults.retried_loads += 1;
-                    }
-                    let (rx, n) = ch.injector.deliver(frame);
-                    faults.faults_injected += n;
-                    attempt += 1;
-                    match wire::deserialize(&rx).and_then(|c| e.codec.decompress(&c)) {
-                        Ok(t) => {
-                            if attempt > 1 {
-                                faults.recovered_loads += 1;
-                            }
-                            break Ok(t);
-                        }
-                        Err(err) => {
-                            if attempt == 1 {
-                                faults.corrupt_loads += 1;
-                            }
-                            if attempt > retries {
-                                break Err(err);
-                            }
-                        }
-                    }
-                };
-                match outcome {
-                    Ok(t) => t,
-                    Err(err) => match ch.policy {
-                        RecoveryPolicy::ZeroFill => {
-                            faults.recovered_loads += 1;
-                            faults.zero_filled_loads += 1;
-                            Tensor::zeros(e.original_shape.clone())
-                        }
-                        RecoveryPolicy::Fail => {
-                            return Err(NetError::Store {
-                                id,
-                                reason: err.to_string(),
-                            })
-                        }
-                        RecoveryPolicy::Retry { .. } => {
-                            return Err(NetError::RecoveryExhausted {
-                                id,
-                                attempts: attempt,
-                                last_error: err.to_string(),
-                            })
-                        }
-                    },
-                }
-            }
+            (Some(ch), Some(frame)) => wire_load(
+                &mut ch.injector,
+                ch.policy,
+                e.codec.as_ref(),
+                frame,
+                &e.original_shape,
+                self.stats.faults_mut(),
+            )
+            .map_err(|f| f.into_net_error(id))?,
             _ => e
                 .codec
                 .decompress(&e.compressed)
@@ -242,6 +286,139 @@ impl ActivationStore for OffloadStore {
         let t = t.reshape(e.original_shape.clone());
         e.cache = Some(t.clone());
         Ok(t)
+    }
+
+    /// Compresses (and in wire mode serializes) all items concurrently on
+    /// the current [`Pool`], then records statistics and inserts entries
+    /// sequentially in item order — so the resulting store state is
+    /// byte-identical to looping [`save`](ActivationStore::save),
+    /// regardless of thread count.
+    fn save_batch(&mut self, items: Vec<(ActivationId, ActKind, Tensor)>) {
+        let wire_on = self.wire.is_some();
+        // Codec selection consults the scheme's mutable schedule state, so
+        // it stays sequential; the expensive transform is what fans out.
+        let prepared: Vec<(ActivationId, ActKind, Shape, Box<dyn Codec>, Tensor)> = items
+            .into_iter()
+            .map(|(id, kind, x)| {
+                let x4 = Self::to_rank4(&x);
+                let codec = self.scheme.codec_for(kind, x4.shape(), self.epoch);
+                (id, kind, x.shape().clone(), codec, x4)
+            })
+            .collect();
+        let compressed: Vec<(CompressedActivation, Option<Vec<u8>>)> = Pool::current()
+            .par_map_collect(&prepared, |_, (_, _, _, codec, x4)| {
+                let c = codec.compress(x4);
+                let frame = wire_on.then(|| wire::serialize(&c));
+                (c, frame)
+            });
+        for ((id, kind, original_shape, codec, _), (compressed, frame)) in
+            prepared.into_iter().zip(compressed)
+        {
+            self.stats.record(
+                kind,
+                compressed.uncompressed_bytes(),
+                compressed.compressed_bytes(),
+            );
+            self.step_log.push((
+                kind,
+                compressed.uncompressed_bytes(),
+                compressed.compressed_bytes(),
+            ));
+            self.entries.insert(
+                id,
+                Entry {
+                    compressed,
+                    codec,
+                    original_shape,
+                    frame,
+                    cache: None,
+                },
+            );
+        }
+    }
+
+    /// Decompresses all uncached ids concurrently on the current [`Pool`].
+    ///
+    /// In wire mode every id gets its own delivery channel derived by
+    /// [`FaultConfig::for_delivery`] from the store's fault seed and the
+    /// activation id, so the fault pattern each frame sees — and therefore
+    /// every returned tensor and every counter — depends only on the
+    /// configuration and the id, never on thread count or on the order
+    /// deliveries happen to complete in.  Per-load counter deltas are
+    /// merged into the cumulative [`CompressionStats`] in ascending id
+    /// order.
+    fn load_batch(&mut self, ids: &[ActivationId]) -> Result<Vec<Tensor>, NetError> {
+        for &id in ids {
+            if !self.entries.contains_key(&id) {
+                return Err(NetError::MissingActivation(id));
+            }
+        }
+        let requested: BTreeSet<ActivationId> = ids.iter().copied().collect();
+        let wire_cfg: Option<(FaultConfig, RecoveryPolicy)> = self
+            .wire
+            .as_ref()
+            .map(|ch| (*ch.injector.config(), ch.policy));
+        // Decode every requested id that is not already cached.  The work
+        // list borrows the entries immutably; all mutation happens after
+        // the parallel region, in ascending id order.
+        let outcomes: Vec<(ActivationId, Result<Tensor, LoadFailure>, FaultReport)> = {
+            let work: Vec<(ActivationId, &Entry)> = self
+                .entries
+                .iter()
+                .filter(|(id, e)| requested.contains(id) && e.cache.is_none())
+                .map(|(&id, e)| (id, e))
+                .collect();
+            Pool::current().par_map_collect(&work, |_, &(id, entry)| {
+                let mut delta = FaultReport::default();
+                let res = match (&wire_cfg, &entry.frame) {
+                    (Some((cfg, policy)), Some(frame)) => {
+                        let mut inj = FaultInjector::new(cfg.for_delivery(id));
+                        wire_load(
+                            &mut inj,
+                            *policy,
+                            entry.codec.as_ref(),
+                            frame,
+                            &entry.original_shape,
+                            &mut delta,
+                        )
+                    }
+                    _ => entry
+                        .codec
+                        .decompress(&entry.compressed)
+                        .map_err(|err| LoadFailure::Decode(err.to_string())),
+                };
+                (id, res.map(|t| t.reshape(entry.original_shape.clone())), delta)
+            })
+        };
+        let mut failures: BTreeMap<ActivationId, LoadFailure> = BTreeMap::new();
+        for (id, res, delta) in outcomes {
+            self.stats.faults_mut().absorb(&delta);
+            match res {
+                Ok(t) => {
+                    if let Some(e) = self.entries.get_mut(&id) {
+                        e.cache = Some(t);
+                    }
+                }
+                Err(f) => {
+                    failures.insert(id, f);
+                }
+            }
+        }
+        if !failures.is_empty() {
+            for id in ids {
+                if let Some(f) = failures.remove(id) {
+                    return Err(f.into_net_error(*id));
+                }
+            }
+        }
+        ids.iter()
+            .map(|&id| {
+                self.entries
+                    .get(&id)
+                    .and_then(|e| e.cache.clone())
+                    .ok_or(NetError::MissingActivation(id))
+            })
+            .collect()
     }
 
     fn clear(&mut self) {
@@ -488,6 +665,131 @@ mod tests {
         // Entry predates wire mode: no shadow frame, direct decode.
         assert!(s.load(1).is_ok());
         assert_eq!(s.fault_report().wire_loads, 0);
+    }
+
+    #[test]
+    fn save_batch_matches_sequential_saves() {
+        let items: Vec<(ActivationId, ActKind, Tensor)> = vec![
+            (1, ActKind::Conv, smooth(Shape::nchw(2, 4, 16, 16))),
+            (2, ActKind::ReluToOther, sparse(Shape::nchw(1, 4, 16, 16))),
+            (3, ActKind::Linear, smooth(Shape::mat(4, 64))),
+            (4, ActKind::Pool, smooth(Shape::nchw(1, 2, 8, 8))),
+        ];
+        let mut seq = OffloadStore::new(Scheme::jpeg_act_opt_l5h());
+        for (id, kind, x) in &items {
+            seq.save(*id, *kind, x);
+        }
+        for threads in [1usize, 2, 8] {
+            let mut bat = OffloadStore::new(Scheme::jpeg_act_opt_l5h());
+            jact_par::with_threads(threads, || bat.save_batch(items.clone()));
+            assert_eq!(bat.step_log(), seq.step_log(), "threads={threads}");
+            assert_eq!(
+                bat.stats().total_compressed(),
+                seq.stats().total_compressed(),
+                "threads={threads}"
+            );
+            for (id, _, _) in &items {
+                assert_eq!(bat.load(*id).unwrap(), seq.load(*id).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn load_batch_matches_sequential_loads_direct_mode() {
+        let mut s = OffloadStore::new(Scheme::jpeg_act_opt_l5h());
+        let x = smooth(Shape::nchw(2, 4, 16, 16));
+        let y = smooth(Shape::mat(4, 64));
+        s.save(1, ActKind::Conv, &x);
+        s.save(2, ActKind::Linear, &y);
+        let a = s.load(1).unwrap();
+        let b = s.load(2).unwrap();
+        s.clear();
+        s.save(1, ActKind::Conv, &x);
+        s.save(2, ActKind::Linear, &y);
+        for threads in [1usize, 2, 8] {
+            let got =
+                jact_par::with_threads(threads, || s.load_batch(&[2, 1, 2]).unwrap());
+            assert_eq!(got, vec![b.clone(), a.clone(), b.clone()], "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn wire_load_batch_is_thread_count_invariant() {
+        // ZeroFill at a rate where some frames corrupt and some survive:
+        // tensors and all six counters must be identical for any thread
+        // count because each id's channel derives from (seed, id) alone.
+        let run = |threads: usize| {
+            let mut s = OffloadStore::through_wire(
+                Scheme::sfpr(),
+                FaultConfig::new(0.5 / 2200.0, FaultModel::Mixed, 21),
+                RecoveryPolicy::ZeroFill,
+            );
+            let items: Vec<(ActivationId, ActKind, Tensor)> = (0..12u64)
+                .map(|id| (id, ActKind::Conv, smooth(Shape::nchw(2, 4, 16, 16))))
+                .collect();
+            let ids: Vec<ActivationId> = items.iter().map(|(id, _, _)| *id).collect();
+            jact_par::with_threads(threads, || {
+                s.save_batch(items);
+                let got = s.load_batch(&ids).unwrap();
+                (got, s.fault_report())
+            })
+        };
+        let (t1, f1) = run(1);
+        for threads in [2usize, 8] {
+            let (t, f) = run(threads);
+            assert_eq!(t, t1, "tensors differ at threads={threads}");
+            assert_eq!(f, f1, "fault counters differ at threads={threads}");
+        }
+        assert_eq!(f1.wire_loads, 12);
+    }
+
+    #[test]
+    fn load_batch_error_is_first_failing_requested_id() {
+        // Heavy corruption + Fail policy: every wire load fails; the
+        // error must name the first id in *request* order.
+        let mut s = OffloadStore::through_wire(
+            Scheme::sfpr(),
+            FaultConfig::new(0.05, FaultModel::BitFlip, 22),
+            RecoveryPolicy::Fail,
+        );
+        let x = smooth(Shape::nchw(2, 4, 16, 16));
+        s.save(1, ActKind::Conv, &x);
+        s.save(2, ActKind::Conv, &x);
+        match s.load_batch(&[2, 1]) {
+            Err(NetError::Store { id: 2, .. }) => {}
+            other => panic!("expected Store error for id 2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_batch_missing_id_reported_before_any_decode() {
+        let mut s = OffloadStore::new(Scheme::vdnn());
+        let x = smooth(Shape::nchw(1, 2, 8, 8));
+        s.save(1, ActKind::Conv, &x);
+        assert_eq!(
+            s.load_batch(&[1, 9]).unwrap_err(),
+            NetError::MissingActivation(9)
+        );
+        // The failed batch must not have consumed the cache path.
+        assert!(s.load_batch(&[1]).is_ok());
+    }
+
+    #[test]
+    fn load_batch_skips_cached_entries_on_the_wire() {
+        let mut s = OffloadStore::through_wire(
+            Scheme::vdnn(),
+            FaultConfig::new(0.0, FaultModel::Mixed, 23),
+            RecoveryPolicy::Fail,
+        );
+        let x = smooth(Shape::nchw(1, 2, 8, 8));
+        s.save(1, ActKind::Conv, &x);
+        s.save(2, ActKind::Conv, &x);
+        let single = s.load(1).unwrap();
+        let got = s.load_batch(&[1, 2]).unwrap();
+        assert_eq!(got[0], single);
+        // id 1 was cached by the single load: only id 2 crossed the wire
+        // during the batch.
+        assert_eq!(s.fault_report().wire_loads, 2);
     }
 
     #[test]

@@ -108,6 +108,18 @@ impl FaultReport {
         }
     }
 
+    /// Counter-wise accumulation of `delta` into `self`, for merging
+    /// per-load deltas produced by concurrent batch loads back into a
+    /// store's cumulative counters.
+    pub fn absorb(&mut self, delta: &FaultReport) {
+        self.wire_loads += delta.wire_loads;
+        self.faults_injected += delta.faults_injected;
+        self.corrupt_loads += delta.corrupt_loads;
+        self.retried_loads += delta.retried_loads;
+        self.recovered_loads += delta.recovered_loads;
+        self.zero_filled_loads += delta.zero_filled_loads;
+    }
+
     /// `true` if any fault activity was observed.
     pub fn any_faults(&self) -> bool {
         self.faults_injected > 0 || self.corrupt_loads > 0
@@ -161,6 +173,38 @@ pub trait ActivationStore {
     /// `id` this step, or [`NetError::Store`] if the backing store could
     /// not recover the tensor.
     fn load(&mut self, id: ActivationId) -> Result<Tensor, NetError>;
+
+    /// Saves a batch of independent activations.
+    ///
+    /// The default implementation saves each item in order with
+    /// [`save`](Self::save).  Stores backed by an expensive per-tensor
+    /// transform (compression, serialization) may override this to
+    /// process items concurrently; overrides must leave the store in the
+    /// same state as the sequential default — same entries, same
+    /// statistics — regardless of thread count.
+    fn save_batch(&mut self, items: Vec<(ActivationId, ActKind, Tensor)>) {
+        for (id, kind, x) in items {
+            self.save(id, kind, &x);
+        }
+    }
+
+    /// Loads a batch of activations, one tensor per requested id, in the
+    /// order given (ids may repeat).
+    ///
+    /// The default implementation loads each id in order with
+    /// [`load`](Self::load).  Overrides may decompress concurrently, but
+    /// must be deterministic: the returned tensors and the cumulative
+    /// [`fault_report`](Self::fault_report) counters must be identical
+    /// for any thread count (they need not reproduce the sequential
+    /// default's exact fault stream).
+    ///
+    /// # Errors
+    ///
+    /// Returns the error for the first (in id-list order) id whose load
+    /// fails; see [`load`](Self::load).
+    fn load_batch(&mut self, ids: &[ActivationId]) -> Result<Vec<Tensor>, NetError> {
+        ids.iter().map(|&id| self.load(id)).collect()
+    }
 
     /// Drops all saved activations (end of a training step).
     fn clear(&mut self);
@@ -288,6 +332,48 @@ mod tests {
     fn missing_activation_is_a_typed_error() {
         let mut s = PassthroughStore::new();
         assert_eq!(s.load(99).unwrap_err(), NetError::MissingActivation(99));
+    }
+
+    #[test]
+    fn default_batch_methods_match_singles() {
+        let mut s = PassthroughStore::new();
+        let a = Tensor::full(Shape::vec(4), 1.0);
+        let b = Tensor::full(Shape::vec(4), 2.0);
+        s.save_batch(vec![(1, ActKind::Conv, a.clone()), (2, ActKind::Pool, b.clone())]);
+        // Repeated ids are allowed and resolve per-occurrence.
+        let got = s.load_batch(&[2, 1, 2]).unwrap();
+        assert_eq!(got, vec![b.clone(), a, b]);
+        assert_eq!(
+            s.load_batch(&[1, 9]).unwrap_err(),
+            NetError::MissingActivation(9)
+        );
+    }
+
+    #[test]
+    fn fault_report_absorb_accumulates() {
+        let mut total = FaultReport {
+            wire_loads: 1,
+            faults_injected: 2,
+            corrupt_loads: 3,
+            retried_loads: 4,
+            recovered_loads: 5,
+            zero_filled_loads: 6,
+        };
+        let delta = FaultReport {
+            wire_loads: 10,
+            faults_injected: 20,
+            corrupt_loads: 30,
+            retried_loads: 40,
+            recovered_loads: 50,
+            zero_filled_loads: 60,
+        };
+        total.absorb(&delta);
+        assert_eq!(total.wire_loads, 11);
+        assert_eq!(total.faults_injected, 22);
+        assert_eq!(total.corrupt_loads, 33);
+        assert_eq!(total.retried_loads, 44);
+        assert_eq!(total.recovered_loads, 55);
+        assert_eq!(total.zero_filled_loads, 66);
     }
 
     #[test]

@@ -1,0 +1,465 @@
+//! `jact-par`: a hermetic, deterministic fork-join runtime for the JPEG-ACT
+//! hot paths.
+//!
+//! The hermetic-build policy (JA02) forbids `rayon`/`crossbeam`, so this crate
+//! builds the concurrency substrate from `std::thread::scope` alone. Three
+//! properties drive the design:
+//!
+//! 1. **Determinism (JA04).** Work is partitioned into chunks whose size is a
+//!    function of the input only — never of the thread count — and per-chunk
+//!    results are merged in chunk-index order. A computation run through any
+//!    [`Pool`] therefore produces bitwise-identical output for 1, 2, or N
+//!    threads.
+//! 2. **Panic freedom (JA03).** No `unwrap`/`expect`/`panic!` in this crate.
+//!    A panic raised *inside a caller-supplied closure* is captured via
+//!    `JoinHandle::join` and re-raised on the calling thread with
+//!    `std::panic::resume_unwind`, so fork-join never deadlocks or aborts the
+//!    process on its own.
+//! 3. **No oversubscription.** Worker bodies run with a thread-local
+//!    "sequential" override engaged, so nested parallel calls (e.g. a codec
+//!    stage invoked from an already-parallel offload batch) degrade to
+//!    sequential execution instead of spawning `threads * threads` workers.
+//!
+//! Thread count resolution order: an active [`with_threads`] override on the
+//! current thread, else the `JACT_THREADS` environment variable (read once),
+//! else `std::thread::available_parallelism()`.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::sync::LazyLock;
+
+thread_local! {
+    /// Per-thread thread-count override. `0` means "no override": fall back
+    /// to the process-global default. Worker threads run with this set to 1
+    /// so nested parallel calls stay sequential.
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Process-global default thread count: `JACT_THREADS` if set and valid,
+/// otherwise the machine's available parallelism.
+static GLOBAL_THREADS: LazyLock<usize> = LazyLock::new(|| {
+    let from_env = std::env::var("JACT_THREADS")
+        .ok()
+        .and_then(|v| parse_threads(&v));
+    from_env.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+});
+
+/// Parses a `JACT_THREADS` value: a positive decimal integer. Returns `None`
+/// for empty, zero, or non-numeric input so the caller falls back to the
+/// machine default.
+fn parse_threads(raw: &str) -> Option<usize> {
+    raw.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+/// Restores the previous `THREAD_OVERRIDE` value on drop, even if the guarded
+/// closure panics (the unwinding path must not leak an override into
+/// unrelated work on this thread).
+struct OverrideGuard {
+    prev: usize,
+}
+
+impl OverrideGuard {
+    /// Sets the current thread's override to `threads` and remembers the
+    /// previous value for restoration.
+    fn engage(threads: usize) -> Self {
+        let prev = THREAD_OVERRIDE.with(|c| {
+            let p = c.get();
+            c.set(threads.max(1));
+            p
+        });
+        OverrideGuard { prev }
+    }
+}
+
+impl Drop for OverrideGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        THREAD_OVERRIDE.with(|c| c.set(prev));
+    }
+}
+
+/// Runs `f` with the calling thread's effective thread count set to
+/// `threads` (clamped to at least 1). The override is scoped: it applies to
+/// every [`Pool::current`] lookup made by `f` on this thread and is restored
+/// afterwards, including on panic. Benches and determinism tests use this to
+/// sweep thread counts without mutating the process environment.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    let _g = OverrideGuard::engage(threads);
+    f()
+}
+
+/// A fork-join worker pool. `Pool` is a lightweight handle (just a thread
+/// count); workers are scoped threads spawned per call, which is what lets
+/// them borrow caller data under `#![forbid(unsafe_code)]`. The schedule —
+/// fixed chunking plus round-robin chunk→worker assignment plus chunk-index
+/// ordered merge — is deterministic for any thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// Creates a pool with an explicit thread count (clamped to at least 1).
+    pub fn new(threads: usize) -> Pool {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The pool implied by the current thread's context: an active
+    /// [`with_threads`] override if any, else [`Pool::global`].
+    pub fn current() -> Pool {
+        let over = THREAD_OVERRIDE.with(|c| c.get());
+        if over >= 1 {
+            Pool::new(over)
+        } else {
+            Pool::global()
+        }
+    }
+
+    /// The process-global default pool, sized by `JACT_THREADS` or available
+    /// parallelism. The environment variable is read once per process.
+    pub fn global() -> Pool {
+        Pool::new(*GLOBAL_THREADS)
+    }
+
+    /// The number of worker threads this pool will use (including the calling
+    /// thread, which always participates as worker 0).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Core primitive: evaluates `f(i)` for every chunk index `i` in
+    /// `0..num_chunks` and returns the results in chunk-index order. Chunk
+    /// `i` is assigned to worker `i % workers`; the calling thread is worker
+    /// 0. Worker bodies run with nested parallelism disabled. A panic in `f`
+    /// is re-raised on the calling thread after all workers have been joined.
+    pub fn run_chunks<R: Send>(&self, num_chunks: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+        if num_chunks == 0 {
+            return Vec::new();
+        }
+        let workers = self.threads.min(num_chunks).max(1);
+        if workers == 1 {
+            return (0..num_chunks).map(f).collect();
+        }
+        let mut slots: Vec<Option<R>> = Vec::new();
+        slots.resize_with(num_chunks, || None);
+        std::thread::scope(|s| {
+            let f = &f;
+            let handles: Vec<_> = (1..workers)
+                .map(|w| {
+                    s.spawn(move || {
+                        let _g = OverrideGuard::engage(1);
+                        let mut out = Vec::new();
+                        let mut i = w;
+                        while i < num_chunks {
+                            out.push((i, f(i)));
+                            i += workers;
+                        }
+                        out
+                    })
+                })
+                .collect();
+            let mut mine = Vec::new();
+            {
+                let _g = OverrideGuard::engage(1);
+                let mut i = 0;
+                while i < num_chunks {
+                    mine.push((i, f(i)));
+                    i += workers;
+                }
+            }
+            for (i, r) in mine {
+                slots[i] = Some(r);
+            }
+            for h in handles {
+                match h.join() {
+                    Ok(v) => {
+                        for (i, r) in v {
+                            slots[i] = Some(r);
+                        }
+                    }
+                    Err(e) => std::panic::resume_unwind(e),
+                }
+            }
+        });
+        slots.into_iter().flatten().collect()
+    }
+
+    /// Splits `data` into consecutive chunks of `chunk_len` elements (the
+    /// last chunk may be shorter) and evaluates
+    /// `f(chunk_index, element_offset, chunk)` for each, returning per-chunk
+    /// results in chunk-index order. `chunk_len` must be derived from the
+    /// input, never from the thread count, to preserve determinism.
+    pub fn par_chunks<T: Sync, R: Send>(
+        &self,
+        data: &[T],
+        chunk_len: usize,
+        f: impl Fn(usize, usize, &[T]) -> R + Sync,
+    ) -> Vec<R> {
+        let chunk_len = chunk_len.max(1);
+        let num_chunks = data.len().div_ceil(chunk_len);
+        self.run_chunks(num_chunks, |i| {
+            let start = i * chunk_len;
+            let end = (start + chunk_len).min(data.len());
+            f(i, start, &data[start..end])
+        })
+    }
+
+    /// Mutable counterpart of [`Pool::par_chunks`]: splits `data` into
+    /// disjoint consecutive `&mut` chunks and runs
+    /// `f(chunk_index, element_offset, chunk)` on each. Disjointness makes
+    /// the writes race-free without locks; output contents are identical for
+    /// any thread count because each element is written by exactly one chunk.
+    pub fn par_chunks_mut<T: Send>(
+        &self,
+        data: &mut [T],
+        chunk_len: usize,
+        f: impl Fn(usize, usize, &mut [T]) + Sync,
+    ) {
+        let chunk_len = chunk_len.max(1);
+        if data.is_empty() {
+            return;
+        }
+        let num_chunks = data.len().div_ceil(chunk_len);
+        let workers = self.threads.min(num_chunks).max(1);
+        if workers == 1 {
+            for (i, c) in data.chunks_mut(chunk_len).enumerate() {
+                f(i, i * chunk_len, c);
+            }
+            return;
+        }
+        let mut assignments: Vec<Vec<(usize, &mut [T])>> = Vec::new();
+        assignments.resize_with(workers, Vec::new);
+        for (i, c) in data.chunks_mut(chunk_len).enumerate() {
+            assignments[i % workers].push((i, c));
+        }
+        std::thread::scope(|s| {
+            let f = &f;
+            let mut rest = assignments.into_iter();
+            let mine = rest.next().unwrap_or_default();
+            let handles: Vec<_> = rest
+                .map(|chunks| {
+                    s.spawn(move || {
+                        let _g = OverrideGuard::engage(1);
+                        for (i, c) in chunks {
+                            f(i, i * chunk_len, c);
+                        }
+                    })
+                })
+                .collect();
+            {
+                let _g = OverrideGuard::engage(1);
+                for (i, c) in mine {
+                    f(i, i * chunk_len, c);
+                }
+            }
+            for h in handles {
+                if let Err(e) = h.join() {
+                    std::panic::resume_unwind(e);
+                }
+            }
+        });
+    }
+
+    /// Evaluates `f(index, &item)` for every item independently and returns
+    /// the results in item order. Intended for coarse-grained work (one item
+    /// per tensor); for fine-grained element work prefer [`Pool::par_chunks`].
+    pub fn par_map_collect<T: Sync, R: Send>(
+        &self,
+        items: &[T],
+        f: impl Fn(usize, &T) -> R + Sync,
+    ) -> Vec<R> {
+        self.run_chunks(items.len(), |i| f(i, &items[i]))
+    }
+
+    /// Maps chunks of `data` to accumulators with `map` in parallel, then
+    /// folds the accumulators **in chunk-index order** on the calling thread.
+    /// Because the fold order is fixed by chunk index (a left fold over
+    /// chunks 0, 1, 2, …), even non-commutative or non-associative-in-floats
+    /// reductions give bitwise-identical results for any thread count.
+    /// Returns `None` for empty input.
+    pub fn par_reduce_ordered<T: Sync, A: Send>(
+        &self,
+        data: &[T],
+        chunk_len: usize,
+        map: impl Fn(usize, usize, &[T]) -> A + Sync,
+        fold: impl FnMut(A, A) -> A,
+    ) -> Option<A> {
+        self.par_chunks(data, chunk_len, map).into_iter().reduce(fold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_threads_accepts_positive_integers_only() {
+        assert_eq!(parse_threads("4"), Some(4));
+        assert_eq!(parse_threads(" 16 "), Some(16));
+        assert_eq!(parse_threads("0"), None);
+        assert_eq!(parse_threads(""), None);
+        assert_eq!(parse_threads("abc"), None);
+        assert_eq!(parse_threads("-2"), None);
+    }
+
+    #[test]
+    fn pool_clamps_to_at_least_one_thread() {
+        assert_eq!(Pool::new(0).threads(), 1);
+        assert_eq!(Pool::new(7).threads(), 7);
+        assert!(Pool::global().threads() >= 1);
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let outer = Pool::current().threads();
+        let seen = with_threads(3, || Pool::current().threads());
+        assert_eq!(seen, 3);
+        assert_eq!(Pool::current().threads(), outer);
+        // Nested overrides stack.
+        with_threads(5, || {
+            assert_eq!(Pool::current().threads(), 5);
+            with_threads(2, || assert_eq!(Pool::current().threads(), 2));
+            assert_eq!(Pool::current().threads(), 5);
+        });
+    }
+
+    #[test]
+    fn with_threads_restores_after_panic() {
+        let before = Pool::current().threads();
+        let result = std::panic::catch_unwind(|| {
+            with_threads(9, || panic!("boom"));
+        });
+        assert!(result.is_err());
+        assert_eq!(Pool::current().threads(), before);
+    }
+
+    #[test]
+    fn run_chunks_returns_results_in_chunk_order() {
+        for threads in [1, 2, 3, 8, 17] {
+            let got = Pool::new(threads).run_chunks(23, |i| i * 10);
+            let want: Vec<usize> = (0..23).map(|i| i * 10).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_sees_correct_offsets_and_lengths() {
+        let data: Vec<u32> = (0..101).collect();
+        for threads in [1, 2, 4, 8] {
+            let spans = Pool::new(threads).par_chunks(&data, 7, |i, off, c| (i, off, c.to_vec()));
+            let mut flat = Vec::new();
+            for (i, (ci, off, c)) in spans.iter().enumerate() {
+                assert_eq!(*ci, i);
+                assert_eq!(*off, i * 7);
+                flat.extend_from_slice(c);
+            }
+            assert_eq!(flat, data, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_every_element_once() {
+        for threads in [1, 2, 5, 8] {
+            let mut out = vec![0u64; 97];
+            Pool::new(threads).par_chunks_mut(&mut out, 10, |_, off, c| {
+                for (k, v) in c.iter_mut().enumerate() {
+                    *v = (off + k) as u64 * 3;
+                }
+            });
+            let want: Vec<u64> = (0..97).map(|i| i * 3).collect();
+            assert_eq!(out, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_collect_preserves_item_order() {
+        let items: Vec<String> = (0..31).map(|i| format!("x{i}")).collect();
+        for threads in [1, 2, 8] {
+            let got = Pool::new(threads).par_map_collect(&items, |i, s| format!("{i}:{s}"));
+            let want: Vec<String> = items.iter().enumerate().map(|(i, s)| format!("{i}:{s}")).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_reduce_ordered_is_a_left_fold_in_chunk_order() {
+        // String concatenation is non-commutative: any deviation from
+        // chunk-index order changes the result.
+        let data: Vec<u8> = (b'a'..=b'z').collect();
+        let seq: String = data.iter().map(|&b| b as char).collect();
+        for threads in [1, 2, 3, 8] {
+            let got = Pool::new(threads)
+                .par_reduce_ordered(
+                    &data,
+                    5,
+                    |_, _, c| c.iter().map(|&b| b as char).collect::<String>(),
+                    |mut a, b| {
+                        a.push_str(&b);
+                        a
+                    },
+                )
+                .unwrap_or_default();
+            assert_eq!(got, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn float_sum_is_bitwise_identical_across_thread_counts() {
+        // Floating-point addition is not associative, so this only holds
+        // because chunking and fold order are thread-count-invariant.
+        let data: Vec<f32> = (0..4096).map(|i| ((i * 2654435761u64 as usize) % 1000) as f32 * 0.001 - 0.5).collect();
+        let reduce = |threads: usize| {
+            Pool::new(threads)
+                .par_reduce_ordered(
+                    &data,
+                    64,
+                    |_, _, c| c.iter().sum::<f32>(),
+                    |a, b| a + b,
+                )
+                .unwrap_or(0.0)
+        };
+        let base = reduce(1).to_bits();
+        for threads in [2, 3, 4, 8, 16] {
+            assert_eq!(reduce(threads).to_bits(), base, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn nested_parallel_calls_degrade_to_sequential() {
+        let inner_counts = Pool::new(4).run_chunks(4, |_| Pool::current().threads());
+        assert_eq!(inner_counts, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let result = std::panic::catch_unwind(|| {
+            Pool::new(4).run_chunks(8, |i| {
+                if i == 5 {
+                    panic!("chunk 5 failed");
+                }
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn empty_inputs_are_noops() {
+        let pool = Pool::new(4);
+        assert!(pool.run_chunks(0, |i| i).is_empty());
+        assert!(pool.par_chunks(&[] as &[u8], 8, |_, _, _| 0).is_empty());
+        let mut empty: [u8; 0] = [];
+        pool.par_chunks_mut(&mut empty, 8, |_, _, _| {});
+        assert_eq!(
+            pool.par_reduce_ordered(&[] as &[u8], 8, |_, _, _| 0u32, |a, b| a + b),
+            None
+        );
+    }
+}

@@ -27,4 +27,8 @@ cargo run -q -p jact-analyze --release --offline
 echo "== fault_sweep (smoke fault rates over the offload wire path) =="
 JACT_QUICK=1 cargo run -q -p jact-bench --release --offline --bin fault_sweep
 
+echo "== codec_throughput baseline (writes BENCH_codec.json) =="
+# Absolute path: cargo runs the bench with cwd = crates/bench, not here.
+JACT_QUICK=1 JACT_BENCH_JSON="$PWD" cargo bench -q -p jact-bench --offline --bench codec_throughput
+
 echo "verify: OK"
