@@ -20,11 +20,15 @@ pub enum Code {
     /// Concurrency hygiene: raw threads, locks, and mutable globals are
     /// confined to `jact-par`.
     Ja07,
+    /// Print funnel: ad-hoc `println!`/`eprintln!`/`dbg!` stay out of
+    /// library code — reporting goes through `jact-obs` or the bench
+    /// binaries.
+    Ja08,
 }
 
 impl Code {
     /// All codes, in order.
-    pub const ALL: [Code; 7] = [
+    pub const ALL: [Code; 8] = [
         Code::Ja01,
         Code::Ja02,
         Code::Ja03,
@@ -32,6 +36,7 @@ impl Code {
         Code::Ja05,
         Code::Ja06,
         Code::Ja07,
+        Code::Ja08,
     ];
 
     /// The stable textual form (`JA01` ... `JA07`) used in reports and
@@ -45,6 +50,7 @@ impl Code {
             Code::Ja05 => "JA05",
             Code::Ja06 => "JA06",
             Code::Ja07 => "JA07",
+            Code::Ja08 => "JA08",
         }
     }
 
@@ -61,11 +67,12 @@ impl Code {
         match self {
             Code::Ja01 => "crate layering (low layers must not depend on high layers)",
             Code::Ja02 => "hermeticity (path-only dependencies, no registry/git sources)",
-            Code::Ja03 => "panic-freedom in hot-path crates (codec, tensor, rng, par)",
+            Code::Ja03 => "panic-freedom in hot-path crates (codec, tensor, rng, par, obs)",
             Code::Ja04 => "determinism (no wall clocks, hash containers, ambient RNG)",
             Code::Ja05 => "#![forbid(unsafe_code)] in every lib crate root",
             Code::Ja06 => "doc-comment coverage for pub items in codec and core",
             Code::Ja07 => "concurrency hygiene (raw threads, locks, static mut only in jact-par)",
+            Code::Ja08 => "print funnel (println!/eprintln!/dbg! only in bench, analyze, and bins)",
         }
     }
 }

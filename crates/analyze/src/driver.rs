@@ -113,6 +113,7 @@ pub fn analyze_workspace(root: &Path) -> io::Result<Analysis> {
         }
         violations.extend(passes::ja06_doc_coverage(file));
         violations.extend(passes::ja07_concurrency(file));
+        violations.extend(passes::ja08_print_funnel(file));
     }
     violations.sort_by(|a, b| {
         (a.path.as_str(), a.line, a.col, a.code).cmp(&(b.path.as_str(), b.line, b.col, b.code))

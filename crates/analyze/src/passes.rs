@@ -1,6 +1,6 @@
-//! The seven lint passes.
+//! The eight lint passes.
 //!
-//! Per-file passes (JA03–JA07) take a lexed [`SourceFile`] and return
+//! Per-file passes (JA03–JA08) take a lexed [`SourceFile`] and return
 //! diagnostics; workspace passes (JA01, JA02) take the parsed manifests
 //! (plus, for the lockfile check, the optional `Cargo.lock` text).  Every
 //! pass consults the file's inline suppressions, so a
@@ -17,7 +17,8 @@ use crate::manifest::Manifest;
 use crate::source::SourceFile;
 
 /// Crates whose hot paths must stay panic-free (JA03).
-pub const HOT_PATH_CRATES: [&str; 4] = ["jact-codec", "jact-tensor", "jact-rng", "jact-par"];
+pub const HOT_PATH_CRATES: [&str; 5] =
+    ["jact-codec", "jact-tensor", "jact-rng", "jact-par", "jact-obs"];
 
 /// Individual modules outside [`HOT_PATH_CRATES`] that JA03 also covers:
 /// the fault-injected offload wire path in `jact-core` decodes hostile
@@ -27,8 +28,9 @@ pub const HOT_PATH_MODULES: [&str; 2] = ["crates/core/src/fault.rs", "crates/cor
 
 /// Low-layer crates: the deterministic substrate golden-value tests rely
 /// on.  They must never depend on the high layers (JA01).
-pub const LOW_LAYER: [&str; 5] = [
+pub const LOW_LAYER: [&str; 6] = [
     "jact-rng",
+    "jact-obs",
     "jact-par",
     "jact-tensor",
     "jact-codec",
@@ -50,7 +52,7 @@ pub const HIGH_LAYER: [&str; 6] = [
 pub const TIMING_EXEMPT_CRATES: [&str; 2] = ["jact-bench", "jact-analyze"];
 
 /// Crates whose public items must carry doc comments (JA06).
-pub const DOC_COVERED_CRATES: [&str; 2] = ["jact-codec", "jact-core"];
+pub const DOC_COVERED_CRATES: [&str; 3] = ["jact-codec", "jact-core", "jact-obs"];
 
 // ---------------------------------------------------------------------
 // JA01: crate layering.
@@ -504,6 +506,60 @@ pub fn ja07_concurrency(file: &SourceFile) -> Vec<Diagnostic> {
     out
 }
 
+// ---------------------------------------------------------------------
+// JA08: print funnel.
+// ---------------------------------------------------------------------
+
+/// Crates whose library code may print directly: the bench harness and
+/// the analyzer *are* the reporting layer.
+pub const PRINT_EXEMPT_CRATES: [&str; 2] = ["jact-bench", "jact-analyze"];
+
+/// Bans ad-hoc `println!`/`eprintln!`/`print!`/`eprint!`/`dbg!` in
+/// non-test library code outside [`PRINT_EXEMPT_CRATES`] and outside
+/// binary entry points (`src/bin/*`, `src/main.rs`).  Library crates
+/// report through `jact-obs` counters/spans (or return data for a bench
+/// binary to print); stray prints bypass the deterministic trace format
+/// and corrupt table output piped from the bench binaries.
+/// `write!`/`writeln!` into an explicit sink (e.g. `Display` impls) are
+/// untouched.
+pub fn ja08_print_funnel(file: &SourceFile) -> Vec<Diagnostic> {
+    if PRINT_EXEMPT_CRATES.contains(&file.crate_name.as_str())
+        || file.rel_path.contains("/src/bin/")
+        || file.rel_path.ends_with("/src/main.rs")
+    {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let toks = &file.tokens;
+    let text = &file.text;
+    for (mi, &ti) in file.meaningful.iter().enumerate() {
+        let t = &toks[ti];
+        if t.kind != TokenKind::Ident || file.in_test_region(t.start) {
+            continue;
+        }
+        let word = t.text(text);
+        let next = file
+            .meaningful
+            .get(mi + 1)
+            .map(|&n| toks[n].text(text))
+            .unwrap_or("");
+        let bad = matches!(word, "println" | "eprintln" | "print" | "eprint" | "dbg")
+            && next == "!";
+        if bad && !suppressed(&file.suppressions, Code::Ja08, t.line) {
+            out.push(Diagnostic::new(
+                Code::Ja08,
+                &file.rel_path,
+                t.line,
+                t.col,
+                format!(
+                    "`{word}!` in library code: report through jact-obs or a bench binary"
+                ),
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -609,6 +665,40 @@ mod tests {
         // Inline allow is honored.
         let allowed = "// jact-analyze: allow(JA07)\nuse std::sync::Mutex;\n";
         assert!(ja07_concurrency(&file("jact-core", allowed)).is_empty());
+    }
+
+    #[test]
+    fn ja08_flags_prints_in_library_code_only() {
+        let bad = "fn f() { println!(\"x\"); }\n";
+        assert_eq!(ja08_print_funnel(&file("jact-codec", bad)).len(), 1);
+        let dbg = "fn f(x: u8) -> u8 { dbg!(x) }\n";
+        assert_eq!(ja08_print_funnel(&file("jact-core", dbg)).len(), 1);
+        // The reporting crates are exempt wholesale.
+        assert!(ja08_print_funnel(&file("jact-bench", bad)).is_empty());
+        assert!(ja08_print_funnel(&file("jact-analyze", bad)).is_empty());
+        // Binary entry points print by design.
+        let bin = SourceFile::new(
+            "crates/bench/src/bin/table3.rs",
+            "jact-x",
+            bad.to_string(),
+        );
+        assert!(ja08_print_funnel(&bin).is_empty());
+        let main = SourceFile::new("crates/x/src/main.rs", "jact-x", bad.to_string());
+        assert!(ja08_print_funnel(&main).is_empty());
+    }
+
+    #[test]
+    fn ja08_quiet_on_writeln_tests_and_suppressions() {
+        // Display impls write into an explicit formatter.
+        let disp = "fn f(w: &mut std::fmt::Formatter<'_>) { writeln!(w, \"x\").ok(); }\n";
+        assert!(ja08_print_funnel(&file("jact-core", disp)).is_empty());
+        let test_only = "#[cfg(test)]\nmod tests { fn t() { println!(\"x\"); } }\n";
+        assert!(ja08_print_funnel(&file("jact-core", test_only)).is_empty());
+        let allowed = "// jact-analyze: allow(JA08)\nfn f() { println!(\"x\"); }\n";
+        assert!(ja08_print_funnel(&file("jact-core", allowed)).is_empty());
+        // `println` without `!` is an ordinary identifier.
+        let ident = "fn println() {}\nfn g() { println(); }\n";
+        assert!(ja08_print_funnel(&file("jact-core", ident)).is_empty());
     }
 
     #[test]

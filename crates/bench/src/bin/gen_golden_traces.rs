@@ -1,0 +1,21 @@
+//! Regenerates the golden-trace corpus in `tests/golden/`.
+//!
+//! Each file is the pretty-printed `jact-obs/v1` trace of compressing
+//! and decompressing the pinned corpus tensor with one cell of the
+//! Table III codec matrix (see `jact_bench::obs_corpus`).  The corpus is
+//! checked in and asserted byte-equal by `tests/obs_golden.rs`; run this
+//! binary **only** through `scripts/regen_golden.sh`, which exists so a
+//! corpus change is always an explicit, reviewed act.
+
+use jact_bench::obs_corpus::{golden_dir, golden_matrix, golden_trace};
+
+fn main() {
+    let dir = golden_dir();
+    std::fs::create_dir_all(&dir).expect("create tests/golden");
+    for (name, codec) in golden_matrix() {
+        let trace = golden_trace(codec.as_ref());
+        let path = dir.join(format!("{name}.json"));
+        std::fs::write(&path, &trace).expect("write golden trace");
+        println!("wrote {} ({} bytes)", path.display(), trace.len());
+    }
+}

@@ -14,8 +14,12 @@
 //! * [`timing`] — the in-repo benchmark harness (warmup + calibrated
 //!   samples + median/p95) behind the `benches/` targets, kept
 //!   dependency-free by the hermetic-build policy;
-//! * [`json`] — a hand-rolled JSON writer for `BENCH_*.json` result
-//!   stores (set `JACT_BENCH_JSON=<dir>` when running a bench target).
+//! * [`json`] — the hand-rolled JSON writer for `BENCH_*.json` result
+//!   stores (set `JACT_BENCH_JSON=<dir>` when running a bench target);
+//!   re-exported from `jact-obs`, where it also backs the `jact-obs/v1`
+//!   trace exporter;
+//! * [`obs_corpus`] — the pinned input tensor and per-codec trace
+//!   recipe behind the golden-trace corpus in `tests/golden/`.
 //!
 //! Set `JACT_QUICK=1` to shrink the training workloads (used by the smoke
 //! tests; the full defaults are already scaled for CPU training).
@@ -23,10 +27,12 @@
 #![forbid(unsafe_code)]
 
 pub mod harness;
-pub mod json;
+pub mod obs_corpus;
 pub mod store;
 pub mod tables;
 pub mod timing;
+
+pub use jact_obs::json;
 
 /// `true` when `JACT_QUICK=1`: experiments shrink to smoke-test size.
 pub fn quick_mode() -> bool {

@@ -1,0 +1,129 @@
+//! The golden-trace corpus: a pinned input tensor and the per-codec
+//! recipe behind `tests/golden/*.json`.
+//!
+//! The corpus tensor is built from **integer arithmetic only** — no
+//! `sin`/`cos`, whose libm implementations differ across platforms — so
+//! every f32 in it (and therefore every byte of every recorded trace) is
+//! identical on any host.  The remaining float work in the codecs
+//! (SFPR's scale multiply/round, the integer DCT, quantization) consists
+//! of IEEE-exact operations, so traces regenerate bit-for-bit.
+//!
+//! Traces are recorded with the wall clock **off** (`collect_with(false,
+//! ..)`), keeping them free of host timing; `tests/obs_golden.rs` then
+//! asserts byte-equal regeneration at 1, 2, and 8 threads.  Regenerate
+//! the corpus only via `scripts/regen_golden.sh`.
+
+use jact_codec::dqt::Dqt;
+use jact_codec::pipeline::{Codec, CoderKind, JpegCodec};
+use jact_codec::quant::QuantKind;
+use jact_obs as obs;
+use jact_tensor::{Shape, Tensor};
+use std::path::PathBuf;
+
+/// The pinned corpus activation: `[8, 8, 32, 32]` — big enough to span
+/// multiple parallel chunks in every codec stage, with ~20% zeros so the
+/// sparse coders (ZVC, RLE) exercise their run paths.
+pub fn corpus_tensor() -> Tensor {
+    let shape = Shape::nchw(8, 8, 32, 32);
+    let data = (0..shape.len())
+        .map(|i| {
+            if i % 5 == 0 {
+                0.0
+            } else {
+                // Integer lattice pattern scaled by a power of two:
+                // exact in f32 on every platform.
+                let x = (i % 32) as i64;
+                let y = ((i / 32) % 32) as i64;
+                let c = ((i / 1024) % 8) as i64;
+                let n = (i / 8192) as i64;
+                (((x * 7 + y * 3 + c * 11 + n * 5) % 47) - 23) as f32 * 0.0625
+            }
+        })
+        .collect();
+    Tensor::from_vec(shape, data)
+}
+
+/// The Table III codec matrix the corpus pins: both quantizer kinds ×
+/// both coder kinds × the JPEG-80 and optimized-high DQTs — eight traces.
+pub fn golden_matrix() -> Vec<(String, Box<dyn Codec>)> {
+    let dqts: [(&str, fn() -> Dqt); 2] =
+        [("q80", || Dqt::jpeg_quality(80)), ("opth", Dqt::opt_h)];
+    let mut v: Vec<(String, Box<dyn Codec>)> = Vec::new();
+    for (dqt_name, dqt) in dqts {
+        for (quant_name, quant) in [("div", QuantKind::Div), ("shift", QuantKind::Shift)] {
+            for (coder_name, coder) in [("rle", CoderKind::Rle), ("zvc", CoderKind::Zvc)] {
+                v.push((
+                    format!("jpeg_{quant_name}_{coder_name}_{dqt_name}"),
+                    Box::new(JpegCodec::new(dqt(), quant, coder)),
+                ));
+            }
+        }
+    }
+    v
+}
+
+/// Records one golden trace: a wall-clock-free capture of compressing
+/// and decompressing the corpus tensor, exported as pretty-printed
+/// `jact-obs/v1` JSON (trailing newline included, matching the files on
+/// disk).
+pub fn golden_trace(codec: &dyn Codec) -> String {
+    let x = corpus_tensor();
+    let (_, trace) = obs::collect_with(false, || {
+        let c = codec.compress(&x);
+        codec
+            .decompress(&c)
+            .expect("corpus roundtrip cannot fail");
+    });
+    let mut s = trace.to_json().to_pretty_string();
+    s.push('\n');
+    s
+}
+
+/// The checked-in corpus directory: `tests/golden/` at the workspace
+/// root, resolved relative to this crate so tests and bins agree.
+pub fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_tensor_is_integer_exact_and_sparse() {
+        let x = corpus_tensor();
+        assert_eq!(x.len(), 8 * 8 * 32 * 32);
+        // Every value is k/16 for integer k: scaling by 16 recovers
+        // integers exactly.
+        for &v in x.as_slice() {
+            let scaled = v * 16.0;
+            assert_eq!(scaled, scaled.trunc(), "non-lattice value {v}");
+        }
+        let zeros = x.iter().filter(|&&v| v == 0.0).count();
+        assert!(zeros * 5 >= x.len(), "corpus should be ~20%+ zeros");
+    }
+
+    #[test]
+    fn golden_matrix_covers_all_eight_corners() {
+        let m = golden_matrix();
+        assert_eq!(m.len(), 8);
+        let names: Vec<&str> = m.iter().map(|(n, _)| n.as_str()).collect();
+        for quant in ["div", "shift"] {
+            for coder in ["rle", "zvc"] {
+                for dqt in ["q80", "opth"] {
+                    let want = format!("jpeg_{quant}_{coder}_{dqt}");
+                    assert!(names.contains(&want.as_str()), "missing {want}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn golden_trace_is_reproducible_in_process() {
+        let (_, codec) = &golden_matrix()[0];
+        let a = golden_trace(codec.as_ref());
+        let b = golden_trace(codec.as_ref());
+        assert_eq!(a, b);
+        assert!(a.contains("jact-obs/v1"));
+    }
+}

@@ -26,6 +26,7 @@ use crate::quant::{dequantize, quantize, QuantKind};
 use crate::rle;
 use crate::sfpr::{self, SfprEncoded, SfprParams};
 use crate::zvc::Zvc;
+use jact_obs as obs;
 use jact_par::Pool;
 use jact_tensor::{Shape, Tensor};
 
@@ -53,6 +54,60 @@ fn untransform_blocks(quantized: &[[i8; 64]], quant: QuantKind, dqt: &Dqt) -> Ve
         }
     });
     out
+}
+
+/// Wraps one compression in the `codec.compress` span and records the
+/// single-funnel byte counters (`codec.bytes_in` / `codec.bytes_out`)
+/// the generative consistency test reconciles against
+/// `CompressionStats`.  Zero-cost when no capture is open.  The
+/// delegating named codecs (`JpegBaseCodec`, `JpegActCodec`) do *not*
+/// call this — their inner [`JpegCodec`] records once on their behalf.
+fn observed_compress(
+    name: impl Fn() -> String,
+    f: impl FnOnce() -> CompressedActivation,
+) -> CompressedActivation {
+    obs::span_with(
+        "codec.compress",
+        || vec![("codec".to_string(), obs::Value::Str(name()))],
+        || {
+            let c = f();
+            if obs::is_active() {
+                obs::count("codec.compressions", 1);
+                obs::count("codec.bytes_in", c.uncompressed_bytes as u64);
+                obs::count("codec.bytes_out", c.compressed_bytes as u64);
+            }
+            c
+        },
+    )
+}
+
+/// Decompression counterpart of [`observed_compress`].
+fn observed_decompress(
+    name: impl Fn() -> String,
+    f: impl FnOnce() -> Result<Tensor, CodecError>,
+) -> Result<Tensor, CodecError> {
+    obs::span_with(
+        "codec.decompress",
+        || vec![("codec".to_string(), obs::Value::Str(name()))],
+        || {
+            let r = f();
+            if obs::is_active() {
+                obs::count("codec.decompressions", 1);
+                if r.is_err() {
+                    obs::count("codec.decompress_errors", 1);
+                }
+            }
+            r
+        },
+    )
+}
+
+/// Records one stage's byte funnel (`stage.<name>.bytes_in/out`).
+fn note_stage(stage: &str, bytes_in: usize, bytes_out: usize) {
+    if obs::is_active() {
+        obs::count(&format!("stage.{stage}.bytes_in"), bytes_in as u64);
+        obs::count(&format!("stage.{stage}.bytes_out"), bytes_out as u64);
+    }
 }
 
 /// Which lossless coder terminates a JPEG pipeline.
@@ -170,8 +225,13 @@ impl CompressedActivation {
         self.uncompressed_bytes
     }
 
-    /// Compression ratio (uncompressed / compressed).
+    /// Compression ratio (uncompressed / compressed).  Degenerate sizes
+    /// — an empty tensor or a zero-byte payload — report 1.0 so
+    /// aggregates over many activations stay finite.
     pub fn ratio(&self) -> f64 {
+        if self.uncompressed_bytes == 0 || self.compressed_bytes == 0 {
+            return 1.0;
+        }
         self.uncompressed_bytes as f64 / self.compressed_bytes as f64
     }
 
@@ -225,20 +285,28 @@ pub struct RawCodec;
 
 impl Codec for RawCodec {
     fn compress(&self, x: &Tensor) -> CompressedActivation {
-        let bytes = x.len() * 4;
-        CompressedActivation {
-            payload: Payload::Raw(x.clone()),
-            uncompressed_bytes: bytes,
-            compressed_bytes: bytes,
-            codec_name: self.name(),
-        }
+        observed_compress(
+            || self.name(),
+            || {
+                let bytes = x.len() * 4;
+                CompressedActivation {
+                    payload: Payload::Raw(x.clone()),
+                    uncompressed_bytes: bytes,
+                    compressed_bytes: bytes,
+                    codec_name: self.name(),
+                }
+            },
+        )
     }
 
     fn decompress(&self, c: &CompressedActivation) -> Result<Tensor, CodecError> {
-        match &c.payload {
-            Payload::Raw(t) => Ok(t.clone()),
-            _ => Err(wrong_payload("raw", c)),
-        }
+        observed_decompress(
+            || self.name(),
+            || match &c.payload {
+                Payload::Raw(t) => Ok(t.clone()),
+                _ => Err(wrong_payload("raw", c)),
+            },
+        )
     }
 
     fn name(&self) -> String {
@@ -261,26 +329,35 @@ pub struct ZvcF32Codec;
 
 impl Codec for ZvcF32Codec {
     fn compress(&self, x: &Tensor) -> CompressedActivation {
-        let z = Zvc::compress_f32(x.as_slice());
-        let compressed = z.compressed_bytes();
-        CompressedActivation {
-            payload: Payload::ZvcF32 {
-                z,
-                shape: x.shape().clone(),
+        observed_compress(
+            || self.name(),
+            || {
+                let z = obs::span("stage.zvc", || Zvc::compress_f32(x.as_slice()));
+                let compressed = z.compressed_bytes();
+                note_stage("zvc", x.len() * 4, compressed);
+                CompressedActivation {
+                    payload: Payload::ZvcF32 {
+                        z,
+                        shape: x.shape().clone(),
+                    },
+                    uncompressed_bytes: x.len() * 4,
+                    compressed_bytes: compressed,
+                    codec_name: self.name(),
+                }
             },
-            uncompressed_bytes: x.len() * 4,
-            compressed_bytes: compressed,
-            codec_name: self.name(),
-        }
+        )
     }
 
     fn decompress(&self, c: &CompressedActivation) -> Result<Tensor, CodecError> {
-        match &c.payload {
-            Payload::ZvcF32 { z, shape } => {
-                Ok(Tensor::from_vec(shape.clone(), z.decompress_f32()?))
-            }
-            _ => Err(wrong_payload("zvc-f32", c)),
-        }
+        observed_decompress(
+            || self.name(),
+            || match &c.payload {
+                Payload::ZvcF32 { z, shape } => {
+                    Ok(Tensor::from_vec(shape.clone(), z.decompress_f32()?))
+                }
+                _ => Err(wrong_payload("zvc-f32", c)),
+            },
+        )
     }
 
     fn name(&self) -> String {
@@ -311,20 +388,29 @@ impl DprCodec {
 
 impl Codec for DprCodec {
     fn compress(&self, x: &Tensor) -> CompressedActivation {
-        let rounded = dpr::dpr_round(x, self.width);
-        CompressedActivation {
-            payload: Payload::Dpr { rounded },
-            uncompressed_bytes: x.len() * 4,
-            compressed_bytes: x.len() * self.width.bytes(),
-            codec_name: self.name(),
-        }
+        observed_compress(
+            || self.name(),
+            || {
+                let rounded = obs::span("stage.dpr", || dpr::dpr_round(x, self.width));
+                note_stage("dpr", x.len() * 4, x.len() * self.width.bytes());
+                CompressedActivation {
+                    payload: Payload::Dpr { rounded },
+                    uncompressed_bytes: x.len() * 4,
+                    compressed_bytes: x.len() * self.width.bytes(),
+                    codec_name: self.name(),
+                }
+            },
+        )
     }
 
     fn decompress(&self, c: &CompressedActivation) -> Result<Tensor, CodecError> {
-        match &c.payload {
-            Payload::Dpr { rounded } => Ok(rounded.clone()),
-            _ => Err(wrong_payload("dpr", c)),
-        }
+        observed_decompress(
+            || self.name(),
+            || match &c.payload {
+                Payload::Dpr { rounded } => Ok(rounded.clone()),
+                _ => Err(wrong_payload("dpr", c)),
+            },
+        )
     }
 
     fn name(&self) -> String {
@@ -342,35 +428,44 @@ pub struct GistCsrCodec;
 
 impl Codec for GistCsrCodec {
     fn compress(&self, x: &Tensor) -> CompressedActivation {
-        let bits: Vec<i8> = x
-            .iter()
-            .map(|&v| dpr::f32_to_f8_bits(v) as i8)
-            .collect();
-        let csr = Csr::compress_default(&bits);
-        let compressed = csr.compressed_bytes();
-        CompressedActivation {
-            payload: Payload::GistCsr {
-                csr,
-                shape: x.shape().clone(),
+        observed_compress(
+            || self.name(),
+            || {
+                let bits: Vec<i8> = obs::span("stage.dpr", || {
+                    x.iter().map(|&v| dpr::f32_to_f8_bits(v) as i8).collect()
+                });
+                note_stage("dpr", x.len() * 4, bits.len());
+                let csr = obs::span("stage.csr", || Csr::compress_default(&bits));
+                let compressed = csr.compressed_bytes();
+                note_stage("csr", bits.len(), compressed);
+                CompressedActivation {
+                    payload: Payload::GistCsr {
+                        csr,
+                        shape: x.shape().clone(),
+                    },
+                    uncompressed_bytes: x.len() * 4,
+                    compressed_bytes: compressed,
+                    codec_name: self.name(),
+                }
             },
-            uncompressed_bytes: x.len() * 4,
-            compressed_bytes: compressed,
-            codec_name: self.name(),
-        }
+        )
     }
 
     fn decompress(&self, c: &CompressedActivation) -> Result<Tensor, CodecError> {
-        match &c.payload {
-            Payload::GistCsr { csr, shape } => {
-                let data = csr
-                    .decompress()
-                    .into_iter()
-                    .map(|b| dpr::f8_bits_to_f32(b as u8))
-                    .collect();
-                Ok(Tensor::from_vec(shape.clone(), data))
-            }
-            _ => Err(wrong_payload("gist-csr", c)),
-        }
+        observed_decompress(
+            || self.name(),
+            || match &c.payload {
+                Payload::GistCsr { csr, shape } => {
+                    let data = csr
+                        .decompress()
+                        .into_iter()
+                        .map(|b| dpr::f8_bits_to_f32(b as u8))
+                        .collect();
+                    Ok(Tensor::from_vec(shape.clone(), data))
+                }
+                _ => Err(wrong_payload("gist-csr", c)),
+            },
+        )
     }
 
     fn name(&self) -> String {
@@ -402,21 +497,29 @@ impl SfprCodec {
 
 impl Codec for SfprCodec {
     fn compress(&self, x: &Tensor) -> CompressedActivation {
-        let enc = sfpr::compress(x, self.params);
-        let compressed = enc.compressed_bytes();
-        CompressedActivation {
-            payload: Payload::Sfpr(enc),
-            uncompressed_bytes: x.len() * 4,
-            compressed_bytes: compressed,
-            codec_name: self.name(),
-        }
+        observed_compress(
+            || self.name(),
+            || {
+                let enc = sfpr::compress(x, self.params);
+                let compressed = enc.compressed_bytes();
+                CompressedActivation {
+                    payload: Payload::Sfpr(enc),
+                    uncompressed_bytes: x.len() * 4,
+                    compressed_bytes: compressed,
+                    codec_name: self.name(),
+                }
+            },
+        )
     }
 
     fn decompress(&self, c: &CompressedActivation) -> Result<Tensor, CodecError> {
-        match &c.payload {
-            Payload::Sfpr(enc) => Ok(sfpr::decompress(enc)),
-            _ => Err(wrong_payload("sfpr", c)),
-        }
+        observed_decompress(
+            || self.name(),
+            || match &c.payload {
+                Payload::Sfpr(enc) => Ok(sfpr::decompress(enc)),
+                _ => Err(wrong_payload("sfpr", c)),
+            },
+        )
     }
 
     fn name(&self) -> String {
@@ -474,67 +577,86 @@ impl JpegCodec {
 
 impl Codec for JpegCodec {
     fn compress(&self, x: &Tensor) -> CompressedActivation {
-        let enc = sfpr::compress(x, self.sfpr);
-        let layout = BlockLayout::new(x.shape());
-        let quantized = transform_blocks(&layout.to_blocks(enc.values()), self.quant, &self.dqt);
+        observed_compress(
+            || self.name(),
+            || {
+                let enc = sfpr::compress(x, self.sfpr);
+                let layout = BlockLayout::new(x.shape());
+                let blocks = obs::span("stage.block", || layout.to_blocks(enc.values()));
+                note_stage("block", enc.values().len(), blocks.len() * 64);
+                let quantized = obs::span("stage.transform", || {
+                    transform_blocks(&blocks, self.quant, &self.dqt)
+                });
+                note_stage("transform", blocks.len() * 64, quantized.len() * 64);
 
-        let coded = match self.coder {
-            CoderKind::Rle => CodedBlocks::Rle {
-                bytes: rle::encode_blocks(&quantized),
-                count: quantized.len(),
+                let coded = obs::span("stage.code", || match self.coder {
+                    CoderKind::Rle => CodedBlocks::Rle {
+                        bytes: rle::encode_blocks(&quantized),
+                        count: quantized.len(),
+                    },
+                    CoderKind::Zvc => {
+                        let flat: Vec<i8> = quantized.iter().flatten().copied().collect();
+                        CodedBlocks::Zvc(Zvc::compress_i8(&flat))
+                    }
+                });
+                let coded_bytes = match &coded {
+                    CodedBlocks::Rle { bytes, .. } => bytes.len(),
+                    CodedBlocks::Zvc(z) => z.compressed_bytes(),
+                };
+                note_stage("code", quantized.len() * 64, coded_bytes);
+                let scales_bytes = enc.scales().len() * 4;
+
+                // The value plane is reconstructed from the coded blocks;
+                // drop it from the stored metadata to avoid double storage.
+                let mut meta = enc;
+                let _ = meta.take_values();
+
+                CompressedActivation {
+                    payload: Payload::Jpeg(JpegPayload {
+                        meta,
+                        coded,
+                        quant: self.quant.into(),
+                        dqt: self.dqt.clone(),
+                    }),
+                    uncompressed_bytes: x.len() * 4,
+                    compressed_bytes: coded_bytes + scales_bytes,
+                    codec_name: self.name(),
+                }
             },
-            CoderKind::Zvc => {
-                let flat: Vec<i8> = quantized.iter().flatten().copied().collect();
-                CodedBlocks::Zvc(Zvc::compress_i8(&flat))
-            }
-        };
-        let coded_bytes = match &coded {
-            CodedBlocks::Rle { bytes, .. } => bytes.len(),
-            CodedBlocks::Zvc(z) => z.compressed_bytes(),
-        };
-        let scales_bytes = enc.scales().len() * 4;
-
-        // The value plane is reconstructed from the coded blocks; drop it
-        // from the stored metadata to avoid double storage.
-        let mut meta = enc;
-        let _ = meta.take_values();
-
-        CompressedActivation {
-            payload: Payload::Jpeg(JpegPayload {
-                meta,
-                coded,
-                quant: self.quant.into(),
-                dqt: self.dqt.clone(),
-            }),
-            uncompressed_bytes: x.len() * 4,
-            compressed_bytes: coded_bytes + scales_bytes,
-            codec_name: self.name(),
-        }
+        )
     }
 
     fn decompress(&self, c: &CompressedActivation) -> Result<Tensor, CodecError> {
-        let p = match &c.payload {
-            Payload::Jpeg(p) => p,
-            _ => return Err(wrong_payload("jpeg", c)),
-        };
-        let layout = BlockLayout::new(p.meta.shape());
-        let quantized: Vec<[i8; 64]> = match &p.coded {
-            CodedBlocks::Rle { bytes, count } => rle::decode_blocks(bytes, *count)
-                .ok_or(CodecError::Corrupt("RLE stream truncated or inconsistent"))?,
-            CodedBlocks::Zvc(z) => {
-                let flat = z.decompress_i8()?;
-                flat.chunks_exact(64)
-                    .map(|ch| {
-                        let mut b = [0i8; 64];
-                        b.copy_from_slice(ch);
-                        b
-                    })
-                    .collect()
-            }
-        };
-        let spatial = untransform_blocks(&quantized, p.quant.into(), &p.dqt);
-        let values = layout.from_blocks(&spatial);
-        Ok(sfpr::decompress_values(&values, &p.meta))
+        observed_decompress(
+            || self.name(),
+            || {
+                let p = match &c.payload {
+                    Payload::Jpeg(p) => p,
+                    _ => return Err(wrong_payload("jpeg", c)),
+                };
+                let layout = BlockLayout::new(p.meta.shape());
+                let quantized: Vec<[i8; 64]> = obs::span("stage.decode", || match &p.coded {
+                    CodedBlocks::Rle { bytes, count } => rle::decode_blocks(bytes, *count)
+                        .ok_or(CodecError::Corrupt("RLE stream truncated or inconsistent")),
+                    CodedBlocks::Zvc(z) => {
+                        let flat = z.decompress_i8()?;
+                        Ok(flat
+                            .chunks_exact(64)
+                            .map(|ch| {
+                                let mut b = [0i8; 64];
+                                b.copy_from_slice(ch);
+                                b
+                            })
+                            .collect())
+                    }
+                })?;
+                let spatial = obs::span("stage.untransform", || {
+                    untransform_blocks(&quantized, p.quant.into(), &p.dqt)
+                });
+                let values = obs::span("stage.unblock", || layout.from_blocks(&spatial));
+                Ok(sfpr::decompress_values(&values, &p.meta))
+            },
+        )
     }
 
     fn name(&self) -> String {
@@ -617,24 +739,34 @@ impl SfprZvcCodec {
 
 impl Codec for SfprZvcCodec {
     fn compress(&self, x: &Tensor) -> CompressedActivation {
-        let mut enc = sfpr::compress(x, self.params);
-        let z = Zvc::compress_i8(&enc.take_values());
-        let compressed = z.compressed_bytes() + enc.scales().len() * 4;
-        CompressedActivation {
-            payload: Payload::SfprZvc { meta: enc, z },
-            uncompressed_bytes: x.len() * 4,
-            compressed_bytes: compressed,
-            codec_name: self.name(),
-        }
+        observed_compress(
+            || self.name(),
+            || {
+                let mut enc = sfpr::compress(x, self.params);
+                let values = enc.take_values();
+                let z = obs::span("stage.zvc", || Zvc::compress_i8(&values));
+                note_stage("zvc", values.len(), z.compressed_bytes());
+                let compressed = z.compressed_bytes() + enc.scales().len() * 4;
+                CompressedActivation {
+                    payload: Payload::SfprZvc { meta: enc, z },
+                    uncompressed_bytes: x.len() * 4,
+                    compressed_bytes: compressed,
+                    codec_name: self.name(),
+                }
+            },
+        )
     }
 
     fn decompress(&self, c: &CompressedActivation) -> Result<Tensor, CodecError> {
-        match &c.payload {
-            Payload::SfprZvc { meta, z } => {
-                Ok(sfpr::decompress_values(&z.decompress_i8()?, meta))
-            }
-            _ => Err(wrong_payload("sfpr+zvc", c)),
-        }
+        observed_decompress(
+            || self.name(),
+            || match &c.payload {
+                Payload::SfprZvc { meta, z } => {
+                    Ok(sfpr::decompress_values(&z.decompress_i8()?, meta))
+                }
+                _ => Err(wrong_payload("sfpr+zvc", c)),
+            },
+        )
     }
 
     fn name(&self) -> String {
@@ -650,21 +782,30 @@ pub struct BrcCodec;
 
 impl Codec for BrcCodec {
     fn compress(&self, x: &Tensor) -> CompressedActivation {
-        let m = BrcMask::compress(x);
-        let compressed = m.compressed_bytes();
-        CompressedActivation {
-            payload: Payload::Brc(m),
-            uncompressed_bytes: x.len() * 4,
-            compressed_bytes: compressed,
-            codec_name: self.name(),
-        }
+        observed_compress(
+            || self.name(),
+            || {
+                let m = obs::span("stage.brc", || BrcMask::compress(x));
+                let compressed = m.compressed_bytes();
+                note_stage("brc", x.len() * 4, compressed);
+                CompressedActivation {
+                    payload: Payload::Brc(m),
+                    uncompressed_bytes: x.len() * 4,
+                    compressed_bytes: compressed,
+                    codec_name: self.name(),
+                }
+            },
+        )
     }
 
     fn decompress(&self, c: &CompressedActivation) -> Result<Tensor, CodecError> {
-        match &c.payload {
-            Payload::Brc(m) => Ok(m.to_binary_tensor()),
-            _ => Err(wrong_payload("brc", c)),
-        }
+        observed_decompress(
+            || self.name(),
+            || match &c.payload {
+                Payload::Brc(m) => Ok(m.to_binary_tensor()),
+                _ => Err(wrong_payload("brc", c)),
+            },
+        )
     }
 
     fn name(&self) -> String {
@@ -854,5 +995,64 @@ mod tests {
         let codec = JpegCodec::new(Dqt::opt_h(), QuantKind::Shift, CoderKind::Zvc);
         let blocks = codec.quantized_blocks(&x);
         assert_eq!(blocks.len(), BlockLayout::new(x.shape()).num_blocks());
+    }
+
+    #[test]
+    fn degenerate_byte_totals_report_ratio_one() {
+        // `Shape` forbids zero-sized dimensions, so zero-byte totals only
+        // arise from wire-decoded or aggregated stats.  Either zero side
+        // must report 1.0 instead of dividing by zero or claiming an
+        // infinite win.
+        let payload = || Payload::Raw(smooth_tensor(1, 1, 8, 8));
+        let zero_out =
+            CompressedActivation::from_wire_parts(payload(), 128, 0, "raw".to_string());
+        assert_eq!(zero_out.ratio(), 1.0);
+        let zero_in =
+            CompressedActivation::from_wire_parts(payload(), 0, 64, "raw".to_string());
+        assert_eq!(zero_in.ratio(), 1.0);
+        let both_zero =
+            CompressedActivation::from_wire_parts(payload(), 0, 0, "raw".to_string());
+        assert_eq!(both_zero.ratio(), 1.0);
+    }
+
+    #[test]
+    fn trace_counters_match_compression_stats() {
+        let x = smooth_tensor(2, 3, 16, 16);
+        let codec = JpegActCodec::new(Dqt::jpeg_quality(80));
+        let (c, trace) = jact_obs::collect_with(false, || {
+            let c = codec.compress(&x);
+            codec.decompress(&c).unwrap();
+            c
+        });
+        let totals = trace.counter_totals();
+        assert_eq!(totals["codec.compressions"], 1);
+        assert_eq!(totals["codec.decompressions"], 1);
+        assert_eq!(totals["codec.bytes_in"], c.uncompressed_bytes as u64);
+        assert_eq!(totals["codec.bytes_out"], c.compressed_bytes as u64);
+        // The JPEG pipeline reports its internal stage funnel too.
+        for stage in ["block", "transform", "code"] {
+            assert!(
+                totals.contains_key(&format!("stage.{stage}.bytes_in")),
+                "missing stage funnel for {stage}"
+            );
+        }
+    }
+
+    #[test]
+    fn sfpr_clip_counters_cover_every_element() {
+        // One channel holds a large outlier so S = 1.125 clips the rest of
+        // that channel's top of range: the clip counter must see it.
+        let shape = Shape::nchw(1, 2, 8, 8);
+        let data = (0..shape.len())
+            .map(|i| if i == 0 { 100.0 } else { (i % 7) as f32 - 3.0 })
+            .collect();
+        let x = Tensor::from_vec(shape, data);
+        let (c, trace) = jact_obs::collect_with(false, || SfprCodec::new().compress(&x));
+        let totals = trace.counter_totals();
+        assert_eq!(totals["sfpr.elems"], x.len() as u64);
+        assert_eq!(totals["stage.sfpr.bytes_in"], (x.len() * 4) as u64);
+        assert_eq!(totals["stage.sfpr.bytes_out"], c.compressed_bytes as u64);
+        assert!(totals["sfpr.clipped"] > 0, "outlier channel must clip");
+        assert!(totals["sfpr.clipped"] < totals["sfpr.elems"]);
     }
 }

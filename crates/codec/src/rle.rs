@@ -257,7 +257,11 @@ pub fn decode_block(r: &mut BitReader<'_>) -> Option<[i8; 64]> {
 /// Encodes a sequence of quantized blocks into a byte vector.
 pub fn encode_blocks(blocks: &[[i8; 64]]) -> Vec<u8> {
     let pool = Pool::current();
-    if pool.threads() == 1 || blocks.len() < 2 * RLE_BLOCKS_PER_CHUNK {
+    // Small-input shortcut only: gating on the thread count here would make
+    // the observability event stream differ between thread counts, breaking
+    // golden-trace byte equality. `par_chunks` already degrades to a
+    // sequential fast path on a single worker.
+    if blocks.len() < 2 * RLE_BLOCKS_PER_CHUNK {
         let mut w = BitWriter::new();
         for b in blocks {
             encode_block(&mut w, b);

@@ -17,6 +17,7 @@
 //! of JPEG-BASE and JPEG-ACT, whose integer DCT needs `i8` inputs.
 
 use crate::error::CodecError;
+use jact_obs as obs;
 use jact_par::Pool;
 use jact_tensor::{Shape, Tensor};
 
@@ -183,10 +184,21 @@ impl SfprEncoded {
 
 /// Compresses an NCHW activation with SFPR.
 ///
+/// Under an open observability capture this records the `stage.sfpr`
+/// span (with the `stage.scale` scan nested inside), the stage byte
+/// funnel, and the per-chunk `sfpr.clipped` / `sfpr.elems` counters
+/// behind the paper's clip-rate metric.  Counters are emitted per
+/// parallel chunk and merged in chunk-index order, so they are
+/// thread-count-invariant like the values themselves.
+///
 /// # Panics
 ///
 /// Panics if `x` is not rank 4.
 pub fn compress(x: &Tensor, params: SfprParams) -> SfprEncoded {
+    obs::span("stage.sfpr", || compress_impl(x, params))
+}
+
+fn compress_impl(x: &Tensor, params: SfprParams) -> SfprEncoded {
     assert!(
         (2..=8).contains(&params.bits),
         "SFPR bits must be in 2..=8"
@@ -199,7 +211,7 @@ pub fn compress(x: &Tensor, params: SfprParams) -> SfprEncoded {
     );
     let plane = h * w;
     let xv = x.as_slice();
-    let maxes = channel_max_abs_par(xv, c, plane);
+    let maxes = obs::span("stage.scale", || channel_max_abs_par(xv, c, plane));
     let scales: Vec<f32> = maxes
         .iter()
         .map(|&m| if m == 0.0 { 0.0 } else { params.s / m })
@@ -213,6 +225,7 @@ pub fn compress(x: &Tensor, params: SfprParams) -> SfprEncoded {
         // scale per plane segment; the chunk size is input-derived only.
         let chunk_len = plane * (ELEMS_PER_CHUNK / plane).max(1);
         Pool::current().par_chunks_mut(&mut values, chunk_len, |_, off, out| {
+            let mut clipped = 0u64;
             for (k, seg) in out.chunks_mut(plane).enumerate() {
                 let p = off / plane + k;
                 let sc = scales[p % c];
@@ -222,17 +235,29 @@ pub fn compress(x: &Tensor, params: SfprParams) -> SfprEncoded {
                 let base = off + k * plane;
                 for (j, o) in seg.iter_mut().enumerate() {
                     let q = (half as f32 * sc * xv[base + j]).round() as i32;
+                    if q < lo || q > hi {
+                        clipped += 1;
+                    }
                     *o = q.clamp(lo, hi) as i8;
                 }
             }
+            if obs::is_active() {
+                obs::count("sfpr.clipped", clipped);
+                obs::count("sfpr.elems", out.len() as u64);
+            }
         });
     }
-    SfprEncoded {
+    let enc = SfprEncoded {
         values,
         scales,
         shape: x.shape().clone(),
         params,
+    };
+    if obs::is_active() {
+        obs::count("stage.sfpr.bytes_in", (xv.len() * 4) as u64);
+        obs::count("stage.sfpr.bytes_out", enc.compressed_bytes() as u64);
     }
+    enc
 }
 
 /// Decompresses an SFPR activation back to f32.
@@ -242,11 +267,16 @@ pub fn decompress(enc: &SfprEncoded) -> Tensor {
 
 /// Decompresses an explicit value plane using `enc`'s scales/shape —
 /// used by the JPEG pipelines whose DCT stage recovered a modified plane.
+/// Records the `stage.unsfpr` span under an open capture.
 ///
 /// # Panics
 ///
 /// Panics if `values.len()` differs from the encoded length.
 pub fn decompress_values(values: &[i8], enc: &SfprEncoded) -> Tensor {
+    obs::span("stage.unsfpr", || decompress_values_impl(values, enc))
+}
+
+fn decompress_values_impl(values: &[i8], enc: &SfprEncoded) -> Tensor {
     assert_eq!(values.len(), enc.shape.len(), "value plane size mismatch");
     let (n, c, h, w) = (
         enc.shape.n(),

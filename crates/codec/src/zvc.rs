@@ -82,7 +82,10 @@ impl Zvc {
     fn compress_infallible(data: &[u8], word_bytes: usize) -> Self {
         let words = data.len() / word_bytes;
         let pool = Pool::current();
-        if pool.threads() == 1 || words < 2 * WORDS_PER_CHUNK {
+        // Input-size shortcut only (never the thread count): the chunked
+        // path must run — and emit its region events — identically for any
+        // pool size so traces stay byte-equal across thread counts.
+        if words < 2 * WORDS_PER_CHUNK {
             return Self::compress_chunk(data, word_bytes, words);
         }
         // Chunks own whole mask bytes (WORDS_PER_CHUNK is a multiple of 8),
@@ -182,7 +185,8 @@ impl Zvc {
     pub fn decompress(&self) -> Vec<u8> {
         let pool = Pool::current();
         let mut out = vec![0u8; self.words * self.word_bytes];
-        if pool.threads() == 1 || self.words < 2 * WORDS_PER_CHUNK {
+        // Input-size shortcut only; see `compress_infallible`.
+        if self.words < 2 * WORDS_PER_CHUNK {
             self.scatter_words(0, 0, &mut out);
             return out;
         }

@@ -18,9 +18,46 @@ use jact_codec::pipeline::{Codec, CompressedActivation};
 use jact_codec::wire;
 use jact_dnn::act::{ActKind, ActivationId, ActivationStore, FaultReport};
 use jact_dnn::error::NetError;
+use jact_obs as obs;
 use jact_par::Pool;
 use jact_tensor::{Shape, Tensor};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Emits the offload save funnel for one compressed activation: the
+/// store-wide byte totals plus a per-kind compressed-bytes counter, so a
+/// trace can reproduce the Fig. 19 breakdown.  No-op without an open
+/// capture.
+fn note_save(kind: ActKind, uncompressed: usize, compressed: usize) {
+    if !obs::is_active() {
+        return;
+    }
+    obs::count("offload.saves", 1);
+    obs::count("offload.bytes_in", uncompressed as u64);
+    obs::count("offload.bytes_out", compressed as u64);
+    obs::count(&format!("offload.{kind}.bytes_out"), compressed as u64);
+}
+
+/// Emits the wire-path counters for one load from the per-delivery
+/// [`FaultReport`] delta, joined under the same names the report carries
+/// so traces and `CompressionStats` totals line up one-to-one.
+fn note_wire_load(frame_bytes: usize, d: &FaultReport) {
+    if !obs::is_active() {
+        return;
+    }
+    obs::count("wire.loads", d.wire_loads);
+    obs::observe("wire.frame_bytes", frame_bytes as f64);
+    for (name, v) in [
+        ("wire.faults_injected", d.faults_injected),
+        ("wire.corrupt_loads", d.corrupt_loads),
+        ("wire.retried_loads", d.retried_loads),
+        ("wire.recovered_loads", d.recovered_loads),
+        ("wire.zero_filled_loads", d.zero_filled_loads),
+    ] {
+        if v > 0 {
+            obs::count(name, v);
+        }
+    }
+}
 
 struct Entry {
     compressed: CompressedActivation,
@@ -77,6 +114,30 @@ impl LoadFailure {
 /// batched [`ActivationStore::load_batch`] (which passes a fresh
 /// per-delivery channel and a zeroed delta merged in later).
 fn wire_load(
+    injector: &mut FaultInjector,
+    policy: RecoveryPolicy,
+    codec: &dyn Codec,
+    frame: &[u8],
+    original_shape: &Shape,
+    faults: &mut FaultReport,
+) -> Result<Tensor, LoadFailure> {
+    let mut delta = FaultReport::default();
+    let out = wire_load_counted(
+        injector,
+        policy,
+        codec,
+        frame,
+        original_shape,
+        &mut delta,
+    );
+    note_wire_load(frame.len(), &delta);
+    faults.absorb(&delta);
+    out
+}
+
+/// The uninstrumented body of [`wire_load`]: accumulates into a zeroed
+/// per-delivery delta so the caller can both trace and merge it.
+fn wire_load_counted(
     injector: &mut FaultInjector,
     policy: RecoveryPolicy,
     codec: &dyn Codec,
@@ -244,7 +305,18 @@ impl ActivationStore for OffloadStore {
             compressed.uncompressed_bytes(),
             compressed.compressed_bytes(),
         ));
+        note_save(
+            kind,
+            compressed.uncompressed_bytes(),
+            compressed.compressed_bytes(),
+        );
         let frame = self.wire.as_ref().map(|_| wire::serialize(&compressed));
+        if let Some(frame) = &frame {
+            if obs::is_active() {
+                obs::count("wire.frames", 1);
+                obs::count("wire.frame_bytes_out", frame.len() as u64);
+            }
+        }
         self.entries.insert(
             id,
             Entry {
@@ -263,7 +335,13 @@ impl ActivationStore for OffloadStore {
             .get_mut(&id)
             .ok_or(NetError::MissingActivation(id))?;
         if let Some(t) = &e.cache {
+            if obs::is_active() {
+                obs::count("offload.cache_hits", 1);
+            }
             return Ok(t.clone());
+        }
+        if obs::is_active() {
+            obs::count("offload.loads", 1);
         }
         let t = match (&mut self.wire, &e.frame) {
             (Some(ch), Some(frame)) => wire_load(
@@ -324,6 +402,17 @@ impl ActivationStore for OffloadStore {
                 compressed.uncompressed_bytes(),
                 compressed.compressed_bytes(),
             ));
+            note_save(
+                kind,
+                compressed.uncompressed_bytes(),
+                compressed.compressed_bytes(),
+            );
+            if let Some(frame) = &frame {
+                if obs::is_active() {
+                    obs::count("wire.frames", 1);
+                    obs::count("wire.frame_bytes_out", frame.len() as u64);
+                }
+            }
             self.entries.insert(
                 id,
                 Entry {
@@ -369,6 +458,9 @@ impl ActivationStore for OffloadStore {
                 .map(|(&id, e)| (id, e))
                 .collect();
             Pool::current().par_map_collect(&work, |_, &(id, entry)| {
+                if obs::is_active() {
+                    obs::count("offload.loads", 1);
+                }
                 let mut delta = FaultReport::default();
                 let res = match (&wire_cfg, &entry.frame) {
                     (Some((cfg, policy)), Some(frame)) => {
@@ -790,6 +882,44 @@ mod tests {
         // id 1 was cached by the single load: only id 2 crossed the wire
         // during the batch.
         assert_eq!(s.fault_report().wire_loads, 2);
+    }
+
+    #[test]
+    fn trace_counters_join_fault_report_and_stats() {
+        // The obs wire counters are emitted from the same per-delivery
+        // deltas that feed the cumulative FaultReport, so the trace and
+        // the report must agree exactly — as must the offload byte funnel
+        // and CompressionStats.
+        let ids: Vec<ActivationId> = (0..8u64).collect();
+        let ((report, stats), trace) = obs::collect_with(false, || {
+            let mut s = OffloadStore::through_wire(
+                Scheme::sfpr(),
+                FaultConfig::new(0.5 / 2200.0, FaultModel::Mixed, 21),
+                RecoveryPolicy::ZeroFill,
+            );
+            let items: Vec<(ActivationId, ActKind, Tensor)> = ids
+                .iter()
+                .map(|&id| (id, ActKind::Conv, smooth(Shape::nchw(2, 4, 16, 16))))
+                .collect();
+            s.save_batch(items);
+            s.load_batch(&ids).unwrap();
+            (s.fault_report(), s.stats().clone())
+        });
+        let totals = trace.counter_totals();
+        let total = |name: &str| totals.get(name).copied().unwrap_or(0);
+        assert_eq!(total("offload.saves"), ids.len() as u64);
+        assert_eq!(total("offload.loads"), ids.len() as u64);
+        assert_eq!(total("offload.bytes_in"), stats.total_uncompressed());
+        assert_eq!(total("offload.bytes_out"), stats.total_compressed());
+        assert_eq!(total("wire.frames"), ids.len() as u64);
+        assert_eq!(total("wire.loads"), report.wire_loads);
+        assert_eq!(total("wire.faults_injected"), report.faults_injected);
+        assert_eq!(total("wire.corrupt_loads"), report.corrupt_loads);
+        assert_eq!(total("wire.retried_loads"), report.retried_loads);
+        assert_eq!(total("wire.recovered_loads"), report.recovered_loads);
+        assert_eq!(total("wire.zero_filled_loads"), report.zero_filled_loads);
+        // Per-kind funnel: a conv-only run puts every byte under conv.
+        assert_eq!(total("offload.conv.bytes_out"), stats.total_compressed());
     }
 
     #[test]

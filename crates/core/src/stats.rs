@@ -24,10 +24,12 @@ pub struct KindStats {
 }
 
 impl KindStats {
-    /// Compression ratio for this kind.
+    /// Compression ratio for this kind.  Degenerate totals — nothing
+    /// recorded yet, or a zero-byte side — report 1.0 so aggregates over
+    /// many stores stay finite and an empty store reads as "no change".
     pub fn ratio(&self) -> f64 {
-        if self.compressed == 0 {
-            0.0
+        if self.uncompressed == 0 || self.compressed == 0 {
+            1.0
         } else {
             self.uncompressed as f64 / self.compressed as f64
         }
@@ -64,12 +66,14 @@ impl CompressionStats {
     }
 
     /// Overall compression ratio (Table I's bracketed numbers).
+    /// Degenerate totals report 1.0, matching [`KindStats::ratio`].
     pub fn overall_ratio(&self) -> f64 {
+        let u = self.total_uncompressed();
         let c = self.total_compressed();
-        if c == 0 {
-            0.0
+        if u == 0 || c == 0 {
+            1.0
         } else {
-            self.total_uncompressed() as f64 / c as f64
+            u as f64 / c as f64
         }
     }
 
@@ -155,10 +159,19 @@ mod tests {
     }
 
     #[test]
-    fn empty_stats_are_zero() {
+    fn empty_stats_report_unit_ratio() {
         let s = CompressionStats::new();
-        assert_eq!(s.overall_ratio(), 0.0);
+        assert_eq!(s.overall_ratio(), 1.0);
         assert_eq!(s.total_compressed(), 0);
+        assert_eq!(KindStats::default().ratio(), 1.0);
+        // One-sided zeros (possible via merge of partial stats) are also
+        // reported as 1.0 rather than 0 or infinity.
+        let half = KindStats {
+            uncompressed: 100,
+            compressed: 0,
+            count: 1,
+        };
+        assert_eq!(half.ratio(), 1.0);
     }
 
     #[test]

@@ -6,8 +6,40 @@ use crate::loss::{mse_loss, softmax_cross_entropy};
 use crate::metrics::{psnr, top1_accuracy, Average};
 use crate::net::Network;
 use crate::optim::Sgd;
+use jact_obs as obs;
 use jact_tensor::Tensor;
 use jact_rng::rngs::StdRng;
+
+/// Emits one epoch's summary into an open observability capture: the
+/// loss/score gauges plus the wire-fault deltas, bracketed by the
+/// caller's `train.epoch` span.  No-op when no capture is open.
+fn note_epoch(stats: &EpochStats) {
+    if !obs::is_active() {
+        return;
+    }
+    obs::count("train.epochs", 1);
+    obs::gauge("train.loss", stats.loss);
+    obs::gauge("train.score", stats.score);
+    let f = &stats.faults;
+    for (name, v) in [
+        ("train.wire_loads", f.wire_loads),
+        ("train.faults_injected", f.faults_injected),
+        ("train.corrupt_loads", f.corrupt_loads),
+        ("train.recovered_loads", f.recovered_loads),
+    ] {
+        if v > 0 {
+            obs::count(name, v);
+        }
+    }
+}
+
+/// The `train.epoch` span attributes: epoch index plus the task name.
+fn epoch_attrs(epoch: usize, task: &'static str) -> Vec<(String, obs::Value)> {
+    vec![
+        ("epoch".to_string(), obs::Value::U64(epoch as u64)),
+        ("task".to_string(), obs::Value::Str(task.to_string())),
+    ]
+}
 
 /// One labelled classification batch.
 #[derive(Debug, Clone)]
@@ -122,20 +154,28 @@ impl<'s> Trainer<'s> {
         epoch: usize,
         batches: &[Batch],
     ) -> Result<EpochStats, NetError> {
-        self.opt.start_epoch(epoch);
-        let before = self.store.fault_report();
-        let mut loss = Average::new();
-        let mut acc = Average::new();
-        for b in batches {
-            let (l, a) = self.step_classify(b)?;
-            loss.push(l);
-            acc.push(a);
-        }
-        Ok(EpochStats {
-            loss: loss.mean(),
-            score: acc.mean(),
-            faults: self.store.fault_report().delta_since(&before),
-        })
+        obs::span_with(
+            "train.epoch",
+            || epoch_attrs(epoch, "classify"),
+            || {
+                self.opt.start_epoch(epoch);
+                let before = self.store.fault_report();
+                let mut loss = Average::new();
+                let mut acc = Average::new();
+                for b in batches {
+                    let (l, a) = self.step_classify(b)?;
+                    loss.push(l);
+                    acc.push(a);
+                }
+                let stats = EpochStats {
+                    loss: loss.mean(),
+                    score: acc.mean(),
+                    faults: self.store.fault_report().delta_since(&before),
+                };
+                note_epoch(&stats);
+                Ok(stats)
+            },
+        )
     }
 
     /// Trains one epoch of super-resolution batches.
@@ -148,20 +188,28 @@ impl<'s> Trainer<'s> {
         epoch: usize,
         batches: &[SrBatch],
     ) -> Result<EpochStats, NetError> {
-        self.opt.start_epoch(epoch);
-        let before = self.store.fault_report();
-        let mut loss = Average::new();
-        let mut score = Average::new();
-        for b in batches {
-            let (l, p) = self.step_sr(b)?;
-            loss.push(l);
-            score.push(p);
-        }
-        Ok(EpochStats {
-            loss: loss.mean(),
-            score: score.mean(),
-            faults: self.store.fault_report().delta_since(&before),
-        })
+        obs::span_with(
+            "train.epoch",
+            || epoch_attrs(epoch, "sr"),
+            || {
+                self.opt.start_epoch(epoch);
+                let before = self.store.fault_report();
+                let mut loss = Average::new();
+                let mut score = Average::new();
+                for b in batches {
+                    let (l, p) = self.step_sr(b)?;
+                    loss.push(l);
+                    score.push(p);
+                }
+                let stats = EpochStats {
+                    loss: loss.mean(),
+                    score: score.mean(),
+                    faults: self.store.fault_report().delta_since(&before),
+                };
+                note_epoch(&stats);
+                Ok(stats)
+            },
+        )
     }
 
     /// Evaluates classification accuracy on validation batches

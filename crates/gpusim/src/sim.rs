@@ -14,6 +14,7 @@
 use crate::config::GpuConfig;
 use crate::netspec::{CnrBlock, NetworkSpec};
 use crate::offload::MethodModel;
+use jact_obs as obs;
 
 /// How many blocks of saved activations fit in the staging buffer before
 /// compute must wait for offload to drain.
@@ -82,7 +83,29 @@ fn block_cost(block: &CnrBlock, method: &MethodModel, gpu: &GpuConfig) -> BlockC
 }
 
 /// Simulates one forward+backward pass of `net` under `method`.
+///
+/// Under an open observability capture this records a `gpusim.pass` span
+/// (net/method attributes), the three timing gauges, and per-block
+/// offload-microsecond and forward-stall observations — the data behind
+/// the offload-overlap breakdown in Fig. 1a.
 pub fn simulate_training_pass(
+    net: &NetworkSpec,
+    method: &MethodModel,
+    gpu: &GpuConfig,
+) -> PassTiming {
+    obs::span_with(
+        "gpusim.pass",
+        || {
+            vec![
+                ("net".to_string(), obs::Value::Str(net.name.clone())),
+                ("method".to_string(), obs::Value::Str(method.name.clone())),
+            ]
+        },
+        || simulate_training_pass_impl(net, method, gpu),
+    )
+}
+
+fn simulate_training_pass_impl(
     net: &NetworkSpec,
     method: &MethodModel,
     gpu: &GpuConfig,
@@ -106,16 +129,24 @@ pub fn simulate_training_pass(
     let mut t_compute = 0.0f64;
     let mut t_offload = 0.0f64;
     let mut offload_done = vec![0.0f64; costs.len()];
+    let record = obs::is_active();
     for (i, c) in costs.iter().enumerate() {
         if i >= STAGING_BLOCKS {
             // Staging buffer full until block i-STAGING_BLOCKS drained.
-            t_compute = t_compute.max(offload_done[i - STAGING_BLOCKS]);
+            let drained = offload_done[i - STAGING_BLOCKS];
+            if record && drained > t_compute {
+                obs::observe("gpusim.fwd_stall_us", drained - t_compute);
+            }
+            t_compute = t_compute.max(drained);
         }
         t_compute += c.fwd_compute_us + c.fwd_extra_us;
         // Offload of this block starts when produced and the engine is
         // free.
         t_offload = t_offload.max(t_compute) + c.offload_us;
         offload_done[i] = t_offload;
+        if record {
+            obs::observe("gpusim.block_offload_us", c.offload_us);
+        }
     }
     let forward_us = if costs.iter().any(|c| c.offload_us > 0.0) {
         t_compute.max(t_offload)
@@ -140,6 +171,12 @@ pub fn simulate_training_pass(
     }
     let backward_us = t_bcompute;
 
+    if record {
+        obs::count("gpusim.passes", 1);
+        obs::gauge("gpusim.forward_us", forward_us);
+        obs::gauge("gpusim.backward_us", backward_us);
+        obs::gauge("gpusim.compute_only_us", compute_only);
+    }
     PassTiming {
         forward_us,
         backward_us,

@@ -1,0 +1,131 @@
+//! The event model: everything a capture records is one of five event
+//! kinds, held in logical (recording) order.  Events carry no
+//! timestamps by default — their position *is* the clock — so two runs
+//! that perform the same work record identical event lists.
+
+use crate::json::Json;
+
+/// An attribute or gauge value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (byte counts, ids, element counts).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (ratios, simulated microseconds).
+    F64(f64),
+    /// Short label (codec names, network names).
+    Str(String),
+}
+
+impl Value {
+    /// The JSON rendering used by the `jact-obs/v1` exporter.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Value::U64(n) => Json::from(*n),
+            Value::I64(n) => Json::from(*n),
+            Value::F64(n) => Json::from(*n),
+            Value::Str(s) => Json::from(s.as_str()),
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(n: u64) -> Self {
+        Value::U64(n)
+    }
+}
+impl From<usize> for Value {
+    fn from(n: usize) -> Self {
+        Value::U64(n as u64)
+    }
+}
+impl From<u32> for Value {
+    fn from(n: u32) -> Self {
+        Value::U64(n as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::I64(n)
+    }
+}
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::F64(n)
+    }
+}
+impl From<f32> for Value {
+    fn from(n: f32) -> Self {
+        Value::F64(n as f64)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+/// One recorded observability event.
+///
+/// Span nesting is structural: a `Begin` opens a span and the next
+/// unmatched `End` closes it, exactly like brackets.  The exporter
+/// reconstructs the hierarchy from that bracketing, so no span ids need
+/// to be minted at record time (ids would have to be drawn from a
+/// mutable global, which JA07 forbids outside `jact-par`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// Opens a span.
+    Begin {
+        /// Dot-separated span name (`codec.compress`, `stage.transform`).
+        name: String,
+        /// Attributes attached at open time, in insertion order.
+        attrs: Vec<(String, Value)>,
+    },
+    /// Closes the innermost open span.
+    End {
+        /// Wall-clock duration in nanoseconds; present only when the
+        /// capture runs in wall mode, absent on the deterministic path.
+        wall_ns: Option<u64>,
+    },
+    /// Adds `delta` to the named counter (aggregated at export time).
+    Count {
+        /// Counter name.
+        name: String,
+        /// Amount added.
+        delta: u64,
+    },
+    /// Records the latest value of a named gauge (last write wins).
+    Gauge {
+        /// Gauge name.
+        name: String,
+        /// New value.
+        value: Value,
+    },
+    /// Records one sample of a named distribution; samples are bucketed
+    /// into the fixed [`crate::HIST_BUCKETS`] layout at export time.
+    Observe {
+        /// Distribution name.
+        name: String,
+        /// Sample value.
+        value: f64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_json_renderings() {
+        assert_eq!(Value::from(7u64).to_json().to_string(), "7");
+        assert_eq!(Value::from(-3i64).to_json().to_string(), "-3");
+        assert_eq!(Value::from(1.5f64).to_json().to_string(), "1.5");
+        assert_eq!(Value::from("sfpr").to_json().to_string(), "\"sfpr\"");
+    }
+}

@@ -1,21 +1,28 @@
 //! A minimal hand-rolled JSON writer.
 //!
 //! The hermetic-build policy (README §Hermetic build) forbids registry
-//! dependencies, so the bench result stores serialize through this tiny
-//! value tree instead of `serde`.  Output is deterministic: object keys
-//! keep insertion order and numbers use a fixed shortest-form rendering.
+//! dependencies, so the `jact-obs/v1` exporter and the bench result
+//! stores serialize through this tiny value tree instead of `serde`.
+//! It lives in `jact-obs` (the lowest layer that needs it) and is
+//! re-exported by `jact-bench` for the `BENCH_*.json` stores.  Output
+//! is deterministic: object keys keep insertion order and numbers use a
+//! fixed shortest-form rendering.
 
 use std::fmt::Write as _;
 
 /// A JSON value tree.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
+    /// `null`.
     Null,
+    /// `true` / `false`.
     Bool(bool),
     /// All numbers are carried as `f64` (integers up to 2^53 are exact —
     /// far beyond any counter this workspace emits).
     Num(f64),
+    /// A string.
     Str(String),
+    /// An array.
     Arr(Vec<Json>),
     /// Insertion-ordered key/value pairs.
     Obj(Vec<(String, Json)>),
@@ -31,7 +38,9 @@ impl Json {
     pub fn field(mut self, key: &str, value: impl Into<Json>) -> Self {
         match &mut self {
             Json::Obj(fields) => fields.push((key.to_string(), value.into())),
-            _ => panic!("Json::field on non-object"),
+            // Builder misuse is a programming error at the call site, not
+            // a data-dependent condition; unreachable from decode paths.
+            _ => panic!("Json::field on non-object"), // jact-analyze: allow(JA03)
         }
         self
     }

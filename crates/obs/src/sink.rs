@@ -1,0 +1,268 @@
+//! The thread-local sink and the recording API.
+//!
+//! A capture is opened with [`collect`] / [`collect_with`] (returning a
+//! [`Trace`]) or [`capture_with`] (returning the raw event list, used by
+//! `jact-par` to record chunk bodies on worker threads).  While a
+//! capture is open on the current thread, [`span`], [`count`],
+//! [`gauge`], and [`observe`] append events; with no capture open they
+//! are no-ops that allocate nothing.
+//!
+//! Captures nest by saving and restoring the previous sink, so a
+//! `jact-par` worker can open a fresh per-chunk sink even on the calling
+//! thread (worker 0) without disturbing the enclosing capture.  If the
+//! recorded closure panics, the capture in progress is abandoned with
+//! the unwind — partial traces are never delivered.
+
+use std::cell::RefCell;
+use std::sync::LazyLock;
+
+use crate::event::{Event, Value};
+use crate::trace::Trace;
+
+/// An in-progress recording on one thread.
+struct Sink {
+    events: Vec<Event>,
+    wall: bool,
+}
+
+thread_local! {
+    /// The current thread's capture, if one is open.
+    static SINK: RefCell<Option<Sink>> = const { RefCell::new(None) };
+}
+
+/// Process-wide wall-mode default for [`collect`]: `JACT_OBS_WALL=1`
+/// opts into wall-clock durations (and out of byte-stable traces).
+/// Read once, like `JACT_THREADS` in `jact-par`.
+static ENV_WALL: LazyLock<bool> =
+    LazyLock::new(|| std::env::var("JACT_OBS_WALL").map(|v| v == "1").unwrap_or(false));
+
+/// `true` while a capture is open on the current thread.
+pub fn is_active() -> bool {
+    SINK.with(|s| s.borrow().is_some())
+}
+
+/// `true` while the current thread's capture records wall-clock span
+/// durations (capture opened in wall mode).
+pub fn wall_active() -> bool {
+    SINK.with(|s| s.borrow().as_ref().is_some_and(|k| k.wall))
+}
+
+fn push(ev: Event) {
+    SINK.with(|s| {
+        if let Some(k) = s.borrow_mut().as_mut() {
+            k.events.push(ev);
+        }
+    });
+}
+
+/// Runs `f` under a fresh capture and returns its result plus the
+/// recorded [`Trace`].  Wall mode follows `JACT_OBS_WALL` (golden-trace
+/// tests use [`collect_with`] to pin it off regardless of environment).
+pub fn collect<R>(f: impl FnOnce() -> R) -> (R, Trace) {
+    collect_with(*ENV_WALL, f)
+}
+
+/// Runs `f` under a fresh capture with wall mode pinned explicitly.
+/// `wall = false` guarantees a byte-stable trace; `wall = true` adds
+/// `wall_ns` durations to span ends (diagnostics only — such traces do
+/// not compare across runs).
+pub fn collect_with<R>(wall: bool, f: impl FnOnce() -> R) -> (R, Trace) {
+    let (r, events) = capture_with(wall, f);
+    (r, Trace { events, wall })
+}
+
+/// Runs `f` under a fresh capture and returns the raw event list.
+///
+/// This is the merge primitive `jact-par` builds on: each chunk body is
+/// captured on its worker thread and the pool [`absorb`]s the returned
+/// lists into the caller's sink in chunk-index order, which keeps the
+/// merged trace identical for any thread count.  The previous capture
+/// on this thread (if any) is suspended for the duration and restored
+/// afterwards.
+pub fn capture_with<R>(wall: bool, f: impl FnOnce() -> R) -> (R, Vec<Event>) {
+    let prev = SINK.with(|s| {
+        s.borrow_mut().replace(Sink {
+            events: Vec::new(),
+            wall,
+        })
+    });
+    let r = f();
+    let mine = SINK.with(|s| match prev {
+        Some(p) => s.borrow_mut().replace(p),
+        None => s.borrow_mut().take(),
+    });
+    (r, mine.map(|k| k.events).unwrap_or_default())
+}
+
+/// Appends pre-recorded events to the current thread's capture (no-op
+/// when no capture is open).  Callers are responsible for ordering;
+/// `jact-par` absorbs per-chunk lists in chunk-index order.
+pub fn absorb(events: Vec<Event>) {
+    SINK.with(|s| {
+        if let Some(k) = s.borrow_mut().as_mut() {
+            k.events.extend(events);
+        }
+    });
+}
+
+/// Adds `delta` to the named counter.
+pub fn count(name: &str, delta: u64) {
+    SINK.with(|s| {
+        if let Some(k) = s.borrow_mut().as_mut() {
+            k.events.push(Event::Count {
+                name: name.to_string(),
+                delta,
+            });
+        }
+    });
+}
+
+/// Records the latest value of a named gauge.
+pub fn gauge(name: &str, value: impl Into<Value>) {
+    SINK.with(|s| {
+        if let Some(k) = s.borrow_mut().as_mut() {
+            k.events.push(Event::Gauge {
+                name: name.to_string(),
+                value: value.into(),
+            });
+        }
+    });
+}
+
+/// Records one sample of a named distribution.
+pub fn observe(name: &str, value: f64) {
+    SINK.with(|s| {
+        if let Some(k) = s.borrow_mut().as_mut() {
+            k.events.push(Event::Observe {
+                name: name.to_string(),
+                value,
+            });
+        }
+    });
+}
+
+/// Runs `f` inside a span named `name`.  With no capture open this is
+/// exactly `f()`.
+pub fn span<R>(name: &str, f: impl FnOnce() -> R) -> R {
+    span_with(name, Vec::new, f)
+}
+
+/// Runs `f` inside a span with attributes.  `attrs` is a closure so the
+/// attribute vector (and its string formatting) is only built when a
+/// capture is actually open.
+pub fn span_with<R>(
+    name: &str,
+    attrs: impl FnOnce() -> Vec<(String, Value)>,
+    f: impl FnOnce() -> R,
+) -> R {
+    if !is_active() {
+        return f();
+    }
+    push(Event::Begin {
+        name: name.to_string(),
+        attrs: attrs(),
+    });
+    let t0 = wall::start(wall_active());
+    let r = f();
+    push(Event::End {
+        wall_ns: wall::elapsed_ns(t0),
+    });
+    r
+}
+
+/// Wall-clock reads, quarantined: they run only when the enclosing
+/// capture was opened in wall mode, never on the deterministic default
+/// path, so the JA04 exception is confined to these three lines.
+mod wall {
+    use std::time::Instant; // jact-analyze: allow(JA04)
+
+    pub(crate) fn start(enabled: bool) -> Option<Instant> { // jact-analyze: allow(JA04)
+        enabled.then(Instant::now) // jact-analyze: allow(JA04)
+    }
+
+    pub(crate) fn elapsed_ns(t0: Option<Instant>) -> Option<u64> { // jact-analyze: allow(JA04)
+        t0.map(|t| t.elapsed().as_nanos() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_api_is_a_noop() {
+        assert!(!is_active());
+        assert!(!wall_active());
+        count("c", 1);
+        gauge("g", 2u64);
+        observe("o", 3.0);
+        let r = span("s", || 42);
+        assert_eq!(r, 42);
+        assert!(!is_active());
+    }
+
+    #[test]
+    fn collect_records_in_logical_order() {
+        let (r, trace) = collect_with(false, || {
+            count("bytes", 10);
+            span("outer", || {
+                gauge("depth", 1u64);
+                span("inner", || observe("sample", 2.5));
+            });
+            7
+        });
+        assert_eq!(r, 7);
+        assert_eq!(trace.events.len(), 7);
+        assert!(matches!(&trace.events[0], Event::Count { name, delta: 10 } if name == "bytes"));
+        assert!(matches!(&trace.events[1], Event::Begin { name, .. } if name == "outer"));
+        assert!(matches!(&trace.events[3], Event::Begin { name, .. } if name == "inner"));
+        assert!(matches!(&trace.events[5], Event::End { wall_ns: None }));
+        assert!(matches!(&trace.events[6], Event::End { wall_ns: None }));
+    }
+
+    #[test]
+    fn wall_mode_adds_durations_and_default_mode_never_does() {
+        let (_, t) = collect_with(true, || span("s", || ()));
+        assert!(matches!(t.events[1], Event::End { wall_ns: Some(_) }));
+        let (_, t) = collect_with(false, || span("s", || ()));
+        assert!(matches!(t.events[1], Event::End { wall_ns: None }));
+    }
+
+    #[test]
+    fn capture_nests_and_restores_the_outer_sink() {
+        let (_, outer) = collect_with(false, || {
+            count("before", 1);
+            let ((), inner) = capture_with(false, || count("inner", 2));
+            // The inner capture recorded separately...
+            assert_eq!(inner.len(), 1);
+            // ...and the outer sink is active again.
+            assert!(is_active());
+            count("after", 3);
+            absorb(inner);
+        });
+        let names: Vec<&str> = outer
+            .events
+            .iter()
+            .map(|e| match e {
+                Event::Count { name, .. } => name.as_str(),
+                _ => "?",
+            })
+            .collect();
+        assert_eq!(names, ["before", "after", "inner"]);
+    }
+
+    #[test]
+    fn spans_and_counters_skip_allocation_when_idle() {
+        // `span_with`'s attribute closure must not run when inactive.
+        let mut built = false;
+        span_with(
+            "s",
+            || {
+                built = true;
+                Vec::new()
+            },
+            || (),
+        );
+        assert!(!built);
+    }
+}

@@ -1,0 +1,305 @@
+//! Trace assembly, aggregation, and the `jact-obs/v1` exporter.
+//!
+//! A [`Trace`] is the completed event list of one capture.  Two export
+//! forms share the schema header:
+//!
+//! * [`Trace::to_json`] — the full event list, one JSON object per
+//!   event with a `seq` number equal to its logical-clock position;
+//!   span `end` events reference the `seq` of their matching `begin`.
+//!   This is the form the golden-trace corpus pins byte-for-byte.
+//! * [`Trace::report_json`] — aggregates only: counter totals, final
+//!   gauge values, and histograms over the fixed [`HIST_BUCKETS`]
+//!   layout.  This is the form `BENCH_obs.json` stores.
+//!
+//! Aggregation uses `BTreeMap`, so report ordering is lexicographic by
+//! metric name and independent of emission order.
+
+use std::collections::BTreeMap;
+
+use crate::event::{Event, Value};
+use crate::json::Json;
+
+/// Schema identifier stamped into every exported document.
+pub const TRACE_SCHEMA: &str = "jact-obs/v1";
+
+/// Fixed histogram bucket upper bounds (inclusive): powers of four from
+/// 4^0 to 4^15, plus an implicit overflow bucket above the last bound.
+/// A fixed layout — rather than data-derived buckets — keeps reports
+/// byte-comparable across runs, thread counts, and machines.
+pub const HIST_BUCKETS: [f64; 16] = [
+    1.0,
+    4.0,
+    16.0,
+    64.0,
+    256.0,
+    1024.0,
+    4096.0,
+    16384.0,
+    65536.0,
+    262144.0,
+    1048576.0,
+    4194304.0,
+    16777216.0,
+    67108864.0,
+    268435456.0,
+    1073741824.0,
+];
+
+/// An aggregated distribution over the fixed [`HIST_BUCKETS`] layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Sample count per bucket; bucket `i` holds samples `v` with
+    /// `v <= HIST_BUCKETS[i]` and (for `i > 0`) `v > HIST_BUCKETS[i-1]`.
+    pub buckets: [u64; 16],
+    /// Samples above the last bound.
+    pub overflow: u64,
+    /// Total sample count.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            buckets: [0; 16],
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        for (i, bound) in HIST_BUCKETS.iter().enumerate() {
+            if v <= *bound {
+                self.buckets[i] += 1;
+                return;
+            }
+        }
+        self.overflow += 1;
+    }
+
+    /// JSON form: bucket counts in layout order plus overflow/count/sum.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("buckets", Json::Arr(self.buckets.iter().map(|&c| Json::from(c)).collect()))
+            .field("overflow", self.overflow)
+            .field("count", self.count)
+            .field("sum", self.sum)
+    }
+}
+
+/// The completed event list of one capture (see [`crate::collect`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Events in logical-clock order.
+    pub events: Vec<Event>,
+    /// Whether the capture ran in wall mode (span ends carry `wall_ns`).
+    pub wall: bool,
+}
+
+impl Trace {
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total per counter name, summed over every `Count` event.
+    pub fn counter_totals(&self) -> BTreeMap<String, u64> {
+        let mut out = BTreeMap::new();
+        for ev in &self.events {
+            if let Event::Count { name, delta } = ev {
+                *out.entry(name.clone()).or_insert(0u64) += delta;
+            }
+        }
+        out
+    }
+
+    /// Final value per gauge name (last write in logical order wins).
+    pub fn gauges(&self) -> BTreeMap<String, Value> {
+        let mut out = BTreeMap::new();
+        for ev in &self.events {
+            if let Event::Gauge { name, value } = ev {
+                out.insert(name.clone(), value.clone());
+            }
+        }
+        out
+    }
+
+    /// Aggregated histogram per distribution name.
+    pub fn histograms(&self) -> BTreeMap<String, Histogram> {
+        let mut out: BTreeMap<String, Histogram> = BTreeMap::new();
+        for ev in &self.events {
+            if let Event::Observe { name, value } = ev {
+                out.entry(name.clone()).or_insert_with(Histogram::new).record(*value);
+            }
+        }
+        out
+    }
+
+    /// The full `jact-obs/v1` trace document: every event with its
+    /// logical sequence number; `end` events carry the `seq` of the
+    /// `begin` they close (`null` for an unmatched end).
+    pub fn to_json(&self) -> Json {
+        let mut events = Vec::with_capacity(self.events.len());
+        let mut stack: Vec<usize> = Vec::new();
+        for (seq, ev) in self.events.iter().enumerate() {
+            let j = match ev {
+                Event::Begin { name, attrs } => {
+                    stack.push(seq);
+                    let mut o = Json::obj()
+                        .field("seq", seq)
+                        .field("ev", "begin")
+                        .field("name", name.as_str());
+                    if !attrs.is_empty() {
+                        let fields: Vec<(String, Json)> =
+                            attrs.iter().map(|(k, v)| (k.clone(), v.to_json())).collect();
+                        o = o.field("attrs", Json::Obj(fields));
+                    }
+                    o
+                }
+                Event::End { wall_ns } => {
+                    let open = match stack.pop() {
+                        Some(i) => Json::from(i),
+                        None => Json::Null,
+                    };
+                    let mut o = Json::obj()
+                        .field("seq", seq)
+                        .field("ev", "end")
+                        .field("span", open);
+                    if let Some(ns) = wall_ns {
+                        o = o.field("wall_ns", *ns);
+                    }
+                    o
+                }
+                Event::Count { name, delta } => Json::obj()
+                    .field("seq", seq)
+                    .field("ev", "count")
+                    .field("name", name.as_str())
+                    .field("delta", *delta),
+                Event::Gauge { name, value } => Json::obj()
+                    .field("seq", seq)
+                    .field("ev", "gauge")
+                    .field("name", name.as_str())
+                    .field("value", value.to_json()),
+                Event::Observe { name, value } => Json::obj()
+                    .field("seq", seq)
+                    .field("ev", "observe")
+                    .field("name", name.as_str())
+                    .field("value", *value),
+            };
+            events.push(j);
+        }
+        Json::obj()
+            .field("schema", TRACE_SCHEMA)
+            .field("kind", "trace")
+            .field("wall_clock", self.wall)
+            .field("events", Json::Arr(events))
+    }
+
+    /// The aggregated `jact-obs/v1` report document: counter totals,
+    /// final gauges, and fixed-layout histograms, keyed and ordered by
+    /// metric name.
+    pub fn report_json(&self) -> Json {
+        let counters: Vec<(String, Json)> = self
+            .counter_totals()
+            .into_iter()
+            .map(|(k, v)| (k, Json::from(v)))
+            .collect();
+        let gauges: Vec<(String, Json)> = self
+            .gauges()
+            .into_iter()
+            .map(|(k, v)| (k, v.to_json()))
+            .collect();
+        let hists: Vec<(String, Json)> = self
+            .histograms()
+            .into_iter()
+            .map(|(k, h)| (k, h.to_json()))
+            .collect();
+        Json::obj()
+            .field("schema", TRACE_SCHEMA)
+            .field("kind", "report")
+            .field("wall_clock", self.wall)
+            .field("events", self.events.len())
+            .field("counters", Json::Obj(counters))
+            .field("gauges", Json::Obj(gauges))
+            .field("histograms", Json::Obj(hists))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::collect_with;
+    use crate::sink::{count, gauge, observe, span, span_with};
+
+    #[test]
+    fn histogram_buckets_are_inclusive_upper_bounds() {
+        let mut h = Histogram::new();
+        for v in [0.0, 1.0, 1.5, 4.0, 5.0, 2.0e9] {
+            h.record(v);
+        }
+        assert_eq!(h.buckets[0], 2); // 0.0, 1.0
+        assert_eq!(h.buckets[1], 2); // 1.5, 4.0
+        assert_eq!(h.buckets[2], 1); // 5.0
+        assert_eq!(h.overflow, 1); // 2.0e9
+        assert_eq!(h.count, 6);
+    }
+
+    #[test]
+    fn trace_json_links_end_to_begin() {
+        let (_, t) = collect_with(false, || {
+            span_with("outer", || vec![("k".to_string(), Value::from(3u64))], || {
+                span("inner", || ());
+            });
+        });
+        let s = t.to_json().to_string();
+        assert!(s.contains(r#""schema":"jact-obs/v1""#), "{s}");
+        // inner begin is seq 1, its end seq 2 references span 1;
+        // outer end seq 3 references span 0.
+        assert!(s.contains(r#"{"seq":2,"ev":"end","span":1}"#), "{s}");
+        assert!(s.contains(r#"{"seq":3,"ev":"end","span":0}"#), "{s}");
+        assert!(s.contains(r#""attrs":{"k":3}"#), "{s}");
+    }
+
+    #[test]
+    fn report_aggregates_counters_gauges_histograms() {
+        let (_, t) = collect_with(false, || {
+            count("bytes", 3);
+            count("bytes", 4);
+            gauge("loss", 0.5f64);
+            gauge("loss", 0.25f64);
+            observe("frame", 100.0);
+        });
+        assert_eq!(t.counter_totals().get("bytes"), Some(&7));
+        assert_eq!(t.gauges().get("loss"), Some(&Value::F64(0.25)));
+        let s = t.report_json().to_string();
+        assert!(s.contains(r#""kind":"report""#), "{s}");
+        assert!(s.contains(r#""bytes":7"#), "{s}");
+        assert!(s.contains(r#""loss":0.25"#), "{s}");
+        assert!(s.contains(r#""count":1"#), "{s}");
+    }
+
+    #[test]
+    fn identical_work_yields_byte_identical_traces() {
+        let run = || {
+            collect_with(false, || {
+                span("a", || {
+                    count("n", 1);
+                    observe("d", 9.0);
+                });
+            })
+            .1
+            .to_json()
+            .to_string()
+        };
+        assert_eq!(run(), run());
+    }
+}

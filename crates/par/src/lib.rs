@@ -29,11 +29,20 @@
 use std::cell::Cell;
 use std::sync::LazyLock;
 
+use jact_obs as obs;
+
 thread_local! {
     /// Per-thread thread-count override. `0` means "no override": fall back
     /// to the process-global default. Worker threads run with this set to 1
     /// so nested parallel calls stay sequential.
     static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+
+    /// Depth of pool regions currently executing on this thread. Chunk
+    /// bodies run at depth >= 1 (on workers and on the sequential fast
+    /// path alike), so a region entered from inside a chunk body — the
+    /// calls that degrade to sequential execution — is detected
+    /// structurally, identically for any thread count.
+    static REGION_DEPTH: Cell<usize> = const { Cell::new(0) };
 }
 
 /// Process-global default thread count: `JACT_THREADS` if set and valid,
@@ -80,6 +89,58 @@ impl Drop for OverrideGuard {
     fn drop(&mut self) {
         let prev = self.prev;
         THREAD_OVERRIDE.with(|c| c.set(prev));
+    }
+}
+
+/// Decrements [`REGION_DEPTH`] on drop, restoring the depth even when a
+/// chunk body panics.
+struct RegionGuard;
+
+impl RegionGuard {
+    fn enter() -> Self {
+        REGION_DEPTH.with(|c| c.set(c.get() + 1));
+        RegionGuard
+    }
+}
+
+impl Drop for RegionGuard {
+    fn drop(&mut self) {
+        REGION_DEPTH.with(|c| c.set(c.get().saturating_sub(1)));
+    }
+}
+
+/// `true` while the current thread is executing a chunk body of some
+/// pool region (at any nesting depth).
+pub fn in_region() -> bool {
+    REGION_DEPTH.with(|c| c.get()) > 0
+}
+
+/// Emits the region-entry counters when an observability capture is open
+/// on the calling thread. `par.nested_regions` counts regions entered
+/// from inside another region's chunk body — exactly the calls the
+/// oversubscription rule degrades to sequential execution — so it doubles
+/// as the sequential-fallback count. All three counters derive from the
+/// input partition alone and are therefore thread-count-invariant.
+fn note_region(num_chunks: usize) {
+    if obs::is_active() {
+        obs::count("par.regions", 1);
+        obs::count("par.chunks", num_chunks as u64);
+        if in_region() {
+            obs::count("par.nested_regions", 1);
+        }
+    }
+}
+
+/// Wall-mode-only schedule diagnostics: worker count and per-worker chunk
+/// loads. These depend on the machine's thread count, so they are
+/// confined to wall mode, which already gives up cross-run comparability.
+fn note_schedule(num_chunks: usize, workers: usize) {
+    if obs::wall_active() {
+        obs::gauge("par.workers", workers as u64);
+        for w in 0..workers {
+            let load = (num_chunks + workers - 1 - w) / workers;
+            obs::observe("par.worker_chunks", load as f64);
+        }
     }
 }
 
@@ -139,22 +200,55 @@ impl Pool {
     /// `i` is assigned to worker `i % workers`; the calling thread is worker
     /// 0. Worker bodies run with nested parallelism disabled. A panic in `f`
     /// is re-raised on the calling thread after all workers have been joined.
+    ///
+    /// When an observability capture is open on the calling thread
+    /// (`jact_obs::is_active()`), each chunk body records into its own
+    /// per-chunk sink and the event lists are absorbed back into the
+    /// caller's capture in chunk-index order, so the merged trace is
+    /// byte-identical for any thread count — the same discipline that
+    /// keeps the numeric results bitwise stable.
     pub fn run_chunks<R: Send>(&self, num_chunks: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
         if num_chunks == 0 {
             return Vec::new();
         }
+        note_region(num_chunks);
         let workers = self.threads.min(num_chunks).max(1);
+        note_schedule(num_chunks, workers);
         if workers == 1 {
+            let _r = RegionGuard::enter();
             return (0..num_chunks).map(f).collect();
         }
+        if obs::is_active() {
+            let wall = obs::wall_active();
+            let wrapped = |i: usize| obs::capture_with(wall, || f(i));
+            let pairs = self.fork_join(num_chunks, workers, &wrapped);
+            let mut out = Vec::with_capacity(num_chunks);
+            for (r, events) in pairs {
+                obs::absorb(events);
+                out.push(r);
+            }
+            return out;
+        }
+        self.fork_join(num_chunks, workers, &f)
+    }
+
+    /// The scoped fork-join schedule behind [`Pool::run_chunks`]: spawns
+    /// `workers - 1` scoped threads, runs worker 0 inline, and merges
+    /// per-chunk results into chunk-index order.
+    fn fork_join<R: Send>(
+        &self,
+        num_chunks: usize,
+        workers: usize,
+        f: &(impl Fn(usize) -> R + Sync),
+    ) -> Vec<R> {
         let mut slots: Vec<Option<R>> = Vec::new();
         slots.resize_with(num_chunks, || None);
         std::thread::scope(|s| {
-            let f = &f;
             let handles: Vec<_> = (1..workers)
                 .map(|w| {
                     s.spawn(move || {
                         let _g = OverrideGuard::engage(1);
+                        let _r = RegionGuard::enter();
                         let mut out = Vec::new();
                         let mut i = w;
                         while i < num_chunks {
@@ -168,6 +262,7 @@ impl Pool {
             let mut mine = Vec::new();
             {
                 let _g = OverrideGuard::engage(1);
+                let _r = RegionGuard::enter();
                 let mut i = 0;
                 while i < num_chunks {
                     mine.push((i, f(i)));
@@ -227,18 +322,27 @@ impl Pool {
             return;
         }
         let num_chunks = data.len().div_ceil(chunk_len);
+        note_region(num_chunks);
         let workers = self.threads.min(num_chunks).max(1);
+        note_schedule(num_chunks, workers);
         if workers == 1 {
+            let _r = RegionGuard::enter();
             for (i, c) in data.chunks_mut(chunk_len).enumerate() {
                 f(i, i * chunk_len, c);
             }
             return;
         }
+        let record = obs::is_active();
+        let wall = obs::wall_active();
         let mut assignments: Vec<Vec<(usize, &mut [T])>> = Vec::new();
         assignments.resize_with(workers, Vec::new);
         for (i, c) in data.chunks_mut(chunk_len).enumerate() {
             assignments[i % workers].push((i, c));
         }
+        // Per-chunk captured event lists, merged after the join in
+        // chunk-index order (empty and unused unless `record`).
+        let mut captured: Vec<Option<Vec<obs::Event>>> = Vec::new();
+        captured.resize_with(if record { num_chunks } else { 0 }, || None);
         std::thread::scope(|s| {
             let f = &f;
             let mut rest = assignments.into_iter();
@@ -247,24 +351,46 @@ impl Pool {
                 .map(|chunks| {
                     s.spawn(move || {
                         let _g = OverrideGuard::engage(1);
+                        let _r = RegionGuard::enter();
+                        let mut events: Vec<(usize, Vec<obs::Event>)> = Vec::new();
                         for (i, c) in chunks {
-                            f(i, i * chunk_len, c);
+                            if record {
+                                let ((), ev) = obs::capture_with(wall, || f(i, i * chunk_len, c));
+                                events.push((i, ev));
+                            } else {
+                                f(i, i * chunk_len, c);
+                            }
                         }
+                        events
                     })
                 })
                 .collect();
             {
                 let _g = OverrideGuard::engage(1);
+                let _r = RegionGuard::enter();
                 for (i, c) in mine {
-                    f(i, i * chunk_len, c);
+                    if record {
+                        let ((), ev) = obs::capture_with(wall, || f(i, i * chunk_len, c));
+                        captured[i] = Some(ev);
+                    } else {
+                        f(i, i * chunk_len, c);
+                    }
                 }
             }
             for h in handles {
-                if let Err(e) = h.join() {
-                    std::panic::resume_unwind(e);
+                match h.join() {
+                    Ok(v) => {
+                        for (i, ev) in v {
+                            captured[i] = Some(ev);
+                        }
+                    }
+                    Err(e) => std::panic::resume_unwind(e),
                 }
             }
         });
+        for ev in captured.into_iter().flatten() {
+            obs::absorb(ev);
+        }
     }
 
     /// Evaluates `f(index, &item)` for every item independently and returns
@@ -435,6 +561,67 @@ mod tests {
     fn nested_parallel_calls_degrade_to_sequential() {
         let inner_counts = Pool::new(4).run_chunks(4, |_| Pool::current().threads());
         assert_eq!(inner_counts, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn traces_merge_in_chunk_index_order_for_any_thread_count() {
+        let run = |threads: usize| {
+            let ((), trace) = obs::collect_with(false, || {
+                Pool::new(threads)
+                    .run_chunks(13, |i| {
+                        obs::span("chunk", || obs::count("work", i as u64 + 1));
+                    })
+                    .len();
+            });
+            trace.to_json().to_string()
+        };
+        let base = run(1);
+        assert!(base.contains("par.regions"), "{base}");
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), base, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_traces_are_thread_count_invariant() {
+        let run = |threads: usize| {
+            let mut data = vec![0u32; 57];
+            let ((), trace) = obs::collect_with(false, || {
+                Pool::new(threads).par_chunks_mut(&mut data, 5, |i, off, c| {
+                    obs::count("chunk.bytes", c.len() as u64 * 4);
+                    obs::gauge("chunk.last", (i + off) as u64);
+                });
+            });
+            trace.to_json().to_string()
+        };
+        let base = run(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(run(threads), base, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn nested_regions_are_counted_structurally() {
+        for threads in [1, 4] {
+            let ((), trace) = obs::collect_with(false, || {
+                Pool::new(threads).run_chunks(3, |_| {
+                    // A nested region: degrades to sequential and counts.
+                    Pool::current().run_chunks(2, |i| i);
+                });
+            });
+            let totals = trace.counter_totals();
+            assert_eq!(totals.get("par.regions"), Some(&4), "threads={threads}");
+            assert_eq!(totals.get("par.nested_regions"), Some(&3), "threads={threads}");
+            assert_eq!(totals.get("par.chunks"), Some(&9), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn in_region_is_false_outside_and_true_inside_chunk_bodies() {
+        assert!(!in_region());
+        let seen = Pool::new(2).run_chunks(4, |_| in_region());
+        assert_eq!(seen, vec![true; 4]);
+        assert!(!in_region());
     }
 
     #[test]

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerates the golden observability traces in tests/golden/.
+#
+# This script is the ONLY sanctioned way to update the corpus: the traces
+# are pinned byte-for-byte by tests/obs_golden.rs, so a diff in any
+# regenerated file is an intentional pipeline change that must be reviewed
+# together with the code that caused it. Never hand-edit the JSON.
+#
+# The generator records with wall-clock capture disabled and the traces are
+# thread-count-invariant by construction, so the output is identical on any
+# machine and at any JACT_THREADS setting.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+cargo run -q -p jact-bench --release --offline --bin gen_golden_traces
+
+echo "regen_golden: tests/golden/ refreshed; review the diff before committing"

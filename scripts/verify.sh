@@ -31,4 +31,10 @@ echo "== codec_throughput baseline (writes BENCH_codec.json) =="
 # Absolute path: cargo runs the bench with cwd = crates/bench, not here.
 JACT_QUICK=1 JACT_BENCH_JSON="$PWD" cargo bench -q -p jact-bench --offline --bench codec_throughput
 
+echo "== profile_offload (stage-breakdown profile, writes BENCH_obs.json) =="
+JACT_QUICK=1 JACT_BENCH_JSON="$PWD" cargo run -q -p jact-bench --release --offline --bin profile_offload
+
+echo "== golden observability traces (byte-equal at 1/2/8 threads) =="
+cargo test -q --offline -p jact-bench --test obs_golden
+
 echo "verify: OK"

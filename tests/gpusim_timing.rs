@@ -1,0 +1,100 @@
+//! Timing gate for the GPU offload simulator: pinned pass timings for a
+//! small network (so a model change is an explicit, reviewed act) plus a
+//! seeded property — widening PCIe bandwidth never slows a simulated
+//! pass down.
+//!
+//! The simulator is pure f64 arithmetic over a fixed block list, so the
+//! pinned values hold exactly on every platform; they were produced by
+//! this very code path and must only change together with a deliberate
+//! model change.
+
+use jact_gpusim::netspec::{resnet50_cifar, vgg16_cifar};
+use jact_gpusim::{simulate_training_pass, GpuConfig, MethodModel};
+use jact_rng::rngs::StdRng;
+use jact_rng::{Rng, SeedableRng};
+
+fn assert_close(got: f64, want: f64, what: &str) {
+    let rel = ((got - want) / want).abs();
+    assert!(
+        rel < 1e-12,
+        "{what}: simulated {got} µs deviates from pinned {want} µs (rel {rel:e}); \
+         if the timing model changed deliberately, update the pinned values"
+    );
+}
+
+#[test]
+fn pinned_pass_timings_for_resnet50_cifar() {
+    let g = GpuConfig::titan_v();
+    let net = resnet50_cifar();
+
+    let vdnn = simulate_training_pass(&net, &MethodModel::vdnn(), &g);
+    assert_close(vdnn.forward_us, PINNED_VDNN[0], "vdnn forward");
+    assert_close(vdnn.backward_us, PINNED_VDNN[1], "vdnn backward");
+    assert_close(vdnn.compute_only_us, PINNED_VDNN[2], "vdnn compute-only");
+
+    let sfpr = simulate_training_pass(&net, &MethodModel::sfpr(), &g);
+    assert_close(sfpr.forward_us, PINNED_SFPR[0], "sfpr forward");
+    assert_close(sfpr.backward_us, PINNED_SFPR[1], "sfpr backward");
+    assert_close(sfpr.compute_only_us, PINNED_SFPR[2], "sfpr compute-only");
+
+    let jact = simulate_training_pass(&net, &MethodModel::jpeg_act(), &g);
+    assert_close(jact.forward_us, PINNED_JACT[0], "jpeg-act forward");
+    assert_close(jact.backward_us, PINNED_JACT[1], "jpeg-act backward");
+    assert_close(jact.compute_only_us, PINNED_JACT[2], "jpeg-act compute-only");
+
+    // The pinned numbers must preserve the paper's ordering.
+    assert!(vdnn.total_us() > sfpr.total_us());
+    assert!(sfpr.total_us() > jact.total_us());
+}
+
+/// Pinned `[forward_us, backward_us, compute_only_us]` triples
+/// (ResNet50/CIFAR on the Titan V model).
+const PINNED_VDNN: [f64; 3] = [2630.821035933963, 2791.1365210986955, 1341.3396891932807];
+const PINNED_SFPR: [f64; 3] = [787.6210359339628, 1009.5782215134693, 1341.3396891932807];
+const PINNED_JACT: [f64; 3] = [523.4204966420521, 955.452507227755, 1341.3396891932807];
+
+#[test]
+fn more_pcie_bandwidth_never_slows_a_pass() {
+    // Seeded sweep: random bandwidth pairs (a ≤ b) across methods and
+    // networks — simulated time must be monotonically non-increasing in
+    // PCIe bandwidth.
+    let mut rng = StdRng::seed_from_u64(0x9C1E);
+    let nets = [resnet50_cifar(), vgg16_cifar()];
+    let methods = [MethodModel::vdnn(), MethodModel::sfpr(), MethodModel::jpeg_act()];
+    for _ in 0..64 {
+        let lo = rng.gen_range(1.0f64..32.0);
+        let hi = lo + rng.gen_range(0.0f64..32.0);
+        let net = &nets[rng.gen_range(0usize..nets.len())];
+        let method = &methods[rng.gen_range(0usize..methods.len())];
+        let mut slow = GpuConfig::titan_v();
+        slow.pcie_gbps = lo;
+        let mut fast = GpuConfig::titan_v();
+        fast.pcie_gbps = hi;
+        let t_slow = simulate_training_pass(net, method, &slow).total_us();
+        let t_fast = simulate_training_pass(net, method, &fast).total_us();
+        assert!(
+            t_fast <= t_slow + 1e-9,
+            "{}/{}: raising PCIe {lo:.2} → {hi:.2} GB/s slowed the pass \
+             ({t_slow} → {t_fast} µs)",
+            net.name,
+            method.name
+        );
+    }
+}
+
+#[test]
+fn pass_timing_invariants_hold_across_seeded_bandwidths() {
+    // At any bandwidth, total time is bounded below by pure compute and
+    // the overhead factor stays finite and ≥ 1.
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let net = resnet50_cifar();
+    for _ in 0..32 {
+        let mut g = GpuConfig::titan_v();
+        g.pcie_gbps = rng.gen_range(0.5f64..64.0);
+        for method in [MethodModel::vdnn(), MethodModel::jpeg_act()] {
+            let t = simulate_training_pass(&net, &method, &g);
+            assert!(t.total_us() >= t.compute_only_us - 1e-9, "{}", method.name);
+            assert!(t.overhead() >= 1.0 - 1e-12 && t.overhead().is_finite());
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Generative consistency gate: for every codec, the byte totals that
+//! [`CompressionStats`] accumulates equal the `codec.bytes_in` /
+//! `codec.bytes_out` counter totals an observability capture records —
+//! over hundreds of seeded random tensors, so the agreement is a
+//! property of the instrumentation, not of one lucky input.
+//!
+//! The two paths are deliberately independent: stats are recorded from
+//! the returned [`CompressedActivation`] sizes, while obs counters are
+//! emitted inside the codec pipeline helpers.  Any drift (a stage
+//! counted twice, a codec path missing instrumentation) breaks the
+//! equality.
+
+use jact_codec::dpr::DprWidth;
+use jact_codec::dqt::Dqt;
+use jact_codec::pipeline::{
+    BrcCodec, Codec, CoderKind, DprCodec, GistCsrCodec, JpegActCodec, JpegBaseCodec, JpegCodec,
+    RawCodec, SfprCodec, SfprZvcCodec, ZvcF32Codec,
+};
+use jact_codec::quant::QuantKind;
+use jact_core::stats::CompressionStats;
+use jact_dnn::act::ActKind;
+use jact_rng::rngs::StdRng;
+use jact_rng::{Rng, SeedableRng};
+use jact_tensor::{Shape, Tensor};
+
+/// Number of seeded tensors driven through every codec.
+const CASES: u64 = 256;
+
+fn all_codecs() -> Vec<(String, Box<dyn Codec>)> {
+    let v: Vec<(String, Box<dyn Codec>)> = vec![
+        ("raw".into(), Box::new(RawCodec)),
+        ("zvc_f32".into(), Box::new(ZvcF32Codec)),
+        ("dpr_f16".into(), Box::new(DprCodec::new(DprWidth::F16))),
+        ("dpr_f8".into(), Box::new(DprCodec::new(DprWidth::F8))),
+        ("gist_csr".into(), Box::new(GistCsrCodec)),
+        ("sfpr".into(), Box::new(SfprCodec::new())),
+        ("sfpr_zvc".into(), Box::new(SfprZvcCodec::new())),
+        ("brc".into(), Box::new(BrcCodec)),
+        (
+            "jpeg_base_q80".into(),
+            Box::new(JpegBaseCodec::new(Dqt::jpeg_quality(80))),
+        ),
+        (
+            "jpeg_act_opth".into(),
+            Box::new(JpegActCodec::new(Dqt::opt_h())),
+        ),
+        (
+            "jpeg_shift_zvc_optl".into(),
+            Box::new(JpegCodec::new(Dqt::opt_l(), QuantKind::Shift, CoderKind::Zvc)),
+        ),
+        (
+            "jpeg_div_rle_q60".into(),
+            Box::new(JpegCodec::new(Dqt::jpeg_quality(60), QuantKind::Div, CoderKind::Rle)),
+        ),
+    ];
+    v
+}
+
+/// A seeded random activation with a randomized (but always valid)
+/// NCHW shape and ~1/3 zeros, so sparse and dense paths both run.
+fn random_tensor(rng: &mut StdRng) -> Tensor {
+    let n = rng.gen_range(1usize..3);
+    let c = rng.gen_range(1usize..5);
+    let h = 8 * rng.gen_range(1usize..3);
+    let w = 8 * rng.gen_range(1usize..3);
+    let shape = Shape::nchw(n, c, h, w);
+    let data = (0..shape.len())
+        .map(|_| {
+            if rng.gen_bool(1.0 / 3.0) {
+                0.0
+            } else {
+                rng.gen_range(-2.0f32..2.0)
+            }
+        })
+        .collect();
+    Tensor::from_vec(shape, data)
+}
+
+#[test]
+fn stats_totals_equal_obs_counter_totals_for_every_codec() {
+    for (name, codec) in all_codecs() {
+        let mut stats = CompressionStats::new();
+        let mut rng = StdRng::seed_from_u64(0xC0DEC + CASES);
+        let (compressions, trace) = jact_obs::collect_with(false, || {
+            let mut compressions = 0u64;
+            for _ in 0..CASES {
+                let x = random_tensor(&mut rng);
+                let c = codec.compress(&x);
+                stats.record(ActKind::Conv, c.uncompressed_bytes(), c.compressed_bytes());
+                compressions += 1;
+            }
+            compressions
+        });
+        assert_eq!(compressions, CASES);
+        let totals = trace.counter_totals();
+        assert_eq!(
+            totals.get("codec.compressions").copied().unwrap_or(0),
+            CASES,
+            "{name}: every compress call must be counted exactly once"
+        );
+        assert_eq!(
+            totals.get("codec.bytes_in").copied().unwrap_or(0),
+            stats.total_uncompressed(),
+            "{name}: obs bytes_in drifted from CompressionStats"
+        );
+        assert_eq!(
+            totals.get("codec.bytes_out").copied().unwrap_or(0),
+            stats.total_compressed(),
+            "{name}: obs bytes_out drifted from CompressionStats"
+        );
+    }
+}
+
+#[test]
+fn decompress_counters_balance_compressions() {
+    let mut rng = StdRng::seed_from_u64(77);
+    for (name, codec) in all_codecs() {
+        let (_, trace) = jact_obs::collect_with(false, || {
+            for _ in 0..8 {
+                let x = random_tensor(&mut rng);
+                let c = codec.compress(&x);
+                codec.decompress(&c).expect("roundtrip");
+            }
+        });
+        let totals = trace.counter_totals();
+        assert_eq!(totals.get("codec.compressions").copied().unwrap_or(0), 8, "{name}");
+        assert_eq!(totals.get("codec.decompressions").copied().unwrap_or(0), 8, "{name}");
+        assert_eq!(
+            totals.get("codec.decompress_errors").copied().unwrap_or(0),
+            0,
+            "{name}"
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Golden-trace gate: the checked-in `jact-obs/v1` corpus in
+//! `tests/golden/` regenerates **byte-for-byte** at 1, 2, and 8 threads.
+//!
+//! This is the observability layer's determinism contract (JA04 at the
+//! trace level): spans and counters are keyed by a logical event
+//! counter, per-chunk events merge in chunk-index order, and the wall
+//! clock stays off — so a trace is a pure function of the input and the
+//! codec, never of the host, the scheduler, or `JACT_THREADS`.
+//!
+//! If a legitimate pipeline change moves the corpus, regenerate it via
+//! `scripts/regen_golden.sh` and review the diff; never hand-edit.
+
+use jact_bench::obs_corpus::{golden_dir, golden_matrix, golden_trace};
+
+#[test]
+fn golden_traces_regenerate_byte_equal_at_any_thread_count() {
+    let dir = golden_dir();
+    let matrix = golden_matrix();
+    assert_eq!(matrix.len(), 8, "Table III matrix is eight corners");
+    for (name, codec) in &matrix {
+        let path = dir.join(format!("{name}.json"));
+        let pinned = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden trace {} ({e}); run scripts/regen_golden.sh",
+                path.display()
+            )
+        });
+        for threads in [1usize, 2, 8] {
+            let got = jact_par::with_threads(threads, || golden_trace(codec.as_ref()));
+            assert_eq!(
+                got, pinned,
+                "{name}: trace deviates from corpus at threads={threads}; \
+                 if the pipeline change is intentional, run scripts/regen_golden.sh"
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_corpus_has_no_strays() {
+    // Every file in tests/golden/ corresponds to a matrix cell — stale
+    // traces from removed codecs would otherwise linger unverified.
+    let names: Vec<String> = golden_matrix()
+        .iter()
+        .map(|(n, _)| format!("{n}.json"))
+        .collect();
+    for entry in std::fs::read_dir(golden_dir()).expect("tests/golden exists") {
+        let file = entry.expect("dir entry").file_name();
+        let file = file.to_string_lossy().to_string();
+        assert!(
+            names.contains(&file),
+            "stray file tests/golden/{file} matches no golden_matrix cell"
+        );
+    }
+}
+
+#[test]
+fn golden_traces_are_wall_clock_free() {
+    for (name, _) in &golden_matrix() {
+        let path = golden_dir().join(format!("{name}.json"));
+        let text = std::fs::read_to_string(&path).expect("corpus present");
+        assert!(
+            !text.contains("wall_ns"),
+            "{name}: corpus trace must not embed host timing"
+        );
+        assert!(text.contains("\"jact-obs/v1\""), "{name}: schema tag missing");
+    }
+}

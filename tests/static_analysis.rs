@@ -21,7 +21,7 @@ fn workspace_has_zero_violations() {
     let analysis =
         jact_analyze::analyze_workspace(&workspace_root()).expect("workspace is readable");
     assert!(analysis.files_scanned > 30, "suspiciously few files scanned");
-    assert_eq!(analysis.manifests_scanned, 12, "root + eleven crate manifests");
+    assert_eq!(analysis.manifests_scanned, 13, "root + twelve crate manifests");
     assert!(
         analysis.is_clean(),
         "jact-analyze found {} violation(s):\n{}",
