@@ -1,6 +1,16 @@
 //! Throughput benchmarks for the compression primitives — the per-stage
 //! costs behind the CDU pipeline design (Sec. III).  Runs on the in-repo
 //! [`jact_bench::timing`] harness (hermetic-build policy: no criterion).
+//!
+//! Everything lands in one `BENCH_codec.json` record (harness "codec"):
+//!
+//! * `codec_stages`   — staged per-primitive costs on a shared activation,
+//!   including the `quant_div` vs `quant_sh` pair Sec. III-F predicts
+//!   (SH must not be slower than DIV — `bench_check` gates on this);
+//! * `fused_stages`   — the streaming tile pipeline's stages pinned to one
+//!   worker thread, in activation (f32) bytes per second;
+//! * `dct_ablation`   — matrix-form vs factored fast DCT;
+//! * `threads_*`      — whole-codec compress/decompress thread scaling.
 
 use jact_bench::timing::{black_box, Harness};
 use jact_codec::block::BlockLayout;
@@ -9,9 +19,10 @@ use jact_codec::csr::Csr;
 use jact_codec::dct::{dct2d_i8, idct2d_to_i8};
 use jact_codec::dqt::Dqt;
 use jact_codec::pipeline::{Codec, JpegActCodec, JpegBaseCodec, SfprCodec, ZvcF32Codec};
-use jact_codec::quant::{quantize_div, quantize_shift};
+use jact_codec::quant::{QuantKind, QuantTables};
 use jact_codec::rle;
 use jact_codec::sfpr::{self, SfprParams};
+use jact_codec::tile::{self, FromBlocks};
 use jact_codec::zvc::Zvc;
 use jact_tensor::{Shape, Tensor};
 
@@ -26,15 +37,16 @@ fn activation(n: usize, c: usize, hw: usize) -> Tensor {
 fn quantized_blocks(x: &Tensor) -> Vec<[i8; 64]> {
     let enc = sfpr::compress(x, SfprParams::paper_default());
     let layout = BlockLayout::new(x.shape());
+    let tables = QuantTables::new(QuantKind::Shift, &Dqt::opt_h());
     layout
         .to_blocks(enc.values())
         .iter()
-        .map(|b| quantize_shift(&dct2d_i8(b), &Dqt::opt_h()))
+        .map(|b| tables.quantize_block(&dct2d_i8(b)))
         .collect()
 }
 
 fn main() {
-    let mut h = Harness::new("codec_throughput").sample_size(20);
+    let mut h = Harness::new("codec").sample_size(20);
 
     let x = activation(4, 16, 32);
     let bytes = (x.len() * 4) as u64;
@@ -58,19 +70,23 @@ fn main() {
             .collect::<Vec<_>>()
     });
 
+    // The Sec. III-F cost comparison: DIV (multiply-shift against the
+    // precomputed per-tensor magic table) vs SH (pure shifts against the
+    // cached log2 table).  `bench_check` fails the build if SH comes out
+    // slower than DIV — the inverted-cost bug this pair exists to catch.
     let coefs: Vec<[i16; 64]> = blocks.iter().map(dct2d_i8).collect();
-    let dqt_div = Dqt::jpeg_quality(80);
-    g.bench_function("quantize_div", || {
+    let tables_div = QuantTables::new(QuantKind::Div, &Dqt::jpeg_quality(80));
+    g.bench_function("quant_div", || {
         coefs
             .iter()
-            .map(|cf| quantize_div(black_box(cf), &dqt_div))
+            .map(|cf| tables_div.quantize_block(black_box(cf)))
             .collect::<Vec<_>>()
     });
-    let dqt_sh = Dqt::opt_h();
-    g.bench_function("quantize_shift", || {
+    let tables_sh = QuantTables::new(QuantKind::Shift, &Dqt::opt_h());
+    g.bench_function("quant_sh", || {
         coefs
             .iter()
-            .map(|cf| quantize_shift(black_box(cf), &dqt_sh))
+            .map(|cf| tables_sh.quantize_block(black_box(cf)))
             .collect::<Vec<_>>()
     });
 
@@ -99,6 +115,47 @@ fn main() {
     g.bench_function("csr_compress", || Csr::compress_default(black_box(enc.values())));
     g.finish();
 
+    // Streaming tile pipeline stages, pinned to one worker thread.
+    // Throughput is in activation (f32) bytes — the unit the CDU must
+    // sustain against the PCIe link (Sec. III-G / Fig. 21) — over the
+    // same tensor as `codec_stages`.  `bench_check` reports each row
+    // against the 2 GiB/s single-thread floor.
+    let num_blocks = layout.num_blocks();
+    let mut f = h.group("fused_stages");
+    f.throughput_bytes(bytes);
+    // One `with_threads` region around the whole group: the pin applies to
+    // every measurement without paying the pool-reconfiguration cost
+    // inside each timed iteration.
+    jact_par::with_threads(1, || {
+        f.bench_function("gather", || {
+            (0..num_blocks)
+                .map(|bi| layout.gather_block(black_box(enc.values()), bi))
+                .collect::<Vec<_>>()
+        });
+        f.bench_function("dct", || {
+            blocks
+                .iter()
+                .map(|blk| dct2d_i8(black_box(blk)))
+                .collect::<Vec<_>>()
+        });
+        f.bench_function("quant_div", || {
+            coefs
+                .iter()
+                .map(|cf| tables_div.quantize_block(black_box(cf)))
+                .collect::<Vec<_>>()
+        });
+        f.bench_function("quant_sh", || {
+            coefs
+                .iter()
+                .map(|cf| tables_sh.quantize_block(black_box(cf)))
+                .collect::<Vec<_>>()
+        });
+        f.bench_function("zvc_pack", || {
+            tile::encode_zvc(black_box(&FromBlocks(&q)), num_blocks)
+        });
+    });
+    f.finish();
+
     // Ablation: matrix-form 8-point DCT vs the factored fast DCT (the
     // hardware's LLM-style butterfly structure).
     let rows: Vec<[f32; 8]> = (0..512)
@@ -123,14 +180,10 @@ fn main() {
     });
     a.finish();
 
-    h.finish();
-
     // Thread-scaling axis: whole-codec compress/decompress throughput at
     // 1/2/4/max worker threads, pinned per-measurement with
     // `jact_par::with_threads` (outputs are bitwise identical across the
-    // axis; only the wall-clock changes).  Emitted as its own harness so
-    // the record lands in BENCH_codec.json for scripts/verify.sh.
-    let mut hc = Harness::new("codec").sample_size(10);
+    // axis; only the wall-clock changes).
     let dense = activation(8, 16, 32);
     let mut sparse = dense.clone();
     sparse.map_in_place(|v| if v > 0.0 { v } else { 0.0 });
@@ -144,7 +197,7 @@ fn main() {
         .collect();
 
     for (label, threads) in &axis {
-        let mut g = hc.group(format!("threads_{label}"));
+        let mut g = h.group(format!("threads_{label}"));
         g.throughput_bytes(bytes);
 
         macro_rules! scaling {
@@ -172,5 +225,5 @@ fn main() {
         g.finish();
     }
 
-    hc.finish();
+    h.finish();
 }

@@ -1,0 +1,152 @@
+//! Gates on the codec throughput record (`BENCH_codec.json`).
+//!
+//! Two checks, both rooted in Sec. III-F's cost model:
+//!
+//! 1. **SH vs DIV (hard fail):** the shift quantizer exists because it is
+//!    cheaper than division; if `codec_stages/quant_sh` has a higher
+//!    median than `codec_stages/quant_div`, the shift path has regressed
+//!    into recomputing its tables (the bug this PR fixed) and the check
+//!    exits non-zero.
+//! 2. **Fused-stage floor (warn / strict):** every `fused_stages/*` row
+//!    should sustain ≥ 2 GiB/s of activation bytes on one worker thread.
+//!    Shortfalls print warnings by default and fail the run when
+//!    `JACT_BENCH_STRICT=1`, so noisy CI boxes don't flake the build but
+//!    a real regression is still visible.
+//!
+//! Usage: `bench_check [path/to/BENCH_codec.json]` (defaults to
+//! `./BENCH_codec.json`).
+
+use std::process::ExitCode;
+
+/// 2 GiB/s in MiB/s — the single-thread floor for the fused tile stages.
+const FUSED_FLOOR_MIB_S: f64 = 2048.0;
+
+/// One benchmark row pulled out of the JSON record.
+#[derive(Debug)]
+struct Row {
+    id: String,
+    median_ns: f64,
+    mib_per_s: Option<f64>,
+}
+
+/// Extracts the string value following `"<key>": "` in `obj`.
+fn str_field(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = obj.find(&pat)? + pat.len();
+    let end = obj[start..].find('"')?;
+    Some(obj[start..start + end].to_string())
+}
+
+/// Extracts the numeric value following `"<key>": ` in `obj`.
+fn num_field(obj: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = obj.find(&pat)? + pat.len();
+    let rest = &obj[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || ".-+eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses the harness JSON into rows by scanning for `"id"` fields — the
+/// record layout is fixed by `jact_bench::timing`, so a full JSON parser
+/// would be overkill for a CI gate.
+fn parse_rows(json: &str) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find("\"id\": \"") {
+        let obj = &rest[pos..];
+        let next = obj[1..]
+            .find("\"id\": \"")
+            .map(|p| p + 1)
+            .unwrap_or(obj.len());
+        let obj = &obj[..next];
+        if let (Some(id), Some(median_ns)) = (str_field(obj, "id"), num_field(obj, "median_ns")) {
+            rows.push(Row {
+                id,
+                median_ns,
+                mib_per_s: num_field(obj, "mib_per_s"),
+            });
+        }
+        rest = &rest[pos + next..];
+    }
+    rows
+}
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_codec.json".to_string());
+    let json = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench_check: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let rows = parse_rows(&json);
+    let find = |id: &str| rows.iter().find(|r| r.id == id);
+
+    let mut failed = false;
+    let strict = std::env::var("JACT_BENCH_STRICT").is_ok_and(|v| v == "1");
+
+    // Check 1: SH must not cost more than DIV.
+    match (find("codec_stages/quant_div"), find("codec_stages/quant_sh")) {
+        (Some(div), Some(sh)) => {
+            let verdict = if sh.median_ns <= div.median_ns {
+                "ok"
+            } else {
+                failed = true;
+                "FAIL (inverted quantizer cost: SH slower than DIV)"
+            };
+            eprintln!(
+                "bench_check: quant_sh {:.0} ns vs quant_div {:.0} ns — {verdict}",
+                sh.median_ns, div.median_ns
+            );
+        }
+        _ => {
+            eprintln!("bench_check: {path} is missing codec_stages/quant_div or quant_sh");
+            failed = true;
+        }
+    }
+
+    // Check 2: fused single-thread stages against the 2 GiB/s floor.
+    let fused: Vec<&Row> = rows
+        .iter()
+        .filter(|r| r.id.starts_with("fused_stages/"))
+        .collect();
+    if fused.is_empty() {
+        eprintln!("bench_check: {path} has no fused_stages rows");
+        failed = true;
+    }
+    for r in fused {
+        match r.mib_per_s {
+            Some(t) if t >= FUSED_FLOOR_MIB_S => {
+                eprintln!("bench_check: {} {:.0} MiB/s — ok", r.id, t);
+            }
+            Some(t) => {
+                eprintln!(
+                    "bench_check: {} {:.0} MiB/s — below the {:.0} MiB/s single-thread floor{}",
+                    r.id,
+                    t,
+                    FUSED_FLOOR_MIB_S,
+                    if strict { " (strict: FAIL)" } else { " (warning)" }
+                );
+                if strict {
+                    failed = true;
+                }
+            }
+            None => {
+                eprintln!("bench_check: {} has no throughput field", r.id);
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        eprintln!("bench_check: all gates passed");
+        ExitCode::SUCCESS
+    }
+}

@@ -81,6 +81,26 @@ impl BlockLayout {
         &self.shape
     }
 
+    /// The padding strategy this layout was built with.
+    pub fn strategy(&self) -> PadStrategy {
+        self.strategy
+    }
+
+    /// Rows of the (possibly reshaped) 2-D matrix before padding.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns before padding.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Blocks per padded-matrix row (`padded_cols / 8`).
+    pub fn blocks_wide(&self) -> usize {
+        self.padded_cols / 8
+    }
+
     /// Number of 8×8 blocks in the padded matrix.
     pub fn num_blocks(&self) -> usize {
         (self.padded_rows / 8) * (self.padded_cols / 8)
@@ -98,6 +118,45 @@ impl BlockLayout {
         self.padded_len() as f64 / self.shape.len() as f64 - 1.0
     }
 
+    /// Maps a padded-matrix row back to its unpadded source row, or
+    /// `None` for rows that are pure padding.
+    #[inline]
+    pub(crate) fn source_row(&self, r: usize) -> Option<usize> {
+        match self.strategy {
+            PadStrategy::NchW => (r < self.rows).then_some(r),
+            PadStrategy::Hw => {
+                let h = self.shape.h();
+                let hp = h.next_multiple_of(8);
+                let (img, y) = (r / hp, r % hp);
+                (y < h && r < self.rows).then(|| img * h + y)
+            }
+        }
+    }
+
+    /// Gathers one 8×8 block (row-major block index `bi`) directly from
+    /// the unpadded value plane, zero-filling padding lanes inline — the
+    /// streaming pipeline's tile source, with no padded intermediate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bi >= self.num_blocks()` or the plane is undersized.
+    pub fn gather_block(&self, values: &[i8], bi: usize) -> [i8; 64] {
+        let bw = self.padded_cols / 8;
+        let (br, bc) = (bi / bw, bi % bw);
+        let c0 = bc * 8;
+        let cw = self.cols.saturating_sub(c0).min(8);
+        let mut tile = [0i8; 64];
+        if cw != 0 {
+            for (r, row) in tile.chunks_exact_mut(8).enumerate() {
+                if let Some(sr) = self.source_row(br * 8 + r) {
+                    let src = sr * self.cols + c0;
+                    row[..cw].copy_from_slice(&values[src..src + cw]);
+                }
+            }
+        }
+        tile
+    }
+
     /// Gathers the value plane into 8×8 blocks (row-major over blocks).
     ///
     /// # Panics
@@ -105,17 +164,10 @@ impl BlockLayout {
     /// Panics if `values.len() != shape.len()`.
     pub fn to_blocks(&self, values: &[i8]) -> Vec<[i8; 64]> {
         assert_eq!(values.len(), self.shape.len(), "value plane size mismatch");
-        let padded = self.pad(values);
-        let bw = self.padded_cols / 8;
         let mut blocks = vec![[0i8; 64]; self.num_blocks()];
         Pool::current().par_chunks_mut(&mut blocks, BLOCKS_PER_CHUNK, |_, off, chunk| {
             for (k, block) in chunk.iter_mut().enumerate() {
-                let bi = off + k;
-                let (br, bc) = (bi / bw, bi % bw);
-                for r in 0..8 {
-                    let src = (br * 8 + r) * self.padded_cols + bc * 8;
-                    block[r * 8..r * 8 + 8].copy_from_slice(&padded[src..src + 8]);
-                }
+                *block = self.gather_block(values, off + k);
             }
         });
         blocks
@@ -150,38 +202,8 @@ impl BlockLayout {
         self.unpad(&padded)
     }
 
-    /// Zero-pads the (reshaped) matrix to block granularity.
-    fn pad(&self, values: &[i8]) -> Vec<i8> {
-        let mut out = vec![0i8; self.padded_len()];
-        match self.strategy {
-            PadStrategy::NchW => {
-                for r in 0..self.rows {
-                    let src = r * self.cols;
-                    let dst = r * self.padded_cols;
-                    out[dst..dst + self.cols].copy_from_slice(&values[src..src + self.cols]);
-                }
-            }
-            PadStrategy::Hw => {
-                let (n, c, h, w) = (
-                    self.shape.n(),
-                    self.shape.c(),
-                    self.shape.h(),
-                    self.shape.w(),
-                );
-                let hp = h.next_multiple_of(8);
-                for img in 0..n * c {
-                    for y in 0..h {
-                        let src = (img * h + y) * w;
-                        let dst = (img * hp + y) * self.padded_cols;
-                        out[dst..dst + w].copy_from_slice(&values[src..src + w]);
-                    }
-                }
-            }
-        }
-        out
-    }
-
-    /// Inverse of [`BlockLayout::pad`].
+    /// Drops padding from a padded matrix (inverse of the zero-padding
+    /// [`BlockLayout::gather_block`] applies inline).
     fn unpad(&self, padded: &[i8]) -> Vec<i8> {
         let mut out = vec![0i8; self.shape.len()];
         match self.strategy {
@@ -336,6 +358,69 @@ mod tests {
         assert_eq!(blocks[0][1], 1.0);
         // Padded column 9..16 of the first row is zero.
         assert_eq!(blocks[1][1], 0.0);
+    }
+
+    /// Staged reference: explicitly build the zero-padded matrix (as the
+    /// pre-fusion `pad()` helper did) and gather blocks from it.
+    fn staged_to_blocks(l: &BlockLayout, values: &[i8]) -> Vec<[i8; 64]> {
+        let (pr, pc) = (l.padded_rows, l.padded_cols);
+        let mut padded = vec![0i8; pr * pc];
+        match l.strategy {
+            PadStrategy::NchW => {
+                for r in 0..l.rows {
+                    padded[r * pc..r * pc + l.cols]
+                        .copy_from_slice(&values[r * l.cols..(r + 1) * l.cols]);
+                }
+            }
+            PadStrategy::Hw => {
+                let (h, w) = (l.shape.h(), l.shape.w());
+                let hp = h.next_multiple_of(8);
+                for img in 0..l.shape.n() * l.shape.c() {
+                    for y in 0..h {
+                        let src = (img * h + y) * w;
+                        let dst = (img * hp + y) * pc;
+                        padded[dst..dst + w].copy_from_slice(&values[src..src + w]);
+                    }
+                }
+            }
+        }
+        let bw = pc / 8;
+        (0..l.num_blocks())
+            .map(|bi| {
+                let (br, bc) = (bi / bw, bi % bw);
+                let mut block = [0i8; 64];
+                for r in 0..8 {
+                    let src = (br * 8 + r) * pc + bc * 8;
+                    block[r * 8..r * 8 + 8].copy_from_slice(&padded[src..src + 8]);
+                }
+                block
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gather_block_matches_staged_pad_then_gather() {
+        for strategy in [PadStrategy::NchW, PadStrategy::Hw] {
+            for shape in [
+                Shape::nchw(1, 1, 8, 8),
+                Shape::nchw(3, 2, 5, 11),
+                Shape::nchw(2, 3, 6, 10),
+                Shape::nchw(1, 2, 7, 14),
+                Shape::nchw(5, 1, 6, 6),
+            ] {
+                let vals = ramp(shape.len());
+                let l = BlockLayout::with_strategy(&shape, strategy);
+                let expect = staged_to_blocks(&l, &vals);
+                assert_eq!(l.to_blocks(&vals), expect, "{strategy:?} {shape:?}");
+                for (bi, e) in expect.iter().enumerate() {
+                    assert_eq!(
+                        &l.gather_block(&vals, bi),
+                        e,
+                        "{strategy:?} {shape:?} block {bi}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -36,16 +36,38 @@ static BASIS: LazyLock<[[f32; 8]; 8]> = LazyLock::new(|| {
     c
 });
 
-/// Q12 fixed-point copy of the basis used by the hardware-faithful path.
-static BASIS_Q12: LazyLock<[[i32; 8]; 8]> = LazyLock::new(|| {
-    let mut c = [[0i32; 8]; 8];
-    for k in 0..8 {
-        for n in 0..8 {
-            c[k][n] = (BASIS[k][n] as f64 * 4096.0).round() as i32;
+/// Q12 fixed-point copy of the basis used by the hardware-faithful path —
+/// `round(4096 · BASIS[k][n])`, spelled out as a `const` (the hardware's
+/// constant ROM) so the lane kernels see literal immediates instead of a
+/// `LazyLock` load.  `basis_q12_matches_float_basis` pins it to the float
+/// basis.
+const BASIS_Q12: [[i32; 8]; 8] = [
+    [1448, 1448, 1448, 1448, 1448, 1448, 1448, 1448],
+    [2009, 1703, 1138, 400, -400, -1138, -1703, -2009],
+    [1892, 784, -784, -1892, -1892, -784, 784, 1892],
+    [1703, -400, -2009, -1138, 1138, 2009, 400, -1703],
+    [1448, -1448, -1448, 1448, 1448, -1448, -1448, 1448],
+    [1138, -2009, 400, 1703, -1703, -400, 2009, -1138],
+    [784, -1892, 1892, -784, -784, 1892, -1892, 784],
+    [400, -1138, 1703, -2009, 2009, -1703, 1138, -400],
+];
+
+/// `BASIS_Q12` transposed, so `Bᵀ` products use the same lane kernels.
+const BASIS_Q12_T: [[i32; 8]; 8] = transpose_basis(&BASIS_Q12);
+
+const fn transpose_basis(b: &[[i32; 8]; 8]) -> [[i32; 8]; 8] {
+    let mut t = [[0i32; 8]; 8];
+    let mut k = 0;
+    while k < 8 {
+        let mut n = 0;
+        while n < 8 {
+            t[n][k] = b[k][n];
+            n += 1;
         }
+        k += 1;
     }
-    c
-});
+    t
+}
 
 /// Forward 8-point orthonormal DCT-II.
 pub fn dct8(x: &[f32; 8]) -> [f32; 8] {
@@ -115,95 +137,97 @@ pub fn idct2d(block: &mut [f32; 64]) {
     }
 }
 
-/// Fixed-point forward 8-point DCT on Q12-scaled integers.
-///
-/// Inputs and outputs share the caller's fixed-point scale; the Q12 basis
-/// product is rounded back down by 12 bits, matching a hardware multiplier
-/// with a 12-bit fractional constant ROM.
-fn dct8_q12(x: &[i32; 8]) -> [i32; 8] {
-    let mut out = [0i32; 8];
-    for (k, o) in out.iter_mut().enumerate() {
-        let row = &BASIS_Q12[k];
-        let mut acc = 0i64;
-        for n in 0..8 {
-            acc += row[n] as i64 * x[n] as i64;
-        }
-        *o = ((acc + 2048) >> 12) as i32;
-    }
-    out
-}
-
-fn idct8_q12(x: &[i32; 8]) -> [i32; 8] {
-    let mut out = [0i32; 8];
-    for (n, o) in out.iter_mut().enumerate() {
-        let mut acc = 0i64;
-        for k in 0..8 {
-            acc += BASIS_Q12[k][n] as i64 * x[k] as i64;
-        }
-        *o = ((acc + 2048) >> 12) as i32;
-    }
-    out
-}
-
 /// Hardware-faithful forward 2-D DCT: `i8` spatial block in, `i16`
 /// frequency coefficients out.
 ///
-/// Coefficients are bounded by `±1024` for `i8` inputs, so the `i16`
-/// narrowing cannot overflow.
+/// The staged reference applies the row transform then the column
+/// transform, rounding after each with `round12(a) = (a + 2048) >> 12`
+/// (a hardware multiplier with a 12-bit fractional constant ROM):
+/// `Y = round(B · round(X·Bᵀ))`.  Here that is a right-multiply pass
+/// (`round(X·Bᵀ)`, scalars broadcast from `X`, lanes from `Bᵀ` rows)
+/// followed by a left-multiply pass (`round(B·…)`, scalars from the
+/// `B` ROM, lanes from the intermediate's rows) — identical per-element
+/// rounding, **no transposes**, and every inner loop a fixed-width,
+/// bounds-check-free 8-lane multiply-accumulate the compiler can
+/// vectorize.  The `i8` widening and `i16` narrowing are folded into
+/// the passes, so the block makes exactly two trips through the lanes.
+///
+/// `i32` accumulators suffice: column sums of `|BASIS_Q12|` are below
+/// 15 784, and the largest intermediates in either transform direction
+/// stay under `15 784 × 126 278 < 2³¹`.  Coefficients are bounded by
+/// `±1024` for `i8` inputs, so the `i16` narrowing cannot overflow
+/// (the clamp is a hardware saturator's belt-and-suspenders).
 pub fn dct2d_i8(block: &[i8; 64]) -> [i16; 64] {
-    let mut work = [0i32; 64];
-    for (w, &b) in work.iter_mut().zip(block.iter()) {
-        *w = b as i32;
-    }
+    // Row pass: rows[r][j] = round12(Σ_n X[r][n] · Bᵀ[n][j]).
+    let mut rows = [0i32; 64];
     for r in 0..8 {
-        let mut row = [0i32; 8];
-        row.copy_from_slice(&work[r * 8..r * 8 + 8]);
-        let t = dct8_q12(&row);
-        work[r * 8..r * 8 + 8].copy_from_slice(&t);
-    }
-    for c in 0..8 {
-        let mut col = [0i32; 8];
-        for r in 0..8 {
-            col[r] = work[r * 8 + c];
+        let xrow = &block[r * 8..r * 8 + 8];
+        let mut acc = [0i32; 8];
+        for (n, &x) in xrow.iter().enumerate() {
+            let s = x as i32;
+            for (a, &b) in acc.iter_mut().zip(&BASIS_Q12_T[n]) {
+                *a += s * b;
+            }
         }
-        let t = dct8_q12(&col);
-        for r in 0..8 {
-            work[r * 8 + c] = t[r];
+        for (o, a) in rows[r * 8..r * 8 + 8].iter_mut().zip(acc) {
+            *o = (a + 2048) >> 12;
         }
     }
+    // Column pass: out[k][j] = round12(Σ_n B[k][n] · rows[n][j]).
     let mut out = [0i16; 64];
-    for (o, &w) in out.iter_mut().zip(work.iter()) {
-        *o = w.clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+    for k in 0..8 {
+        let brow = &BASIS_Q12[k];
+        let mut acc = [0i32; 8];
+        for (n, &b) in brow.iter().enumerate() {
+            let row = &rows[n * 8..n * 8 + 8];
+            for (a, &v) in acc.iter_mut().zip(row) {
+                *a += b * v;
+            }
+        }
+        for (o, a) in out[k * 8..k * 8 + 8].iter_mut().zip(acc) {
+            *o = ((a + 2048) >> 12).clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+        }
     }
     out
 }
 
 /// Hardware-faithful inverse 2-D DCT: `i16` frequency coefficients in,
 /// saturated `i8` spatial block out.
+///
+/// The staged reference applies the column transform then the row
+/// transform: `x = round(round(Bᵀ·X) · B)` — here a left-multiply pass
+/// with the `Bᵀ` ROM followed by a right-multiply pass against `B`,
+/// with the same rounding, lane structure, widening/narrowing fusion,
+/// and overflow bounds as [`dct2d_i8`].
 pub fn idct2d_to_i8(coefs: &[i16; 64]) -> [i8; 64] {
-    let mut work = [0i32; 64];
-    for (w, &c) in work.iter_mut().zip(coefs.iter()) {
-        *w = c as i32;
-    }
-    for c in 0..8 {
-        let mut col = [0i32; 8];
-        for r in 0..8 {
-            col[r] = work[r * 8 + c];
+    // Column pass: cols[k][j] = round12(Σ_n Bᵀ[k][n] · X[n][j]).
+    let mut cols = [0i32; 64];
+    for k in 0..8 {
+        let brow = &BASIS_Q12_T[k];
+        let mut acc = [0i32; 8];
+        for (n, &b) in brow.iter().enumerate() {
+            let row = &coefs[n * 8..n * 8 + 8];
+            for (a, &v) in acc.iter_mut().zip(row) {
+                *a += b * v as i32;
+            }
         }
-        let t = idct8_q12(&col);
-        for r in 0..8 {
-            work[r * 8 + c] = t[r];
+        for (o, a) in cols[k * 8..k * 8 + 8].iter_mut().zip(acc) {
+            *o = (a + 2048) >> 12;
         }
     }
-    for r in 0..8 {
-        let mut row = [0i32; 8];
-        row.copy_from_slice(&work[r * 8..r * 8 + 8]);
-        let t = idct8_q12(&row);
-        work[r * 8..r * 8 + 8].copy_from_slice(&t);
-    }
+    // Row pass: out[r][j] = round12(Σ_n cols[r][n] · B[n][j]).
     let mut out = [0i8; 64];
-    for (o, &w) in out.iter_mut().zip(work.iter()) {
-        *o = w.clamp(i8::MIN as i32, i8::MAX as i32) as i8;
+    for r in 0..8 {
+        let mrow = &cols[r * 8..r * 8 + 8];
+        let mut acc = [0i32; 8];
+        for (n, &s) in mrow.iter().enumerate() {
+            for (a, &b) in acc.iter_mut().zip(&BASIS_Q12[n]) {
+                *a += s * b;
+            }
+        }
+        for (o, a) in out[r * 8..r * 8 + 8].iter_mut().zip(acc) {
+            *o = ((a + 2048) >> 12).clamp(i8::MIN as i32, i8::MAX as i32) as i8;
+        }
     }
     out
 }
@@ -224,6 +248,19 @@ mod tests {
             out[k] = (ak * acc) as f32;
         }
         out
+    }
+
+    #[test]
+    fn basis_q12_matches_float_basis() {
+        // The const ROM is round(4096 · BASIS) — re-derive it from the
+        // float basis so a typo in the literals cannot survive.
+        for k in 0..8 {
+            for n in 0..8 {
+                let want = (BASIS[k][n] as f64 * 4096.0).round() as i32;
+                assert_eq!(BASIS_Q12[k][n], want, "k={k} n={n}");
+                assert_eq!(BASIS_Q12_T[n][k], want, "transpose k={k} n={n}");
+            }
+        }
     }
 
     #[test]
@@ -320,6 +357,119 @@ mod tests {
             let d = (rec[i] as i32 - spatial[i] as i32).abs();
             assert!(d <= 1, "i={i}: {} vs {}", rec[i], spatial[i]);
         }
+    }
+
+    /// Staged 1-D reference of the fixed-point transforms, exactly as the
+    /// pre-fusion code computed them: per-row then per-column 8-point
+    /// passes with `i64` accumulators.  The lane kernels must match it
+    /// bit for bit.
+    fn staged_dct2d_i8(block: &[i8; 64]) -> [i16; 64] {
+        let dct8_q12 = |x: &[i32; 8]| {
+            let mut out = [0i32; 8];
+            for (k, o) in out.iter_mut().enumerate() {
+                let mut acc = 0i64;
+                for n in 0..8 {
+                    acc += BASIS_Q12[k][n] as i64 * x[n] as i64;
+                }
+                *o = ((acc + 2048) >> 12) as i32;
+            }
+            out
+        };
+        let mut work = [0i32; 64];
+        for (w, &b) in work.iter_mut().zip(block.iter()) {
+            *w = b as i32;
+        }
+        for r in 0..8 {
+            let mut row = [0i32; 8];
+            row.copy_from_slice(&work[r * 8..r * 8 + 8]);
+            let t = dct8_q12(&row);
+            work[r * 8..r * 8 + 8].copy_from_slice(&t);
+        }
+        for c in 0..8 {
+            let mut col = [0i32; 8];
+            for r in 0..8 {
+                col[r] = work[r * 8 + c];
+            }
+            let t = dct8_q12(&col);
+            for r in 0..8 {
+                work[r * 8 + c] = t[r];
+            }
+        }
+        let mut out = [0i16; 64];
+        for (o, &w) in out.iter_mut().zip(work.iter()) {
+            *o = w.clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+        }
+        out
+    }
+
+    fn staged_idct2d_to_i8(coefs: &[i16; 64]) -> [i8; 64] {
+        let idct8_q12 = |x: &[i32; 8]| {
+            let mut out = [0i32; 8];
+            for (n, o) in out.iter_mut().enumerate() {
+                let mut acc = 0i64;
+                for k in 0..8 {
+                    acc += BASIS_Q12[k][n] as i64 * x[k] as i64;
+                }
+                *o = ((acc + 2048) >> 12) as i32;
+            }
+            out
+        };
+        let mut work = [0i32; 64];
+        for (w, &c) in work.iter_mut().zip(coefs.iter()) {
+            *w = c as i32;
+        }
+        for c in 0..8 {
+            let mut col = [0i32; 8];
+            for r in 0..8 {
+                col[r] = work[r * 8 + c];
+            }
+            let t = idct8_q12(&col);
+            for r in 0..8 {
+                work[r * 8 + c] = t[r];
+            }
+        }
+        for r in 0..8 {
+            let mut row = [0i32; 8];
+            row.copy_from_slice(&work[r * 8..r * 8 + 8]);
+            let t = idct8_q12(&row);
+            work[r * 8..r * 8 + 8].copy_from_slice(&t);
+        }
+        let mut out = [0i8; 64];
+        for (o, &w) in out.iter_mut().zip(work.iter()) {
+            *o = w.clamp(i8::MIN as i32, i8::MAX as i32) as i8;
+        }
+        out
+    }
+
+    #[test]
+    fn lane_kernels_match_staged_reference_bitwise() {
+        use jact_rng::{Rng, SeedableRng, rngs::StdRng};
+        let mut rng = StdRng::seed_from_u64(0xdc7_2d);
+        // Extremes plus random blocks: the refactor from per-row/column
+        // i64 loops to transposed i32 lane passes must be bit-exact.
+        let mut batteries: Vec<[i8; 64]> = vec![[i8::MIN; 64], [i8::MAX; 64], [0i8; 64]];
+        let mut alt = [0i8; 64];
+        for (i, v) in alt.iter_mut().enumerate() {
+            *v = if (i / 8 + i % 8) % 2 == 0 { 127 } else { -128 };
+        }
+        batteries.push(alt);
+        for _ in 0..64 {
+            let mut b = [0i8; 64];
+            for v in b.iter_mut() {
+                *v = rng.gen::<i8>();
+            }
+            batteries.push(b);
+        }
+        for b in &batteries {
+            let coefs = dct2d_i8(b);
+            assert_eq!(coefs, staged_dct2d_i8(b));
+            assert_eq!(idct2d_to_i8(&coefs), staged_idct2d_to_i8(&coefs));
+        }
+        // Inverse on extreme coefficient blocks too.
+        let hot = [i16::MAX; 64];
+        assert_eq!(idct2d_to_i8(&hot), staged_idct2d_to_i8(&hot));
+        let cold = [i16::MIN; 64];
+        assert_eq!(idct2d_to_i8(&cold), staged_idct2d_to_i8(&cold));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! profiles with the DC entry fixed to 8.  The SH quantizer additionally
 //! restricts entries to powers of two (3-bit shift amounts; Sec. III-F).
 
+use crate::error::CodecError;
 use std::fmt;
 
 /// Zigzag scan order: `ZIGZAG[k]` is the row-major index of the `k`-th
@@ -45,22 +46,42 @@ const JPEG_BASE_TABLE: [u16; 64] = [
 #[derive(Clone, PartialEq, Eq)]
 pub struct Dqt {
     entries: [u16; 64],
+    /// The SH quantizer's 3-bit shift amounts, cached at construction so
+    /// the per-block hot path never recomputes 64 `f64::log2` calls.
+    shifts: [u8; 64],
     name: String,
 }
 
 impl Dqt {
     /// Builds a DQT from explicit row-major entries.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any entry is outside `1..=255`.
-    pub fn from_entries(name: impl Into<String>, entries: [u16; 64]) -> Self {
-        assert!(
-            entries.iter().all(|&e| (1..=255).contains(&e)),
-            "DQT entries must be in 1..=255"
-        );
+    /// Returns [`CodecError::BadDqt`] if any entry is outside `1..=255`;
+    /// a zero entry would otherwise divide by zero in the DIV quantizer.
+    pub fn from_entries(
+        name: impl Into<String>,
+        entries: [u16; 64],
+    ) -> Result<Self, CodecError> {
+        for (index, &entry) in entries.iter().enumerate() {
+            if !(1..=255).contains(&entry) {
+                return Err(CodecError::BadDqt { index, entry });
+            }
+        }
+        Ok(Self::from_valid(name, entries))
+    }
+
+    /// Construction core for entries already known to lie in `1..=255`
+    /// (the named tables guarantee this by clamping or by constant
+    /// choice).  Precomputes the SH shift table once.
+    fn from_valid(name: impl Into<String>, entries: [u16; 64]) -> Self {
+        let mut shifts = [0u8; 64];
+        for (o, &e) in shifts.iter_mut().zip(entries.iter()) {
+            *o = ((e as f64).log2().round() as i64).clamp(0, 7) as u8;
+        }
         Dqt {
             entries,
+            shifts,
             name: name.into(),
         }
     }
@@ -83,7 +104,7 @@ impl Dqt {
             let v = (base as u32 * scale + 50) / 100;
             *e = v.clamp(1, 255) as u16;
         }
-        Dqt::from_entries(format!("jpeg{quality}"), entries)
+        Dqt::from_valid(format!("jpeg{quality}"), entries)
     }
 
     /// The paper's low-compression / low-error optimized table (`optL`,
@@ -93,12 +114,12 @@ impl Dqt {
     /// optimizer (rerunnable via `jact-core`'s `dqt_opt`): much flatter than
     /// image DQTs, power-of-two friendly for the SH quantizer.
     pub fn opt_l() -> Self {
-        Dqt::from_entries("optL", radial_table(8, &[(1, 8), (3, 8), (5, 12)], 16))
+        Dqt::from_valid("optL", radial_table(8, &[(1, 8), (3, 8), (5, 12)], 16))
     }
 
     /// The paper's high-compression optimized table (`optH`, α = 0.005).
     pub fn opt_h() -> Self {
-        Dqt::from_entries(
+        Dqt::from_valid(
             "optH",
             radial_table(8, &[(1, 16), (3, 24), (5, 32)], 48),
         )
@@ -125,24 +146,20 @@ impl Dqt {
 
     /// The 3-bit shift amounts used by the SH quantizer: per entry,
     /// `round(log2(q))` clamped to `0..=7` (Sec. III-F limits the DQT to
-    /// powers of two with eight available quantization modes).
-    pub fn log2_shifts(&self) -> [u8; 64] {
-        let mut out = [0u8; 64];
-        for (o, &e) in out.iter_mut().zip(self.entries.iter()) {
-            *o = ((e as f64).log2().round() as i64).clamp(0, 7) as u8;
-        }
-        out
+    /// powers of two with eight available quantization modes).  Computed
+    /// once at construction; this accessor is free.
+    pub fn log2_shifts(&self) -> &[u8; 64] {
+        &self.shifts
     }
 
     /// A copy of this table with every entry snapped to the nearest power
     /// of two — the effective table the SH quantizer implements.
     pub fn to_pow2(&self) -> Dqt {
-        let shifts = self.log2_shifts();
         let mut entries = [0u16; 64];
-        for (e, &s) in entries.iter_mut().zip(shifts.iter()) {
+        for (e, &s) in entries.iter_mut().zip(self.shifts.iter()) {
             *e = 1u16 << s;
         }
-        Dqt::from_entries(format!("{}-pow2", self.name), entries)
+        Dqt::from_valid(format!("{}-pow2", self.name), entries)
     }
 
     /// Returns a copy with the DC entry replaced.
@@ -154,9 +171,10 @@ impl Dqt {
     ///
     /// Panics if `dc` is outside `1..=255`.
     pub fn with_dc(&self, dc: u16) -> Dqt {
+        assert!((1..=255).contains(&dc), "DC entry must be in 1..=255");
         let mut entries = self.entries;
         entries[0] = dc;
-        Dqt::from_entries(self.name.clone(), entries)
+        Dqt::from_valid(self.name.clone(), entries)
     }
 }
 
@@ -277,7 +295,8 @@ mod tests {
             e[1] = 16;
             e[2] = 255;
             e
-        });
+        })
+        .expect("valid entries");
         let s = custom.log2_shifts();
         assert_eq!(s[0], 0);
         assert_eq!(s[1], 4);
@@ -290,16 +309,56 @@ mod tests {
             let mut e = [3u16; 64];
             e[0] = 8;
             e
-        });
+        })
+        .expect("valid entries");
         let p = d.to_pow2();
         assert_eq!(p.entry(0), 8);
         assert_eq!(p.entry(1), 4); // log2(3)=1.58 -> 2 -> 4
     }
 
     #[test]
-    #[should_panic(expected = "1..=255")]
-    fn zero_entry_rejected() {
-        let _ = Dqt::from_entries("bad", [0u16; 64]);
+    fn zero_entry_rejected_with_typed_error() {
+        // A zero DQT entry would divide by zero in `quantize_div`; the
+        // constructor is the single guard for the whole pipeline.
+        let mut e = [16u16; 64];
+        e[5] = 0;
+        assert_eq!(
+            Dqt::from_entries("bad", e).unwrap_err(),
+            CodecError::BadDqt { index: 5, entry: 0 }
+        );
+    }
+
+    #[test]
+    fn oversized_entry_rejected_with_typed_error() {
+        let mut e = [16u16; 64];
+        e[63] = 256;
+        assert_eq!(
+            Dqt::from_entries("bad", e).unwrap_err(),
+            CodecError::BadDqt {
+                index: 63,
+                entry: 256
+            }
+        );
+    }
+
+    #[test]
+    fn cached_shifts_match_recomputation() {
+        for dqt in [
+            Dqt::jpeg_quality(40),
+            Dqt::jpeg_quality(80),
+            Dqt::opt_l(),
+            Dqt::opt_h(),
+        ] {
+            for (i, (&s, &e)) in dqt
+                .log2_shifts()
+                .iter()
+                .zip(dqt.entries().iter())
+                .enumerate()
+            {
+                let expect = ((e as f64).log2().round() as i64).clamp(0, 7) as u8;
+                assert_eq!(s, expect, "{}: entry {i}", dqt.name());
+            }
+        }
     }
 
     #[test]

@@ -23,6 +23,16 @@ pub enum CodecError {
     },
     /// The coded byte stream is malformed (truncated or inconsistent).
     Corrupt(&'static str),
+    /// A quantization-table entry is outside the valid `1..=255` range.
+    /// A zero entry would make the DIV quantizer divide by zero on the
+    /// hot path, so [`crate::dqt::Dqt::from_entries`] rejects it up
+    /// front with this variant.
+    BadDqt {
+        /// Row-major index of the offending entry.
+        index: usize,
+        /// The rejected entry value.
+        entry: u16,
+    },
     /// A wire frame field holds an invalid or inconsistent value.
     BadFrame {
         /// Byte offset of the offending field within the frame.
@@ -66,6 +76,10 @@ impl fmt::Display for CodecError {
                 "codec {expected} cannot decompress payload from {actual}"
             ),
             CodecError::Corrupt(what) => write!(f, "corrupt payload: {what}"),
+            CodecError::BadDqt { index, entry } => write!(
+                f,
+                "DQT entry {entry} at index {index} outside 1..=255"
+            ),
             CodecError::BadFrame { offset, what } => {
                 write!(f, "bad wire frame at byte {offset}: {what}")
             }
@@ -107,6 +121,10 @@ mod tests {
         assert_eq!(
             CodecError::Corrupt("RLE stream truncated").to_string(),
             "corrupt payload: RLE stream truncated"
+        );
+        assert_eq!(
+            CodecError::BadDqt { index: 3, entry: 0 }.to_string(),
+            "DQT entry 0 at index 3 outside 1..=255"
         );
     }
 

@@ -20,6 +20,7 @@
 //! | [`csr`] | II-B2 | GIST-style sparse storage (value + column index per non-zero) |
 //! | [`dpr`] | II-B2 | Dynamic precision reduction: f32 → f16 / f8 casts |
 //! | [`pipeline`] | III | Composed codecs: SFPR-only, JPEG-BASE, JPEG-ACT, and the DIV/SH × RLE/ZVC matrix |
+//! | [`tile`] | III, Fig. 11 | Streaming tile pipeline: stage trait fusing gather → DCT → quantize → code per 8×8 block |
 //! | [`stream`] | III-G | Collector / splitter: round-robin multi-CDU stream aggregation into 128 B DMA packets |
 //! | [`wire`] | III-G | Framed wire format: magic + version + tag + CRC32 container, panic-free decode of arbitrary bytes |
 //! | [`bits`] | — | Bit-level I/O shared by the entropy coders |
@@ -63,6 +64,7 @@ pub mod quant;
 pub mod rle;
 pub mod sfpr;
 pub mod stream;
+pub mod tile;
 pub mod wire;
 pub mod zvc;
 

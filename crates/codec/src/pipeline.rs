@@ -18,43 +18,16 @@
 use crate::block::BlockLayout;
 use crate::brc::BrcMask;
 use crate::csr::Csr;
-use crate::dct::{dct2d_i8, idct2d_to_i8};
 use crate::dpr::{self, DprWidth};
 use crate::dqt::Dqt;
 use crate::error::CodecError;
-use crate::quant::{dequantize, quantize, QuantKind};
+use crate::quant::{QuantKind, QuantTables};
 use crate::rle;
 use crate::sfpr::{self, SfprEncoded, SfprParams};
+use crate::tile::{self, Dequantize, ForwardDct, Gather, InverseDct, Quantize, Then};
 use crate::zvc::Zvc;
 use jact_obs as obs;
-use jact_par::Pool;
 use jact_tensor::{Shape, Tensor};
-
-/// 8×8 blocks per parallel DCT/quantize chunk.  Input-derived only, so the
-/// transformed blocks are identical for any thread count.
-const DCT_BLOCKS_PER_CHUNK: usize = 256;
-
-/// Runs DCT + quantization over every block in parallel chunks.
-fn transform_blocks(blocks: &[[i8; 64]], quant: QuantKind, dqt: &Dqt) -> Vec<[i8; 64]> {
-    let mut out = vec![[0i8; 64]; blocks.len()];
-    Pool::current().par_chunks_mut(&mut out, DCT_BLOCKS_PER_CHUNK, |_, off, chunk| {
-        for (k, q) in chunk.iter_mut().enumerate() {
-            *q = quantize(quant, &dct2d_i8(&blocks[off + k]), dqt);
-        }
-    });
-    out
-}
-
-/// Runs dequantization + inverse DCT over every block in parallel chunks.
-fn untransform_blocks(quantized: &[[i8; 64]], quant: QuantKind, dqt: &Dqt) -> Vec<[i8; 64]> {
-    let mut out = vec![[0i8; 64]; quantized.len()];
-    Pool::current().par_chunks_mut(&mut out, DCT_BLOCKS_PER_CHUNK, |_, off, chunk| {
-        for (k, s) in chunk.iter_mut().enumerate() {
-            *s = idct2d_to_i8(&dequantize(quant, &quantized[off + k], dqt));
-        }
-    });
-    out
-}
 
 /// Wraps one compression in the `codec.compress` span and records the
 /// single-funnel byte counters (`codec.bytes_in` / `codec.bytes_out`)
@@ -571,7 +544,19 @@ impl JpegCodec {
     pub fn quantized_blocks(&self, x: &Tensor) -> Vec<[i8; 64]> {
         let enc = sfpr::compress(x, self.sfpr);
         let layout = BlockLayout::new(x.shape());
-        transform_blocks(&layout.to_blocks(enc.values()), self.quant, &self.dqt)
+        let tables = QuantTables::new(self.quant, &self.dqt);
+        let stage = Self::encode_stage(&layout, enc.values(), &tables);
+        tile::collect_tiles(&stage, layout.num_blocks())
+    }
+
+    /// The fused encode front end: gather → DCT → quantize, one tile at a
+    /// time, with per-tensor precomputed quantizer tables.
+    fn encode_stage<'a>(
+        layout: &'a BlockLayout,
+        values: &'a [i8],
+        tables: &'a QuantTables,
+    ) -> impl tile::TileStage<In = usize, Out = [i8; 64]> + 'a {
+        Then(Gather { layout, values }, Then(ForwardDct, Quantize(tables)))
     }
 }
 
@@ -582,28 +567,30 @@ impl Codec for JpegCodec {
             || {
                 let enc = sfpr::compress(x, self.sfpr);
                 let layout = BlockLayout::new(x.shape());
-                let blocks = obs::span("stage.block", || layout.to_blocks(enc.values()));
-                note_stage("block", enc.values().len(), blocks.len() * 64);
-                let quantized = obs::span("stage.transform", || {
-                    transform_blocks(&blocks, self.quant, &self.dqt)
-                });
-                note_stage("transform", blocks.len() * 64, quantized.len() * 64);
-
-                let coded = obs::span("stage.code", || match self.coder {
-                    CoderKind::Rle => CodedBlocks::Rle {
-                        bytes: rle::encode_blocks(&quantized),
-                        count: quantized.len(),
-                    },
-                    CoderKind::Zvc => {
-                        let flat: Vec<i8> = quantized.iter().flatten().copied().collect();
-                        CodedBlocks::Zvc(Zvc::compress_i8(&flat))
-                    }
-                });
+                let tables = QuantTables::new(self.quant, &self.dqt);
+                let num_blocks = layout.num_blocks();
+                // One streaming pass: each tile flows gather → DCT →
+                // quantize → coder without a materialized block tensor.
+                // The per-stage byte funnels are all arithmetic over the
+                // layout, so fusion reports the exact totals the staged
+                // pipeline did.
+                let coded = {
+                    let stage = Self::encode_stage(&layout, enc.values(), &tables);
+                    obs::span("stage.fused", || match self.coder {
+                        CoderKind::Rle => CodedBlocks::Rle {
+                            bytes: tile::encode_rle(&stage, num_blocks),
+                            count: num_blocks,
+                        },
+                        CoderKind::Zvc => CodedBlocks::Zvc(tile::encode_zvc(&stage, num_blocks)),
+                    })
+                };
                 let coded_bytes = match &coded {
                     CodedBlocks::Rle { bytes, .. } => bytes.len(),
                     CodedBlocks::Zvc(z) => z.compressed_bytes(),
                 };
-                note_stage("code", quantized.len() * 64, coded_bytes);
+                note_stage("block", enc.values().len(), num_blocks * 64);
+                note_stage("transform", num_blocks * 64, num_blocks * 64);
+                note_stage("code", num_blocks * 64, coded_bytes);
                 let scales_bytes = enc.scales().len() * 4;
 
                 // The value plane is reconstructed from the coded blocks;
@@ -635,25 +622,25 @@ impl Codec for JpegCodec {
                     _ => return Err(wrong_payload("jpeg", c)),
                 };
                 let layout = BlockLayout::new(p.meta.shape());
-                let quantized: Vec<[i8; 64]> = obs::span("stage.decode", || match &p.coded {
-                    CodedBlocks::Rle { bytes, count } => rle::decode_blocks(bytes, *count)
-                        .ok_or(CodecError::Corrupt("RLE stream truncated or inconsistent")),
-                    CodedBlocks::Zvc(z) => {
-                        let flat = z.decompress_i8()?;
-                        Ok(flat
-                            .chunks_exact(64)
-                            .map(|ch| {
-                                let mut b = [0i8; 64];
-                                b.copy_from_slice(ch);
-                                b
-                            })
-                            .collect())
+                let tables = QuantTables::new(p.quant.into(), &p.dqt);
+                // Mirrored streaming pass: each coded tile flows decode →
+                // dequantize → inverse DCT → scatter straight into the
+                // unpadded value plane.
+                let dec = Then(Dequantize(&tables), InverseDct);
+                let values = obs::span("stage.unfused", || match &p.coded {
+                    CodedBlocks::Rle { bytes, count } => {
+                        if *count != layout.num_blocks() {
+                            return Err(CodecError::Corrupt(
+                                "RLE block count disagrees with shape",
+                            ));
+                        }
+                        let quantized = rle::decode_blocks(bytes, *count).ok_or(
+                            CodecError::Corrupt("RLE stream truncated or inconsistent"),
+                        )?;
+                        Ok(tile::untile_blocks(&layout, &quantized, &dec))
                     }
+                    CodedBlocks::Zvc(z) => tile::decode_zvc(&layout, z, &dec),
                 })?;
-                let spatial = obs::span("stage.untransform", || {
-                    untransform_blocks(&quantized, p.quant.into(), &p.dqt)
-                });
-                let values = obs::span("stage.unblock", || layout.from_blocks(&spatial));
                 Ok(sfpr::decompress_values(&values, &p.meta))
             },
         )
@@ -1036,6 +1023,130 @@ mod tests {
                 "missing stage funnel for {stage}"
             );
         }
+    }
+
+    /// Pre-fusion staged reference: materialize the block tensor, run the
+    /// transform over it, then hand the whole quantized list to the staged
+    /// coders — exactly what `JpegCodec::compress` did before the
+    /// streaming tile pipeline.
+    fn staged_coded(x: &Tensor, dqt: &Dqt, quant: QuantKind, coder: CoderKind) -> CodedBlocks {
+        use crate::dct::dct2d_i8;
+        use crate::quant::quantize;
+        let enc = sfpr::compress(x, SfprParams::paper_default());
+        let layout = BlockLayout::new(x.shape());
+        let quantized: Vec<[i8; 64]> = layout
+            .to_blocks(enc.values())
+            .iter()
+            .map(|b| quantize(quant, &dct2d_i8(b), dqt))
+            .collect();
+        match coder {
+            CoderKind::Rle => CodedBlocks::Rle {
+                bytes: rle::encode_blocks(&quantized),
+                count: quantized.len(),
+            },
+            CoderKind::Zvc => {
+                let flat: Vec<i8> = quantized.iter().flatten().copied().collect();
+                CodedBlocks::Zvc(Zvc::compress_i8(&flat))
+            }
+        }
+    }
+
+    /// A seeded noisy tensor so the generative matrix also covers data with
+    /// no spatial structure (worst case for RLE run lengths).
+    fn noisy_tensor(seed: u64, n: usize, c: usize, h: usize, w: usize) -> Tensor {
+        use jact_rng::{Rng, SeedableRng};
+        let mut rng = jact_rng::rngs::StdRng::seed_from_u64(seed);
+        let shape = Shape::nchw(n, c, h, w);
+        let data = (0..shape.len()).map(|_| rng.sample_normal_f32()).collect();
+        Tensor::from_vec(shape, data)
+    }
+
+    /// The fused streaming pipeline must produce byte-identical coded
+    /// payloads to the staged reference for the full Table III codec
+    /// matrix, at every thread count, and decompress to the same tensor.
+    /// Shapes cross the 512-block parallel-coding threshold in both
+    /// directions and include ragged (non-multiple-of-8) layouts.
+    #[test]
+    fn fused_pipeline_matches_staged_reference_bitwise() {
+        let tensors = [
+            smooth_tensor(1, 2, 8, 16),   // 4 blocks: sequential shortcut
+            smooth_tensor(2, 3, 13, 17),  // ragged rows and columns
+            noisy_tensor(0xf05e_d, 1, 4, 16, 16),
+            smooth_tensor(4, 16, 32, 32), // 1024 blocks: parallel coders
+        ];
+        for x in &tensors {
+            for dqt in [Dqt::jpeg_quality(80), Dqt::opt_l(), Dqt::opt_h()] {
+                for quant in [QuantKind::Div, QuantKind::Shift] {
+                    for coder in [CoderKind::Rle, CoderKind::Zvc] {
+                        let want = staged_coded(x, &dqt, quant, coder);
+                        for threads in [1usize, 2, 8] {
+                            let codec = JpegCodec::new(dqt.clone(), quant, coder);
+                            let c = jact_par::with_threads(threads, || codec.compress(x));
+                            let ctx = format!(
+                                "{quant}+{coder}:{} {:?} threads={threads}",
+                                dqt.name(),
+                                x.shape()
+                            );
+                            match (&want, match &c.payload {
+                                Payload::Jpeg(p) => &p.coded,
+                                _ => unreachable!("jpeg codec emits jpeg payloads"),
+                            }) {
+                                (
+                                    CodedBlocks::Rle { bytes: a, count: na },
+                                    CodedBlocks::Rle { bytes: b, count: nb },
+                                ) => {
+                                    assert_eq!(na, nb, "{ctx}");
+                                    assert_eq!(a, b, "{ctx}");
+                                }
+                                (CodedBlocks::Zvc(a), CodedBlocks::Zvc(b)) => {
+                                    assert_eq!(a, b, "{ctx}")
+                                }
+                                _ => panic!("coder kind mismatch: {ctx}"),
+                            }
+                            let rec = jact_par::with_threads(threads, || codec.decompress(&c))
+                                .unwrap();
+                            let rec1 = codec.decompress(&c).unwrap();
+                            assert_eq!(rec, rec1, "thread-dependent decode: {ctx}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rle_count_mismatch_is_a_typed_error() {
+        // A payload whose RLE block count disagrees with its shape must
+        // surface as `Corrupt`, not a panic in the scatter path.
+        let x = smooth_tensor(1, 2, 8, 16);
+        let codec = JpegCodec::new(Dqt::opt_l(), QuantKind::Div, CoderKind::Rle);
+        let c = codec.compress(&x);
+        let p = match &c.payload {
+            Payload::Jpeg(p) => p,
+            _ => unreachable!("jpeg codec emits jpeg payloads"),
+        };
+        let (bytes, count) = match &p.coded {
+            CodedBlocks::Rle { bytes, count } => (bytes.clone(), *count),
+            _ => unreachable!("RLE coder emits RLE payloads"),
+        };
+        let forged = CompressedActivation {
+            payload: Payload::Jpeg(JpegPayload {
+                meta: p.meta.clone(),
+                coded: CodedBlocks::Rle {
+                    bytes,
+                    count: count - 1,
+                },
+                quant: p.quant,
+                dqt: p.dqt.clone(),
+            }),
+            uncompressed_bytes: c.uncompressed_bytes,
+            compressed_bytes: c.compressed_bytes,
+            codec_name: c.codec_name.clone(),
+        };
+        assert!(matches!(
+            codec.decompress(&forged),
+            Err(CodecError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -8,6 +8,14 @@
 //!
 //! Both quantizers saturate the result to `i8`, matching the 8-bit
 //! compression pipeline enabled by SFPR.
+//!
+//! The hot path goes through [`QuantTables`], built once per tensor: the
+//! SH path reads the shift table cached in [`Dqt`] (never recomputing the
+//! 64 `f64::log2` calls per block that made SH slower than DIV), and the
+//! DIV path replaces the per-lane integer division with an exact
+//! multiply-shift (`q = (n * M) >> 24` with `M = ceil(2^24 / d)`), the
+//! same reciprocal trick the paper's parallel-multiplier divider uses in
+//! hardware.
 
 use crate::dqt::Dqt;
 
@@ -29,16 +37,131 @@ impl std::fmt::Display for QuantKind {
     }
 }
 
+/// Reciprocal magic constants use a 24-bit fixed-point shift: for
+/// `d <= 255` and numerators below `2^16`, `(n * ceil(2^24 / d)) >> 24`
+/// equals `n / d` exactly (the error term `M*d - 2^24` is in `[0, d)`,
+/// so `n * (M*d - 2^24) < 2^24` for all reachable `n`).
+const MAGIC_SHIFT: u32 = 24;
+
+/// Per-tensor quantizer state, precomputed once from a [`Dqt`] so the
+/// per-block kernels are pure lane loops with no division, no `f64`
+/// math, and no table derivation.
+pub struct QuantTables {
+    kind: QuantKind,
+    /// DQT entries widened to `i32` (DIV dequantize multiplier).
+    div: [i32; 64],
+    /// `entry / 2`: the round-half-away-from-zero bias for DIV.
+    half: [i32; 64],
+    /// `ceil(2^24 / entry)`: exact-division multipliers for DIV.
+    magic: [u64; 64],
+    /// 3-bit shift amounts for SH (cached in the `Dqt`).
+    shifts: [u8; 64],
+    /// Shift amounts widened to `u32` lanes for the SH quantize kernel.
+    shifts32: [u32; 64],
+    /// `(1 << shift) >> 1`: the SH rounding bias, precomputed per lane.
+    sbias: [i32; 64],
+}
+
+impl QuantTables {
+    /// Precomputes quantizer tables for `kind` over `dqt`.
+    pub fn new(kind: QuantKind, dqt: &Dqt) -> Self {
+        let mut div = [0i32; 64];
+        let mut half = [0i32; 64];
+        let mut magic = [0u64; 64];
+        for (i, &e) in dqt.entries().iter().enumerate() {
+            let d = e as i32;
+            div[i] = d;
+            half[i] = d / 2;
+            magic[i] = (1u64 << MAGIC_SHIFT).div_ceil(e as u64);
+        }
+        let shifts = *dqt.log2_shifts();
+        let mut shifts32 = [0u32; 64];
+        let mut sbias = [0i32; 64];
+        for (i, &s) in shifts.iter().enumerate() {
+            shifts32[i] = s as u32;
+            sbias[i] = (1i32 << s) >> 1;
+        }
+        QuantTables {
+            kind,
+            div,
+            half,
+            magic,
+            shifts,
+            shifts32,
+            sbias,
+        }
+    }
+
+    /// The back end these tables were built for.
+    pub fn kind(&self) -> QuantKind {
+        self.kind
+    }
+
+    /// Quantizes one block with the precomputed tables.
+    pub fn quantize_block(&self, coefs: &[i16; 64]) -> [i8; 64] {
+        match self.kind {
+            QuantKind::Div => self.quantize_div_magic(coefs),
+            QuantKind::Shift => self.quantize_shift_tables(coefs),
+        }
+    }
+
+    /// SH with the per-lane bias precomputed — add, shift, negate, clamp;
+    /// identical results to [`quantize_shift`].
+    fn quantize_shift_tables(&self, coefs: &[i16; 64]) -> [i8; 64] {
+        let mut out = [0i8; 64];
+        for (((o, &c), &s), &b) in out.iter_mut().zip(coefs).zip(&self.shifts32).zip(&self.sbias) {
+            let c = c as i32;
+            let a = (c.abs() + b) >> s;
+            let q = if c < 0 { -a } else { a };
+            *o = q.clamp(i8::MIN as i32, i8::MAX as i32) as i8;
+        }
+        out
+    }
+
+    /// Dequantizes one block with the precomputed tables.
+    pub fn dequantize_block(&self, quant: &[i8; 64]) -> [i16; 64] {
+        match self.kind {
+            QuantKind::Div => {
+                let mut out = [0i16; 64];
+                for ((o, &q), &d) in out.iter_mut().zip(quant).zip(&self.div) {
+                    // |q * d| <= 128 * 255 = 32640 < i16::MAX: no clamp.
+                    *o = (q as i32 * d) as i16;
+                }
+                out
+            }
+            QuantKind::Shift => dequantize_shift(quant, &self.shifts),
+        }
+    }
+
+    /// DIV via exact multiply-shift.  For the quantizer's numerator range
+    /// (`|c| + d/2 <= 32767 + 127 < 2^16`) this reproduces truncating
+    /// integer division bit-for-bit; see [`MAGIC_SHIFT`].
+    fn quantize_div_magic(&self, coefs: &[i16; 64]) -> [i8; 64] {
+        let mut out = [0i8; 64];
+        for (((o, &c), &h), &m) in out.iter_mut().zip(coefs).zip(&self.half).zip(&self.magic) {
+            let c = c as i32;
+            let n = (c.abs() + h) as u64;
+            let q = ((n * m) >> MAGIC_SHIFT) as i32;
+            let q = if c < 0 { -q } else { q };
+            *o = q.clamp(i8::MIN as i32, i8::MAX as i32) as i8;
+        }
+        out
+    }
+}
+
 /// DIV quantization: `q_i = round(c_i / dqt_i)` saturated to `i8`.
+///
+/// Reference implementation with a hardware-style divider; the hot path
+/// uses the multiply-shift equivalent in [`QuantTables::quantize_block`].
 pub fn quantize_div(coefs: &[i16; 64], dqt: &Dqt) -> [i8; 64] {
     let mut out = [0i8; 64];
-    for i in 0..64 {
-        let d = dqt.entry(i) as i32;
-        let c = coefs[i] as i32;
+    for ((o, &c), &e) in out.iter_mut().zip(coefs).zip(dqt.entries()) {
+        let d = e as i32;
+        let c = c as i32;
         // Round half away from zero, as a hardware divider with rounding
         // constant would.
         let q = if c >= 0 { (c + d / 2) / d } else { (c - d / 2) / d };
-        out[i] = q.clamp(i8::MIN as i32, i8::MAX as i32) as i8;
+        *o = q.clamp(i8::MIN as i32, i8::MAX as i32) as i8;
     }
     out
 }
@@ -46,40 +169,38 @@ pub fn quantize_div(coefs: &[i16; 64], dqt: &Dqt) -> [i8; 64] {
 /// DIV dequantization: `c_i = q_i * dqt_i`.
 pub fn dequantize_div(quant: &[i8; 64], dqt: &Dqt) -> [i16; 64] {
     let mut out = [0i16; 64];
-    for i in 0..64 {
-        let v = quant[i] as i32 * dqt.entry(i) as i32;
-        out[i] = v.clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+    for ((o, &q), &e) in out.iter_mut().zip(quant).zip(dqt.entries()) {
+        let v = q as i32 * e as i32;
+        *o = v.clamp(i16::MIN as i32, i16::MAX as i32) as i16;
     }
     out
 }
 
 /// SH quantization: arithmetic right shift by the 3-bit log-DQT, with the
-/// rounding constant a hardware shifter adds (half of the discarded range).
-pub fn quantize_shift(coefs: &[i16; 64], dqt: &Dqt) -> [i8; 64] {
-    let shifts = dqt.log2_shifts();
+/// rounding constant a hardware shifter adds (half of the discarded
+/// range).  Takes the per-tensor shift table (`Dqt::log2_shifts`) so the
+/// per-block loop is a pure lane kernel.
+pub fn quantize_shift(coefs: &[i16; 64], shifts: &[u8; 64]) -> [i8; 64] {
     let mut out = [0i8; 64];
-    for i in 0..64 {
-        let s = shifts[i] as u32;
-        let c = coefs[i] as i32;
-        let q = if s == 0 {
-            c
-        } else {
-            // Symmetric rounding shift: round half away from zero.
-            let bias = 1i32 << (s - 1);
-            if c >= 0 { (c + bias) >> s } else { -((-c + bias) >> s) }
-        };
-        out[i] = q.clamp(i8::MIN as i32, i8::MAX as i32) as i8;
+    for ((o, &c), &s) in out.iter_mut().zip(coefs).zip(shifts) {
+        let s = s as u32;
+        let c = c as i32;
+        // `(1 << s) >> 1` is the symmetric rounding bias — zero at s = 0,
+        // so no branch on the shift amount.
+        let bias = (1i32 << s) >> 1;
+        let a = (c.abs() + bias) >> s;
+        let q = if c < 0 { -a } else { a };
+        *o = q.clamp(i8::MIN as i32, i8::MAX as i32) as i8;
     }
     out
 }
 
 /// SH dequantization: left shift by the 3-bit log-DQT.
-pub fn dequantize_shift(quant: &[i8; 64], dqt: &Dqt) -> [i16; 64] {
-    let shifts = dqt.log2_shifts();
+pub fn dequantize_shift(quant: &[i8; 64], shifts: &[u8; 64]) -> [i16; 64] {
     let mut out = [0i16; 64];
-    for i in 0..64 {
-        let v = (quant[i] as i32) << shifts[i];
-        out[i] = v.clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+    for ((o, &q), &s) in out.iter_mut().zip(quant).zip(shifts) {
+        // |q << s| <= 128 << 7 = 16384: always representable.
+        *o = ((q as i32) << s) as i16;
     }
     out
 }
@@ -88,7 +209,7 @@ pub fn dequantize_shift(quant: &[i8; 64], dqt: &Dqt) -> [i16; 64] {
 pub fn quantize(kind: QuantKind, coefs: &[i16; 64], dqt: &Dqt) -> [i8; 64] {
     match kind {
         QuantKind::Div => quantize_div(coefs, dqt),
-        QuantKind::Shift => quantize_shift(coefs, dqt),
+        QuantKind::Shift => quantize_shift(coefs, dqt.log2_shifts()),
     }
 }
 
@@ -96,7 +217,7 @@ pub fn quantize(kind: QuantKind, coefs: &[i16; 64], dqt: &Dqt) -> [i8; 64] {
 pub fn dequantize(kind: QuantKind, quant: &[i8; 64], dqt: &Dqt) -> [i16; 64] {
     match kind {
         QuantKind::Div => dequantize_div(quant, dqt),
-        QuantKind::Shift => dequantize_shift(quant, dqt),
+        QuantKind::Shift => dequantize_shift(quant, dqt.log2_shifts()),
     }
 }
 
@@ -106,7 +227,7 @@ mod tests {
     use crate::dqt::Dqt;
 
     fn flat_dqt(v: u16) -> Dqt {
-        Dqt::from_entries(format!("flat{v}"), [v; 64])
+        Dqt::from_entries(format!("flat{v}"), [v; 64]).expect("valid entries")
     }
 
     #[test]
@@ -150,6 +271,60 @@ mod tests {
     }
 
     #[test]
+    fn magic_divide_matches_plain_division_exhaustively() {
+        // The multiply-shift DIV kernel must equal the reference divider
+        // for every DQT entry and the full coefficient range reachable
+        // from the Q12 DCT.  Sweep all 255 divisors against stepped and
+        // boundary numerators.
+        for d in 1u16..=255 {
+            let dqt = flat_dqt(d);
+            let tables = QuantTables::new(QuantKind::Div, &dqt);
+            let probe = |vals: &[i16]| {
+                let mut coefs = [0i16; 64];
+                for (c, &v) in coefs.iter_mut().zip(vals.iter().cycle()) {
+                    *c = v;
+                }
+                assert_eq!(
+                    tables.quantize_block(&coefs),
+                    quantize_div(&coefs, &dqt),
+                    "d={d}"
+                );
+            };
+            probe(&[i16::MIN, i16::MAX, 0, 1, -1, 127, -128]);
+            let stepped: Vec<i16> = (0..64).map(|i| ((i as i32 * 1021) - 32000) as i16).collect();
+            probe(&stepped);
+        }
+    }
+
+    #[test]
+    fn tables_dequantize_matches_reference() {
+        for dqt in [flat_dqt(255), Dqt::jpeg_quality(40), Dqt::opt_h()] {
+            let tables = QuantTables::new(QuantKind::Div, &dqt);
+            let mut q = [0i8; 64];
+            for (i, v) in q.iter_mut().enumerate() {
+                *v = (i as i32 * 4 - 128) as i8;
+            }
+            assert_eq!(tables.dequantize_block(&q), dequantize_div(&q, &dqt));
+        }
+    }
+
+    #[test]
+    fn shift_tables_match_free_functions() {
+        let dqt = Dqt::opt_h();
+        let tables = QuantTables::new(QuantKind::Shift, &dqt);
+        let mut coefs = [0i16; 64];
+        for (i, c) in coefs.iter_mut().enumerate() {
+            *c = (i as i16) * 31 - 900;
+        }
+        let q = quantize_shift(&coefs, dqt.log2_shifts());
+        assert_eq!(tables.quantize_block(&coefs), q);
+        assert_eq!(
+            tables.dequantize_block(&q),
+            dequantize_shift(&q, dqt.log2_shifts())
+        );
+    }
+
+    #[test]
     fn shift_matches_div_for_pow2_tables() {
         let dqt = flat_dqt(16); // exactly a power of two
         let mut coefs = [0i16; 64];
@@ -157,7 +332,7 @@ mod tests {
             *c = (i as i16 - 30) * 21;
         }
         let qd = quantize_div(&coefs, &dqt);
-        let qs = quantize_shift(&coefs, &dqt);
+        let qs = quantize_shift(&coefs, dqt.log2_shifts());
         for i in 0..64 {
             assert!(
                 (qd[i] as i32 - qs[i] as i32).abs() <= 1,
@@ -174,10 +349,10 @@ mod tests {
         let mut coefs = [0i16; 64];
         coefs[0] = 55;
         coefs[1] = -89;
-        let q = quantize_shift(&coefs, &dqt);
+        let q = quantize_shift(&coefs, dqt.log2_shifts());
         assert_eq!(q[0], 55);
         assert_eq!(q[1], -89);
-        let d = dequantize_shift(&q, &dqt);
+        let d = dequantize_shift(&q, dqt.log2_shifts());
         assert_eq!(d[0], 55);
         assert_eq!(d[1], -89);
     }
@@ -191,10 +366,54 @@ mod tests {
             pos[i] = (i as i16) * 5 + 3;
             neg[i] = -pos[i];
         }
-        let qp = quantize_shift(&pos, &dqt);
-        let qn = quantize_shift(&neg, &dqt);
+        let qp = quantize_shift(&pos, dqt.log2_shifts());
+        let qn = quantize_shift(&neg, dqt.log2_shifts());
         for i in 0..64 {
             assert_eq!(qp[i] as i32, -(qn[i] as i32), "i={i}");
+        }
+    }
+
+    #[test]
+    fn shift_roundtrip_property_non_pow2_tables() {
+        // Non-power-of-two DQT entries snap to the nearest power of two
+        // via the cached shift table; the round trip must still bound the
+        // reconstruction error by half the *effective* (pow2) step, and
+        // quantize(dequantize(q)) must be the identity on in-range codes.
+        use jact_rng::{Rng, SeedableRng, rngs::StdRng};
+        let mut rng = StdRng::seed_from_u64(0x5157_0001);
+        for name in ["a", "b", "c"] {
+            let mut entries = [0u16; 64];
+            for e in entries.iter_mut() {
+                // Skewed to small non-pow2 values: 3..=97.
+                *e = rng.gen_range(3u16..98);
+            }
+            let dqt = Dqt::from_entries(format!("np2-{name}"), entries).expect("in range");
+            let shifts = dqt.log2_shifts();
+            let mut coefs = [0i16; 64];
+            for c in coefs.iter_mut() {
+                *c = rng.gen_range(-1024i16..1024);
+            }
+            let q = quantize_shift(&coefs, shifts);
+            let rec = dequantize_shift(&q, shifts);
+            for i in 0..64 {
+                // Codes pinned at the i8 rails lost magnitude to
+                // saturation, not rounding; the step bound applies only to
+                // in-range codes.
+                if q[i] == i8::MAX || q[i] == i8::MIN {
+                    continue;
+                }
+                let step = 1i32 << shifts[i];
+                let err = (rec[i] as i32 - coefs[i] as i32).abs();
+                assert!(
+                    err <= step / 2 + step,
+                    "i={i}: err {err} vs step {step} (entry {})",
+                    entries[i]
+                );
+            }
+            // Idempotence: re-quantizing the reconstruction returns the
+            // same codes whenever no saturation occurred.
+            let q2 = quantize_shift(&rec, shifts);
+            assert_eq!(q, q2, "{name}: round trip must be idempotent");
         }
     }
 
@@ -211,7 +430,7 @@ mod tests {
         );
         assert_eq!(
             quantize(QuantKind::Shift, &coefs, &dqt),
-            quantize_shift(&coefs, &dqt)
+            quantize_shift(&coefs, dqt.log2_shifts())
         );
         let q = quantize_div(&coefs, &dqt);
         assert_eq!(

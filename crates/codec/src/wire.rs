@@ -346,7 +346,13 @@ impl<'a> Reader<'a> {
             }
             *e = v;
         }
-        Ok(Dqt::from_entries(name, entries))
+        // Every entry was just range-checked, so this cannot fail; map the
+        // typed rejection into this decoder's frame error anyway rather
+        // than unwrapping in the panic-free wire path.
+        Dqt::from_entries(name, entries).map_err(|_| CodecError::BadFrame {
+            offset: self.pos,
+            what: "DQT entries out of 1..=255",
+        })
     }
 }
 

@@ -181,6 +181,29 @@ impl Zvc {
         })
     }
 
+    /// Rebuilds a `Zvc` from parts whose invariants hold by construction
+    /// — the streaming tile encoder emits mask and value streams in lock
+    /// step, so re-validating popcounts would only re-scan what it just
+    /// wrote.  Callers must uphold the [`Zvc::from_parts`] invariants.
+    pub(crate) fn from_parts_trusted(
+        mask: Vec<u8>,
+        values: Vec<u8>,
+        words: usize,
+        word_bytes: usize,
+    ) -> Self {
+        debug_assert_eq!(mask.len(), words.div_ceil(8));
+        debug_assert_eq!(
+            mask.iter().map(|b| b.count_ones() as usize).sum::<usize>() * word_bytes,
+            values.len()
+        );
+        Zvc {
+            mask,
+            values,
+            words,
+            word_bytes,
+        }
+    }
+
     /// Decompresses back to the original byte buffer.
     pub fn decompress(&self) -> Vec<u8> {
         let pool = Pool::current();

@@ -219,7 +219,7 @@ fn quantize_error_bounded_by_step() {
             *v = rng.gen_range(-2000i16..2000);
         }
         let q = rng.gen_range(1u16..256);
-        let dqt = Dqt::from_entries("flat", [q; 64]);
+        let dqt = Dqt::from_entries("flat", [q; 64]).expect("entries in 1..=255");
         for kind in [QuantKind::Div, QuantKind::Shift] {
             let quantized = quantize(kind, &c, &dqt);
             let rec = dequantize(kind, &quantized, &dqt);

@@ -86,7 +86,7 @@ fn to_dqt(entries: &[f64; 64], name: &str) -> Dqt {
     for (o, &v) in e.iter_mut().zip(entries.iter()) {
         *o = v.round().clamp(1.0, 255.0) as u16;
     }
-    Dqt::from_entries(name.to_string(), e)
+    Dqt::from_entries(name.to_string(), e).expect("entries clamped to 1..=255")
 }
 
 /// Runs the Sec. IV optimization: SGD over the DQT entries with forward

@@ -27,9 +27,12 @@ cargo run -q -p jact-analyze --release --offline
 echo "== fault_sweep (smoke fault rates over the offload wire path) =="
 JACT_QUICK=1 cargo run -q -p jact-bench --release --offline --bin fault_sweep
 
-echo "== codec_throughput baseline (writes BENCH_codec.json) =="
+echo "== codec_throughput (writes BENCH_codec.json: staged + fused stages, thread grid) =="
 # Absolute path: cargo runs the bench with cwd = crates/bench, not here.
 JACT_QUICK=1 JACT_BENCH_JSON="$PWD" cargo bench -q -p jact-bench --offline --bench codec_throughput
+
+echo "== bench_check (Sec. III-F gates: SH <= DIV cost, fused-stage floor) =="
+cargo run -q -p jact-bench --release --offline --bin bench_check -- "$PWD/BENCH_codec.json"
 
 echo "== profile_offload (stage-breakdown profile, writes BENCH_obs.json) =="
 JACT_QUICK=1 JACT_BENCH_JSON="$PWD" cargo run -q -p jact-bench --release --offline --bin profile_offload
